@@ -1,0 +1,63 @@
+"""Ablation: deletion-heavy streams (the Section 3.2.4 special case).
+
+Deletions drive *negative* key shifts, whose general worst case is
+O(n log n) (Algorithm 2) but whose aggregate-maintenance special case —
+at most one colliding key per shift — stays logarithmic.  This bench
+sweeps the retraction ratio and checks that the RPAI engines' per-event
+cost stays flat as deletions grow, i.e. that the special case actually
+bites in the engines.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import run_timed
+from repro.engine.registry import build_engine
+from repro.workloads import OrderBookConfig, generate_bids_only, generate_order_book
+
+from conftest import scaled
+
+RATIOS = [0.0, 0.3, 0.6]
+
+_BASELINE: dict[str, float] = {}
+
+CASES = [(query, ratio) for query in ("VWAP", "MST") for ratio in RATIOS]
+
+
+@pytest.mark.parametrize("query,ratio", CASES, ids=[f"{q}-del{r}" for q, r in CASES])
+def test_deletion_ratio_sweep(benchmark, report, query, ratio):
+    config = OrderBookConfig(
+        events=scaled(3000),
+        price_levels=400,
+        volume_max=100,
+        seed=110,
+        delete_ratio=ratio,
+    )
+    stream = (
+        generate_order_book(config) if query == "MST" else generate_bids_only(config)
+    )
+
+    def run():
+        return run_timed(build_engine(query, "rpai"), stream)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    per_event = 1e6 * result.seconds / result.events
+    key = f"{query}@0"
+    if ratio == 0.0:
+        _BASELINE[key] = per_event
+    report.add_row(
+        "Deletion-ratio ablation (RPAI engines)",
+        ["query", "delete_ratio", "events", "us/event", "vs append-only"],
+        [
+            query,
+            ratio,
+            result.events,
+            round(per_event, 1),
+            round(per_event / _BASELINE.get(key, per_event), 2),
+        ],
+    )
+    # Deletions must not blow up the per-event cost (allow 3x headroom
+    # for the extra bookkeeping and noise).
+    if key in _BASELINE:
+        assert per_event <= 3 * _BASELINE[key] + 5

@@ -1,0 +1,63 @@
+"""Section 2.1 claims: the EQ query (Example 2.1) across all three
+strategies — O(n²) naive, O(n) DBToaster (Figure 1b), O(1) PAI
+(Figure 1c) per update."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bench.runner import run_timed
+from repro.engine.naive import NaiveEngine
+from repro.engine.registry import build_engine
+from repro.storage.stream import Event, Stream
+from repro.workloads import get_query
+
+from conftest import scaled
+
+EVENTS = {
+    "rpai": 20_000,
+    "dbtoaster": 8_000,
+    "recompute": 250,
+}
+
+
+def _stream(events: int) -> Stream:
+    rng = random.Random(21)
+    out, live = [], []
+    while len(out) < events:
+        if live and rng.random() < 0.1:
+            out.append(Event("R", live.pop(rng.randrange(len(live))), -1))
+        else:
+            row = {"A": rng.randint(1, 2000), "B": rng.randint(1, 50)}
+            live.append(row)
+            out.append(Event("R", row, +1))
+    return Stream(out)
+
+
+@pytest.mark.parametrize("engine", sorted(EVENTS))
+def test_example21(benchmark, report, engine):
+    events = scaled(EVENTS[engine])
+    stream = _stream(events)
+
+    def build():
+        if engine == "recompute":
+            qd = get_query("EQ")
+            return NaiveEngine(qd.ast, qd.schema_map())
+        return build_engine("EQ", engine)
+
+    def run():
+        return run_timed(build(), stream)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    report.add_row(
+        "Example 2.1 per-update cost",
+        ["engine", "events", "seconds", "us/event"],
+        [
+            engine,
+            events,
+            round(result.seconds, 4),
+            round(1e6 * result.seconds / events, 2),
+        ],
+    )

@@ -1,0 +1,122 @@
+"""Figure 7: relative execution time, RPAI vs DBToaster, all queries.
+
+The paper runs every query on a 10k-record finance trace (TPC-H at
+SF 1) and reports DBToaster-vs-RPAI wall clock plus the relative
+speedup.  Here each query gets a workload sized so the *baseline's*
+super-linear cost stays affordable in interpreted Python (the
+``events`` / ``price_levels`` columns record exactly what ran); the
+reproduction target is the *shape*: RPAI ahead everywhere except Q18
+(parity by design) and Q17-uniform (near parity until the data skews —
+the Q17* row).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import run_timed
+from repro.engine.registry import build_engine
+from repro.workloads import (
+    OrderBookConfig,
+    TPCHConfig,
+    generate_bids_only,
+    generate_order_book,
+    generate_tpch,
+)
+
+from conftest import scaled
+
+HEADERS = ["query", "engine", "events", "seconds", "us/event"]
+
+_TIMINGS: dict[tuple[str, str], float] = {}
+
+
+def _finance_single(events: int, levels: int, seed: int):
+    return generate_bids_only(
+        OrderBookConfig(
+            events=scaled(events),
+            price_levels=levels,
+            volume_max=100,
+            seed=seed,
+            delete_ratio=0.1,
+        )
+    )
+
+
+def _finance_double(events: int, levels: int, seed: int):
+    return generate_order_book(
+        OrderBookConfig(
+            events=scaled(events),
+            price_levels=levels,
+            volume_max=100,
+            seed=seed,
+            delete_ratio=0.1,
+        )
+    )
+
+
+def _eq_stream(events: int, seed: int):
+    import random
+
+    from repro.storage.stream import Event, Stream
+
+    rng = random.Random(seed)
+    out, live = [], []
+    while len(out) < scaled(events):
+        if live and rng.random() < 0.1:
+            out.append(Event("R", live.pop(rng.randrange(len(live))), -1))
+        else:
+            row = {"A": rng.randint(1, 500), "B": rng.randint(1, 50)}
+            live.append(row)
+            out.append(Event("R", row, +1))
+    return Stream(out)
+
+
+WORKLOADS = {
+    "EQ": lambda: _eq_stream(4000, seed=70),
+    "VWAP": lambda: _finance_single(2000, 400, seed=71),
+    "MST": lambda: _finance_double(800, 200, seed=72),
+    "PSP": lambda: _finance_double(2000, 400, seed=73),
+    "SQ1": lambda: _finance_single(1200, 400, seed=74),
+    "SQ2": lambda: _finance_single(1200, 400, seed=75),
+    "NQ1": lambda: _finance_single(800, 200, seed=76),
+    "NQ2": lambda: _finance_single(250, 50, seed=77),
+    "Q17": lambda: generate_tpch(TPCHConfig(scale_factor=0.5 * max(scaled(100), 1) / 100, seed=78)),
+    "Q17*": lambda: generate_tpch(
+        TPCHConfig(scale_factor=0.5 * max(scaled(100), 1) / 100, seed=78, skew=1.0)
+    ),
+    "Q18": lambda: generate_tpch(TPCHConfig(scale_factor=0.2 * max(scaled(100), 1) / 100, seed=79)),
+}
+
+CASES = [
+    (query, engine)
+    for query in WORKLOADS
+    for engine in ("dbtoaster", "rpai")
+]
+
+
+@pytest.mark.parametrize("query,engine", CASES, ids=[f"{q}-{e}" for q, e in CASES])
+def test_figure7(benchmark, report, query, engine):
+    stream = WORKLOADS[query]()
+    base_query = query.rstrip("*")
+
+    def run():
+        return run_timed(build_engine(base_query, engine), stream)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    _TIMINGS[(query, engine)] = result.seconds
+    benchmark.extra_info["events"] = result.events
+    benchmark.extra_info["final_result"] = str(result.final_result)[:60]
+    report.add_row(
+        "Figure 7 raw timings",
+        HEADERS,
+        [query, engine, result.events, round(result.seconds, 4),
+         round(1e6 * result.seconds / max(result.events, 1), 1)],
+    )
+    if engine == "rpai" and (query, "dbtoaster") in _TIMINGS:
+        ratio = _TIMINGS[(query, "dbtoaster")] / max(result.seconds, 1e-9)
+        report.add_row(
+            "Figure 7 relative speedup (RPAI vs DBToaster)",
+            ["query", "speedup"],
+            [query, round(ratio, 2)],
+        )

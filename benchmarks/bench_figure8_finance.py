@@ -1,0 +1,103 @@
+"""Figure 8a–c: scalability over stream trace size (MST, SQ1, NQ2).
+
+The paper sweeps trace sizes 100 → 100k and plots total running time
+for RPAI, DBToaster and recomputation.  The separations are driven by
+per-update asymptotics, so the curves' *slopes* are the reproduction
+target: the measured log-log scaling exponents are reported alongside
+the times.  Baselines are capped at the sizes where their projected
+cost exceeds a sane budget (larger points would only push the curves
+further apart).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import scaling_exponent
+from repro.bench.runner import run_timed
+from repro.engine.naive import NaiveEngine
+from repro.engine.registry import build_engine
+from repro.workloads import (
+    OrderBookConfig,
+    generate_bids_only,
+    generate_order_book,
+    get_query,
+)
+
+from conftest import scaled
+
+SIZES = [100, 300, 1000, 3000]
+
+#: per-(query, engine) trace sizes — the baselines run the sizes their
+#: per-update costs can afford (quadratic/cubic per update; the paper's
+#: Scala baselines face the same wall three decades later)
+SIZES_FOR = {
+    ("MST", "recompute"): [40, 100],
+    ("SQ1", "recompute"): [70, 200],
+    ("NQ2", "recompute"): [20, 45],
+    ("MST", "dbtoaster"): [100, 300, 1000],
+    ("SQ1", "dbtoaster"): [100, 300, 1000],
+    ("NQ2", "dbtoaster"): [100, 300],
+}
+
+_SERIES: dict[tuple[str, str], list[tuple[int, float]]] = {}
+
+
+def _stream(query: str, events: int):
+    config = OrderBookConfig(
+        events=events,
+        price_levels=max(20, events // 5),
+        volume_max=100,
+        seed=80,
+        delete_ratio=0.1,
+    )
+    if query == "MST":
+        return generate_order_book(config)
+    return generate_bids_only(config)
+
+
+def _build(query: str, engine: str):
+    if engine == "recompute":
+        qd = get_query(query)
+        return NaiveEngine(qd.ast, qd.schema_map())
+    return build_engine(query, engine)
+
+
+CASES = [
+    (query, engine, size)
+    for query in ("MST", "SQ1", "NQ2")
+    for engine in ("rpai", "dbtoaster", "recompute")
+    for size in SIZES_FOR.get((query, engine), SIZES)
+]
+
+
+@pytest.mark.parametrize(
+    "query,engine,size", CASES, ids=[f"{q}-{e}-{s}" for q, e, s in CASES]
+)
+def test_figure8_finance(benchmark, report, query, engine, size):
+    events = scaled(size)
+    stream = _stream(query, events)
+
+    def run():
+        return run_timed(_build(query, engine), stream)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    _SERIES.setdefault((query, engine), []).append((events, result.seconds))
+    report.add_row(
+        f"Figure 8 {query} scalability",
+        ["engine", "events", "seconds"],
+        [engine, events, round(result.seconds, 4)],
+    )
+    series = _SERIES[(query, engine)]
+    if len(series) == len(SIZES_FOR.get((query, engine), SIZES)):
+        xs = [s for s, _ in series]
+        ys = [t for _, t in series]
+        try:
+            exponent = round(scaling_exponent(xs, ys), 2)
+        except ValueError:
+            exponent = float("nan")
+        report.add_row(
+            "Figure 8 measured scaling exponents (total time vs trace size)",
+            ["query", "engine", "exponent"],
+            [query, engine, exponent],
+        )

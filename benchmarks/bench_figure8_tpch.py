@@ -1,0 +1,68 @@
+"""Figure 8d: TPC-H Q17 over scale factors, uniform and skewed data.
+
+The paper sweeps SF 0.1–5 and shows RPAI and DBToaster scaling at a
+similar rate on *uniform* data (DBToaster's domain-extraction index
+keeps its per-update loop tiny) while on the *skewed* dataset
+(RPAI*/DBToaster* series) the gap grows from ~1.3x to >30x.  Scale
+factors here are shrunk 100x with the generator (see
+repro/workloads/tpch.py); the shape — parity on uniform, widening gap
+under skew — is the target.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import run_timed
+from repro.engine.registry import build_engine
+from repro.workloads import TPCHConfig, generate_tpch
+
+from conftest import SCALE
+
+SCALE_FACTORS = [0.05, 0.1, 0.2, 0.5]
+
+_TIMES: dict[tuple[str, float], float] = {}
+
+CASES = [
+    (engine, skew, sf)
+    for engine in ("dbtoaster", "rpai")  # baseline first: rpai rows compute the ratio
+    for skew in (0.0, 1.0)
+    for sf in SCALE_FACTORS
+]
+
+
+def _series_name(engine: str, skew: float) -> str:
+    return engine + ("*" if skew else "")
+
+
+@pytest.mark.parametrize(
+    "engine,skew,sf",
+    CASES,
+    ids=[f"{_series_name(e, k)}-sf{s}" for e, k, s in CASES],
+)
+def test_figure8d_q17(benchmark, report, engine, skew, sf):
+    config = TPCHConfig(scale_factor=sf * SCALE, seed=81, skew=skew)
+    stream = generate_tpch(config)
+
+    def run():
+        return run_timed(build_engine("Q17", engine), stream)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    name = _series_name(engine, skew)
+    _TIMES[(name, sf)] = result.seconds
+    report.add_row(
+        "Figure 8d Q17 scale-factor sweep",
+        ["series", "scale_factor", "lineitems", "seconds"],
+        [name, sf, config.lineitems, round(result.seconds, 4)],
+    )
+    counterpart = ("dbtoaster" + ("*" if skew else ""), sf)
+    if engine == "rpai" and counterpart in _TIMES:
+        report.add_row(
+            "Figure 8d Q17 speedup by skew",
+            ["series", "scale_factor", "dbt/rpai"],
+            [
+                "skewed" if skew else "uniform",
+                sf,
+                round(_TIMES[counterpart] / max(result.seconds, 1e-9), 2),
+            ],
+        )

@@ -1,0 +1,99 @@
+"""Figure 9: memory footprint, processing rate, and cumulative time as
+the stream is consumed (MST, VWAP, NQ2; all three engines).
+
+The paper samples the three metrics continuously while processing the
+trace.  Here each engine is instrumented at fixed record windows; the
+reproduction targets are (a) RPAI sustaining the highest rate
+throughout, (b) recompute/DBToaster rates *decaying* as the trace grows
+while RPAI's stays near-flat, and (c) a modest, flat RPAI memory
+footprint.  (CPython reports live-heap bytes via tracemalloc rather
+than JVM GC sawtooth — see DESIGN.md substitutions.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import run_instrumented
+from repro.engine.naive import NaiveEngine
+from repro.engine.registry import build_engine
+from repro.workloads import (
+    OrderBookConfig,
+    generate_bids_only,
+    generate_order_book,
+    get_query,
+)
+
+from conftest import scaled
+
+#: events per engine: the baselines get the prefix they can afford
+EVENTS = {
+    ("VWAP", "rpai"): 4000,
+    ("VWAP", "dbtoaster"): 1200,
+    ("VWAP", "recompute"): 200,
+    ("MST", "rpai"): 4000,
+    ("MST", "dbtoaster"): 700,
+    ("MST", "recompute"): 110,
+    ("NQ2", "rpai"): 1200,
+    ("NQ2", "dbtoaster"): 220,
+    ("NQ2", "recompute"): 40,
+}
+
+CASES = sorted(EVENTS)
+
+
+def _stream(query: str, events: int):
+    config = OrderBookConfig(
+        events=events,
+        price_levels=max(20, events // 5),
+        volume_max=100,
+        seed=90,
+        delete_ratio=0.1,
+    )
+    if query == "MST":
+        return generate_order_book(config)
+    return generate_bids_only(config)
+
+
+def _build(query: str, engine: str):
+    if engine == "recompute":
+        qd = get_query(query)
+        return NaiveEngine(qd.ast, qd.schema_map())
+    return build_engine(query, engine)
+
+
+@pytest.mark.parametrize("query,engine", CASES, ids=[f"{q}-{e}" for q, e in CASES])
+def test_figure9(benchmark, report, query, engine):
+    events = scaled(EVENTS[(query, engine)])
+    stream = _stream(query, events)
+    window = max(10, events // 8)
+
+    def run():
+        return run_instrumented(_build(query, engine), stream, window=window)
+
+    run_result = benchmark.pedantic(run, rounds=1, iterations=1)
+    for sample in run_result.samples:
+        report.add_row(
+            f"Figure 9 {query} timeline",
+            ["engine", "records", "cumulative_s", "records/s", "live_KiB"],
+            [
+                engine,
+                sample.records,
+                round(sample.cumulative_seconds, 4),
+                round(sample.rate, 1),
+                round(sample.memory_bytes / 1024, 1),
+            ],
+        )
+    first, last = run_result.samples[0], run_result.samples[-1]
+    report.add_row(
+        "Figure 9 rate decay (first window vs last window)",
+        ["query", "engine", "events", "first_rate", "last_rate", "decay_x"],
+        [
+            query,
+            engine,
+            events,
+            round(first.rate, 1),
+            round(last.rate, 1),
+            round(first.rate / max(last.rate, 1e-9), 2),
+        ],
+    )

@@ -1,0 +1,142 @@
+"""Section 3 / Section 6 ablation: the RPAI tree against every
+alternative index on the two operations that matter.
+
+* ``get_sum`` — PAI maps pay O(n); TreeMap/RPAI/Fenwick/segment tree
+  pay O(log n).
+* ``shift_keys`` — the RPAI tree is the only structure below O(n);
+  this is the paper's core data-structure claim ("to our knowledge,
+  the first to support both getSum and key shifts in logarithmic
+  time").
+
+Also measures the Section 3.2.4 special case: deletion-driven negative
+shifts (bounded violations) stay logarithmic.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.pai_map import PAIMap
+from repro.core.rpai import RPAITree
+from repro.trees.fenwick import FenwickTree
+from repro.trees.rpai_btree import RPAIBTree
+from repro.trees.segment_tree import SegmentTree
+from repro.trees.treemap import TreeMap
+
+from conftest import scaled
+
+N = scaled(10_000)
+PROBES = 200
+
+
+def _filled(cls):
+    rng = random.Random(42)
+    index = cls()
+    for _ in range(N):
+        index.add(rng.randint(0, 10 * N), rng.randint(1, 100))
+    return index
+
+
+@pytest.mark.parametrize("cls", [RPAITree, RPAIBTree, TreeMap, PAIMap], ids=lambda c: c.__name__)
+def test_get_sum(benchmark, report, cls):
+    index = _filled(cls)
+    rng = random.Random(1)
+    keys = [rng.randint(0, 10 * N) for _ in range(PROBES)]
+
+    def probe():
+        total = 0
+        for key in keys:
+            total += index.get_sum(key)
+        return total
+
+    benchmark(probe)
+    report.add_row(
+        "RPAI ops ablation: get_sum mean us",
+        ["structure", "n", "us/op"],
+        [cls.__name__, len(index), round(benchmark.stats.stats.mean * 1e6 / PROBES, 2)],
+    )
+
+
+def test_get_sum_fenwick(benchmark, report):
+    rng = random.Random(42)
+    index = FenwickTree(10 * N + 1)
+    for _ in range(N):
+        index.add(rng.randint(0, 10 * N), rng.randint(1, 100))
+    keys = [rng.randint(0, 10 * N) for _ in range(PROBES)]
+
+    def probe():
+        return sum(index.get_sum(key) for key in keys)
+
+    benchmark(probe)
+    report.add_row(
+        "RPAI ops ablation: get_sum mean us",
+        ["structure", "n", "us/op"],
+        ["FenwickTree", N, round(benchmark.stats.stats.mean * 1e6 / PROBES, 2)],
+    )
+
+
+def test_get_sum_segment_tree(benchmark, report):
+    rng = random.Random(42)
+    index = SegmentTree(10 * N + 1)
+    for _ in range(N):
+        index.add(rng.randint(0, 10 * N), rng.randint(1, 100))
+    keys = [rng.randint(0, 10 * N) for _ in range(PROBES)]
+
+    def probe():
+        return sum(index.get_sum(key) for key in keys)
+
+    benchmark(probe)
+    report.add_row(
+        "RPAI ops ablation: get_sum mean us",
+        ["structure", "n", "us/op"],
+        ["SegmentTree", N, round(benchmark.stats.stats.mean * 1e6 / PROBES, 2)],
+    )
+
+
+@pytest.mark.parametrize("cls", [RPAITree, RPAIBTree, TreeMap, PAIMap], ids=lambda c: c.__name__)
+def test_shift_keys_positive(benchmark, report, cls):
+    """The headline operation: shift half the keys up.  RPAI is the
+    only O(log n) column here."""
+    index = _filled(cls)
+    shifts = 50
+    rng = random.Random(2)
+    pivots = [rng.randint(0, 10 * N) for _ in range(shifts)]
+
+    def run():
+        for pivot in pivots:
+            index.shift_keys(pivot, 1)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    report.add_row(
+        "RPAI ops ablation: shift_keys mean us",
+        ["structure", "n", "us/op"],
+        [cls.__name__, N, round(benchmark.stats.stats.mean * 1e6 / shifts, 2)],
+    )
+
+
+def test_shift_keys_negative_special_case(benchmark, report):
+    """Section 3.2.4: negative shifts whose magnitude is bounded by the
+    gap (the deletion pattern) trigger at most one merge — O(log n)."""
+    tree = RPAITree(prune_zeros=True)
+    # Monotone aggregate keys 10, 20, 30, ... (gap 10).
+    for key in range(10, 10 * (N + 1), 10):
+        tree.put(key, 1)
+    rng = random.Random(3)
+    shifts = 200
+    pivots = [rng.randrange(10, 10 * N, 10) for _ in range(shifts)]
+
+    def run():
+        for pivot in pivots:
+            tree.shift_keys(pivot, -10)  # collapse one gap (merges once)
+            tree.shift_keys(pivot, +10)  # restore
+        return len(tree)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    report.add_row(
+        "RPAI ops ablation: shift_keys mean us",
+        ["structure", "n", "us/op"],
+        ["RPAITree (negative, 3.2.4 case)", N,
+         round(benchmark.stats.stats.mean * 1e6 / (2 * shifts), 2)],
+    )

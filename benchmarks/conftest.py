@@ -1,0 +1,71 @@
+"""Shared infrastructure for the paper-artifact benchmarks.
+
+Sizing: the paper's testbed ran generated Scala on a 96-core Xeon; this
+reproduction interprets Python.  Workload sizes are therefore scaled so
+the *baselines'* super-linear costs stay affordable while every curve
+keeps its shape (see EXPERIMENTS.md).  Set ``REPRO_BENCH_SCALE`` to
+grow or shrink every workload proportionally (default 1.0).
+
+Each benchmark registers paper-style rows with the session-scoped
+``report`` fixture; at session end the tables are printed and written
+to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench.reporting import format_table
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def scaled(n: int, minimum: int = 20) -> int:
+    """Scale an event count by REPRO_BENCH_SCALE."""
+    return max(minimum, int(n * SCALE))
+
+
+class PaperReport:
+    """Collects named tables of rows across the benchmark session."""
+
+    def __init__(self) -> None:
+        self.tables: dict[str, tuple[list[str], list[list[object]]]] = {}
+
+    def add_row(self, table: str, headers: list[str], row: list[object]) -> None:
+        if table not in self.tables:
+            self.tables[table] = (headers, [])
+        self.tables[table][1].append(row)
+
+    def render(self) -> str:
+        sections = []
+        for name in sorted(self.tables):
+            headers, rows = self.tables[name]
+            sections.append(f"== {name} ==\n{format_table(headers, rows)}")
+        return "\n\n".join(sections)
+
+    def flush(self) -> None:
+        if not self.tables:
+            return
+        RESULTS_DIR.mkdir(exist_ok=True)
+        for name, (headers, rows) in self.tables.items():
+            safe = name.lower().replace(" ", "_").replace("/", "-")
+            path = RESULTS_DIR / f"{safe}.txt"
+            path.write_text(format_table(headers, rows) + "\n")
+        print("\n\n" + self.render() + "\n")
+        print(f"[paper tables written to {RESULTS_DIR}/]")
+
+
+_REPORT = PaperReport()
+
+
+@pytest.fixture(scope="session")
+def report() -> PaperReport:
+    return _REPORT
+
+
+def pytest_sessionfinish(session, exitstatus):  # noqa: ARG001
+    _REPORT.flush()

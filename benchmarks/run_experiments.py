@@ -1,0 +1,214 @@
+#!/usr/bin/env python
+"""Standalone experiment harness: regenerate every paper artifact
+without pytest.
+
+    python benchmarks/run_experiments.py              # everything
+    python benchmarks/run_experiments.py figure7 figure8
+    REPRO_BENCH_SCALE=2 python benchmarks/run_experiments.py figure7
+
+Prints the paper-style tables (plus log-log ASCII charts for Figure 8)
+to stdout.  The pytest-benchmark files under benchmarks/ produce the
+same numbers with per-case timing statistics; this script is the
+convenient one-shot entry point.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(__file__))  # for conftest helpers
+
+from repro.bench.ascii_plot import loglog_plot
+from repro.bench.reporting import format_table, scaling_exponent
+from repro.bench.runner import run_timed
+from repro.engine.naive import NaiveEngine
+from repro.engine.registry import build_engine
+from repro.query.planner import asymptotic_cost, classify
+from repro.workloads import (
+    OrderBookConfig,
+    TPCHConfig,
+    generate_bids_only,
+    generate_order_book,
+    generate_tpch,
+    get_query,
+    query_names,
+)
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def scaled(n: int) -> int:
+    return max(20, int(n * SCALE))
+
+
+def _finance(events: int, levels: int, seed: int, *, both_sides: bool):
+    config = OrderBookConfig(
+        events=scaled(events),
+        price_levels=levels,
+        volume_max=100,
+        seed=seed,
+        delete_ratio=0.1,
+    )
+    return generate_order_book(config) if both_sides else generate_bids_only(config)
+
+
+def _build(query: str, strategy: str):
+    if strategy == "recompute":
+        qd = get_query(query)
+        return NaiveEngine(qd.ast, qd.schema_map())
+    return build_engine(query, strategy)
+
+
+def experiment_table1() -> None:
+    print("\n### Table 1 — optimization matrix (planner output)\n")
+    rows = []
+    for name in query_names():
+        plan = classify(get_query(name).ast)
+        rows.append([name, plan.strategy.value, asymptotic_cost(plan)])
+    print(format_table(["query", "strategy", "per-update cost"], rows))
+
+
+def experiment_figure7() -> None:
+    print("\n### Figure 7 — RPAI vs DBToaster relative execution time\n")
+    workloads = {
+        "VWAP": _finance(2000, 400, 71, both_sides=False),
+        "MST": _finance(800, 200, 72, both_sides=True),
+        "PSP": _finance(2000, 400, 73, both_sides=True),
+        "SQ1": _finance(1200, 400, 74, both_sides=False),
+        "SQ2": _finance(1200, 400, 75, both_sides=False),
+        "NQ1": _finance(800, 200, 76, both_sides=False),
+        "NQ2": _finance(250, 50, 77, both_sides=False),
+        "Q17": generate_tpch(TPCHConfig(scale_factor=0.5 * SCALE, seed=78)),
+        "Q17*": generate_tpch(TPCHConfig(scale_factor=0.5 * SCALE, seed=78, skew=1.0)),
+        "Q18": generate_tpch(TPCHConfig(scale_factor=0.2 * SCALE, seed=79)),
+    }
+    rows = []
+    for name, stream in workloads.items():
+        base = name.rstrip("*")
+        dbt = run_timed(_build(base, "dbtoaster"), stream)
+        ours = run_timed(_build(base, "rpai"), stream)
+        rows.append(
+            [
+                name,
+                dbt.events,
+                round(dbt.seconds, 3),
+                round(ours.seconds, 3),
+                round(dbt.seconds / max(ours.seconds, 1e-9), 2),
+            ]
+        )
+    print(format_table(["query", "events", "dbtoaster s", "rpai s", "speedup"], rows))
+
+
+def experiment_figure8() -> None:
+    print("\n### Figure 8 — scalability over trace size\n")
+    sweeps = {
+        "MST": {"rpai": [100, 300, 1000, 3000], "dbtoaster": [100, 300, 1000], "recompute": [40, 100]},
+        "SQ1": {"rpai": [100, 300, 1000, 3000], "dbtoaster": [100, 300, 1000], "recompute": [70, 200]},
+        "NQ2": {"rpai": [100, 300, 1000], "dbtoaster": [100, 300], "recompute": [20, 45]},
+    }
+    for query, engines in sweeps.items():
+        series: dict[str, list[tuple[float, float]]] = {}
+        rows = []
+        for engine, sizes in engines.items():
+            for size in sizes:
+                events = scaled(size)
+                stream = _finance(
+                    events, max(20, events // 5), 80, both_sides=query == "MST"
+                )
+                run = run_timed(_build(query, engine), stream)
+                series.setdefault(engine, []).append((events, run.seconds))
+                rows.append([engine, events, round(run.seconds, 4)])
+            points = series[engine]
+            if len(points) >= 2:
+                exponent = scaling_exponent([p[0] for p in points], [p[1] for p in points])
+                rows.append([engine, "slope", round(exponent, 2)])
+        print(f"-- {query}")
+        print(format_table(["engine", "events", "seconds"], rows))
+        print()
+        print(loglog_plot(series))
+        print()
+
+
+def experiment_figure8d() -> None:
+    print("\n### Figure 8d — Q17 across scale factors, uniform vs skewed\n")
+    rows = []
+    for skew, label in ((0.0, "uniform"), (1.0, "skewed")):
+        for sf in (0.05, 0.1, 0.2, 0.5):
+            stream = generate_tpch(TPCHConfig(scale_factor=sf * SCALE, seed=81, skew=skew))
+            dbt = run_timed(_build("Q17", "dbtoaster"), stream)
+            ours = run_timed(_build("Q17", "rpai"), stream)
+            rows.append(
+                [
+                    label,
+                    sf,
+                    round(dbt.seconds, 4),
+                    round(ours.seconds, 4),
+                    round(dbt.seconds / max(ours.seconds, 1e-9), 2),
+                ]
+            )
+    print(format_table(["series", "sf", "dbtoaster s", "rpai s", "dbt/rpai"], rows))
+
+
+def experiment_figure9() -> None:
+    print("\n### Figure 9 — rate decay while consuming the stream\n")
+    from repro.bench.runner import run_instrumented
+
+    cases = {
+        ("VWAP", "rpai"): 4000,
+        ("VWAP", "dbtoaster"): 1200,
+        ("VWAP", "recompute"): 200,
+        ("MST", "rpai"): 4000,
+        ("MST", "dbtoaster"): 700,
+        ("MST", "recompute"): 110,
+    }
+    rows = []
+    for (query, engine), events in cases.items():
+        events = scaled(events)
+        stream = _finance(events, max(20, events // 5), 90, both_sides=query == "MST")
+        run = run_instrumented(_build(query, engine), stream, window=max(10, events // 8))
+        first, last = run.samples[0], run.samples[-1]
+        rows.append(
+            [
+                query,
+                engine,
+                events,
+                round(first.rate),
+                round(last.rate, 1),
+                round(first.rate / max(last.rate, 1e-9), 1),
+                round(run.peak_memory() / 1024, 1),
+            ]
+        )
+    print(
+        format_table(
+            ["query", "engine", "events", "first rate", "last rate", "decay", "peak KiB"],
+            rows,
+        )
+    )
+
+
+EXPERIMENTS = {
+    "table1": experiment_table1,
+    "figure7": experiment_figure7,
+    "figure8": experiment_figure8,
+    "figure8d": experiment_figure8d,
+    "figure9": experiment_figure9,
+}
+
+
+def main(argv: list[str]) -> int:
+    chosen = argv or list(EXPERIMENTS)
+    unknown = [name for name in chosen if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; available: {list(EXPERIMENTS)}")
+        return 2
+    start = time.perf_counter()
+    for name in chosen:
+        EXPERIMENTS[name]()
+    print(f"\n[{time.perf_counter() - start:.1f}s total]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

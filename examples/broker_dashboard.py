@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Per-broker VWAP dashboard: the grammar's grouped form (``Aggr[cols]``).
+
+A surveillance desk wants the final-quartile VWAP sum *per broker*,
+refreshed on every tick.  The grouped aggregate-index engine keeps one
+RPAI index per broker over a shared bound map, so each update is a
+single boundary computation plus one O(log n) shift per live broker.
+
+Run:  python examples/broker_dashboard.py
+"""
+
+from repro import build_single_index_engine, parse_query
+from repro.workloads import OrderBookConfig, generate_bids_only
+
+SQL = """
+    SELECT b.broker_id, SUM(b.price * b.volume) FROM bids b
+    WHERE 0.75 * (SELECT SUM(b1.volume) FROM bids b1)
+        < (SELECT SUM(b2.volume) FROM bids b2 WHERE b2.price <= b.price)
+    GROUP BY b.broker_id
+"""
+
+
+def render(result: dict, tick: int) -> None:
+    board = "  ".join(
+        f"broker {broker}: {value:>9,.0f}"
+        for broker, value in sorted(result.items())
+    )
+    print(f"tick {tick:>5}  |  {board or '(no bids in the final quartile)'}")
+
+
+def main() -> None:
+    engine = build_single_index_engine(parse_query(SQL))
+    stream = generate_bids_only(
+        OrderBookConfig(
+            events=3000,
+            price_levels=300,
+            volume_max=100,
+            brokers=4,
+            seed=13,
+            delete_ratio=0.15,
+        )
+    )
+    refresh_every = len(stream) // 10
+    for tick, event in enumerate(stream, start=1):
+        result = engine.on_event(event)
+        if tick % refresh_every == 0:
+            render(result, tick)
+
+    print("\nfinal leaderboard:")
+    for broker, value in sorted(result.items(), key=lambda kv: -kv[1]):
+        print(f"  broker {broker}: {value:,.0f}")
+
+
+if __name__ == "__main__":
+    main()

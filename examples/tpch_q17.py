@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""TPC-H Q17 under uniform and skewed data (the paper's Q17 vs Q17*).
+
+Section 5.2.2 of the paper explains why DBToaster looks competitive on
+Q17 despite a worse bound: its domain-extraction index iterates the
+*distinct quantity values per part key*, which uniform TPC-H data keeps
+tiny.  Skewing the generator (hot parts, wide quantity domain) grows
+that domain and the gap opens — the paper measures 1.3x -> 30x.
+
+This example reproduces the effect at laptop scale.
+
+Run:  python examples/tpch_q17.py
+"""
+
+import time
+
+from repro import build_engine
+from repro.workloads import TPCHConfig, generate_tpch
+
+
+def run_variant(label: str, config: TPCHConfig) -> None:
+    stream = generate_tpch(config)
+    print(f"-- {label}: {config.lineitems} lineitems, {config.parts} parts")
+    timings = {}
+    results = {}
+    for strategy in ("rpai", "dbtoaster"):
+        engine = build_engine("Q17", strategy)
+        start = time.perf_counter()
+        engine.process(stream)
+        timings[strategy] = time.perf_counter() - start
+        results[strategy] = engine.result()
+        print(f"   {strategy:<10} {timings[strategy]:7.3f}s   avg_yearly = {results[strategy]:,.2f}")
+    assert abs(results["rpai"] - results["dbtoaster"]) < 1e-6
+    print(f"   speedup: {timings['dbtoaster'] / timings['rpai']:.2f}x\n")
+
+
+def main() -> None:
+    scale = 0.5
+    run_variant("Q17  (uniform, dbgen-like)", TPCHConfig(scale_factor=scale, skew=0.0, seed=5))
+    run_variant("Q17* (skewed: Zipf parts, wide quantities)",
+                TPCHConfig(scale_factor=scale, skew=1.0, seed=5))
+    print("Expectation (paper Figure 7): near-parity on uniform data,")
+    print("a widening RPAI advantage once the data is skewed.")
+
+
+if __name__ == "__main__":
+    main()

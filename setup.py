@@ -1,0 +1,12 @@
+"""Legacy setup shim: lets ``pip install -e .`` work offline (no wheel
+package available), while project metadata lives in pyproject.toml."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,171 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+``list``
+    Show the benchmark queries, their planner strategy and per-update
+    cost (Table 1's analytical half).
+``classify <sql | file>``
+    Parse a query and print the planner's verdict.
+``run <query> [--engine E] [--events N] [--seed S]``
+    Stream a synthetic workload through an engine and report result,
+    wall time and throughput.
+``compare <query> [--events N]``
+    Run every strategy on the same stream and print a comparison table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.bench.reporting import format_table
+from repro.bench.runner import run_timed
+from repro.engine.registry import STRATEGIES, build_engine
+from repro.query.parser import parse_query
+from repro.query.planner import asymptotic_cost, classify
+from repro.storage.stream import Stream
+from repro.workloads import (
+    OrderBookConfig,
+    TPCHConfig,
+    generate_bids_only,
+    generate_order_book,
+    generate_tpch,
+    get_query,
+    query_names,
+)
+
+
+def _default_stream(query_name: str, events: int, seed: int) -> Stream:
+    name = query_name.upper()
+    if name in ("Q17", "Q18"):
+        return generate_tpch(TPCHConfig(scale_factor=events / 60_000, seed=seed))
+    if name == "EQ":
+        import random
+
+        from repro.storage.stream import Event
+
+        rng = random.Random(seed)
+        out: list[Event] = []
+        live: list[dict] = []
+        while len(out) < events:
+            if live and rng.random() < 0.1:
+                out.append(Event("R", live.pop(rng.randrange(len(live))), -1))
+            else:
+                row = {"A": rng.randint(1, 500), "B": rng.randint(1, 50)}
+                live.append(row)
+                out.append(Event("R", row, +1))
+        return Stream(out)
+    config = OrderBookConfig(
+        events=events,
+        price_levels=max(20, events // 5),
+        volume_max=100,
+        seed=seed,
+        delete_ratio=0.1,
+    )
+    if name in ("MST", "PSP"):
+        return generate_order_book(config)
+    return generate_bids_only(config)
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    rows = []
+    for name in query_names():
+        qd = get_query(name)
+        plan = classify(qd.ast)
+        rows.append([name, plan.strategy.value, asymptotic_cost(plan), qd.description[:58]])
+    print(format_table(["query", "strategy", "per-update", "description"], rows))
+    return 0
+
+
+def cmd_classify(args: argparse.Namespace) -> int:
+    text = args.sql
+    path = Path(text)
+    if path.exists():
+        text = path.read_text()
+    query = parse_query(text)
+    plan = classify(query)
+    print(query.to_aggrq_notation())
+    print()
+    print(plan.describe())
+    print("per-update cost:", asymptotic_cost(plan))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    stream = _default_stream(args.query, args.events, args.seed)
+    engine = build_engine(args.query, args.engine)
+    run = run_timed(engine, stream)
+    print(f"query    : {args.query.upper()}")
+    print(f"engine   : {args.engine}")
+    print(f"events   : {run.events}")
+    print(f"time     : {run.seconds:.4f}s ({run.events_per_second:,.0f} events/s)")
+    print(f"result   : {run.final_result}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    stream = _default_stream(args.query, args.events, args.seed)
+    rows = []
+    results = {}
+    for strategy in STRATEGIES:
+        if strategy == "recompute" and args.events > args.recompute_cap:
+            prefix = stream.prefix(args.recompute_cap)
+            run = run_timed(build_engine(args.query, strategy), prefix)
+            rows.append(
+                [strategy, run.events, round(run.seconds, 4), "(prefix only)"]
+            )
+            continue
+        run = run_timed(build_engine(args.query, strategy), stream)
+        results[strategy] = run.final_result
+        rows.append([strategy, run.events, round(run.seconds, 4), ""])
+    print(format_table(["engine", "events", "seconds", "note"], rows))
+    if len({str(v) for v in results.values()}) > 1:
+        print("WARNING: engines disagree!", results)
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="RPAI incremental query engines (SIGMOD 2022 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show benchmark queries and strategies")
+
+    p_classify = sub.add_parser("classify", help="classify a SQL query")
+    p_classify.add_argument("sql", help="SQL text or path to a .sql file")
+
+    p_run = sub.add_parser("run", help="run one engine over a synthetic stream")
+    p_run.add_argument("query", choices=[n for n in query_names()] + [n.lower() for n in query_names()])
+    p_run.add_argument("--engine", default="rpai", choices=STRATEGIES)
+    p_run.add_argument("--events", type=int, default=2000)
+    p_run.add_argument("--seed", type=int, default=42)
+
+    p_compare = sub.add_parser("compare", help="run all engines on one stream")
+    p_compare.add_argument("query", choices=[n for n in query_names()] + [n.lower() for n in query_names()])
+    p_compare.add_argument("--events", type=int, default=1000)
+    p_compare.add_argument("--seed", type=int, default=42)
+    p_compare.add_argument(
+        "--recompute-cap",
+        type=int,
+        default=200,
+        help="max events for the naive baseline (quadratic+ per update)",
+    )
+
+    args = parser.parse_args(argv)
+    handler = {
+        "list": cmd_list,
+        "classify": cmd_classify,
+        "run": cmd_run,
+        "compare": cmd_compare,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

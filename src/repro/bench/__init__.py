@@ -1,0 +1,22 @@
+"""Benchmark harness: instrumented runners and paper-style reporting."""
+
+from repro.bench.reporting import format_series, format_table, scaling_exponent, speedup
+from repro.bench.runner import (
+    InstrumentedRun,
+    Sample,
+    TimedRun,
+    run_instrumented,
+    run_timed,
+)
+
+__all__ = [
+    "TimedRun",
+    "InstrumentedRun",
+    "Sample",
+    "run_timed",
+    "run_instrumented",
+    "format_table",
+    "format_series",
+    "scaling_exponent",
+    "speedup",
+]

@@ -1,0 +1,75 @@
+"""Terminal log-log plots for the scalability figures.
+
+The paper's Figure 8 is a log-log chart; :func:`loglog_plot` renders the
+same series as a character grid so the benchmark output shows the
+*slopes* — the quantity the reproduction argues about — at a glance.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["loglog_plot"]
+
+_MARKERS = "RDNabcdefg"  # first letters per series, in insertion order
+
+
+def loglog_plot(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    *,
+    width: int = 64,
+    height: int = 18,
+    x_label: str = "trace size",
+    y_label: str = "seconds",
+) -> str:
+    """Render ``{name: [(x, y), ...]}`` as a log-log ASCII chart.
+
+    Points with non-positive coordinates are skipped (log undefined).
+    Series markers are the series' first letters (disambiguated from
+    ``_MARKERS`` on collision).
+    """
+    points: list[tuple[float, float, str]] = []
+    markers: dict[str, str] = {}
+    used: set[str] = set()
+    for index, (name, values) in enumerate(series.items()):
+        marker = name[:1].upper() or _MARKERS[index % len(_MARKERS)]
+        if marker in used:
+            marker = _MARKERS[index % len(_MARKERS)]
+        used.add(marker)
+        markers[name] = marker
+        for x, y in values:
+            if x > 0 and y > 0:
+                points.append((math.log10(x), math.log10(y), marker))
+    if not points:
+        return "(no positive data points)"
+
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, marker in points:
+        column = round((x - x_lo) / x_span * (width - 1))
+        row = (height - 1) - round((y - y_lo) / y_span * (height - 1))
+        grid[row][column] = marker
+
+    lines = []
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{10 ** y_hi:8.2g} |"
+        elif row_index == height - 1:
+            label = f"{10 ** y_lo:8.2g} |"
+        else:
+            label = "         |"
+        lines.append(label + "".join(row))
+    lines.append("         +" + "-" * width)
+    lines.append(
+        f"          {10 ** x_lo:<10.3g}{x_label:^{max(0, width - 20)}}{10 ** x_hi:>10.3g}"
+    )
+    legend = "   ".join(f"{marker}={name}" for name, marker in markers.items())
+    lines.append(f"          [{y_label} vs {x_label}, log-log]  {legend}")
+    return "\n".join(lines)

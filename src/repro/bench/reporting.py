@@ -1,0 +1,73 @@
+"""Plain-text tables and ASCII series for the benchmark output.
+
+The benchmarks print rows/series structured like the paper's artifacts
+(Figure 7's speedup table, Figure 8's scaling curves, Figure 9's
+timelines) so EXPERIMENTS.md can quote them directly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["format_table", "format_series", "scaling_exponent", "speedup"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Fixed-width table with right-aligned numeric columns."""
+    rendered = [[_render(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rendered:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _render(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 0.01:
+            return f"{cell:.3g}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def format_series(
+    name: str, xs: Sequence[float], ys: Sequence[float], unit: str = "s"
+) -> str:
+    """One Figure-8-style series: `name: x1=y1 x2=y2 ...`."""
+    points = " ".join(f"{int(x)}={y:.4g}{unit}" for x, y in zip(xs, ys))
+    return f"{name}: {points}"
+
+
+def scaling_exponent(sizes: Sequence[float], times: Sequence[float]) -> float:
+    """Least-squares slope of log(time) vs log(size): the measured
+    exponent of a power-law cost model (1.0 ≈ linear total work ≈
+    constant per-update, 2.0 ≈ linear per-update, ...)."""
+    pairs = [
+        (math.log(s), math.log(t))
+        for s, t in zip(sizes, times)
+        if s > 0 and t > 0
+    ]
+    if len(pairs) < 2:
+        raise ValueError("need at least two positive points")
+    n = len(pairs)
+    mean_x = sum(x for x, _ in pairs) / n
+    mean_y = sum(y for _, y in pairs) / n
+    num = sum((x - mean_x) * (y - mean_y) for x, y in pairs)
+    den = sum((x - mean_x) ** 2 for x, _ in pairs)
+    return num / den
+
+
+def speedup(baseline_seconds: float, ours_seconds: float) -> float:
+    """Relative speedup (Figure 7's y-axis)."""
+    if ours_seconds <= 0:
+        return float("inf")
+    return baseline_seconds / ours_seconds

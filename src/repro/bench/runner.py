@@ -1,0 +1,115 @@
+"""Measurement harness for the evaluation (paper Section 5).
+
+:func:`run_timed` drives an engine over a stream and measures total
+wall-clock time (Figures 7 and 8).  :func:`run_instrumented` samples
+throughput, cumulative time and live memory at fixed record intervals
+(Figure 9).  Memory is tracked with :mod:`tracemalloc` — CPython has no
+JVM-style GC pauses, so we report the live-heap curve, which carries
+the same comparison the paper's memory plot makes (index footprint per
+engine).
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+
+from repro.engine.base import IncrementalEngine
+from repro.storage.stream import Stream
+
+__all__ = ["TimedRun", "InstrumentedRun", "Sample", "run_timed", "run_instrumented"]
+
+
+@dataclass(frozen=True)
+class TimedRun:
+    """Result of a plain timed run."""
+
+    engine: str
+    events: int
+    seconds: float
+    final_result: object
+
+    @property
+    def events_per_second(self) -> float:
+        return self.events / self.seconds if self.seconds > 0 else float("inf")
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One instrumentation point (Figure 9 x-axis = records processed)."""
+
+    records: int
+    cumulative_seconds: float
+    rate: float  # records/second over the last window
+    memory_bytes: int  # live traced heap
+
+
+@dataclass
+class InstrumentedRun:
+    engine: str
+    samples: list[Sample] = field(default_factory=list)
+    final_result: object = None
+
+    def peak_memory(self) -> int:
+        return max((s.memory_bytes for s in self.samples), default=0)
+
+    def total_seconds(self) -> float:
+        return self.samples[-1].cumulative_seconds if self.samples else 0.0
+
+
+def run_timed(engine: IncrementalEngine, stream: Stream) -> TimedRun:
+    """Feed the whole stream, timing only the trigger calls."""
+    events = list(stream)
+    start = time.perf_counter()
+    for event in events:
+        engine.on_event(event)
+    elapsed = time.perf_counter() - start
+    return TimedRun(
+        engine=engine.name,
+        events=len(events),
+        seconds=elapsed,
+        final_result=engine.result(),
+    )
+
+
+def run_instrumented(
+    engine: IncrementalEngine,
+    stream: Stream,
+    window: int = 500,
+) -> InstrumentedRun:
+    """Feed the stream sampling rate/time/memory every ``window`` events.
+
+    tracemalloc adds constant per-allocation overhead; it is enabled for
+    every engine alike, so relative comparisons stay meaningful.
+    """
+    run = InstrumentedRun(engine=engine.name)
+    events = list(stream)
+    tracemalloc_was_on = tracemalloc.is_tracing()
+    if not tracemalloc_was_on:
+        tracemalloc.start()
+    try:
+        cumulative = 0.0
+        processed = 0
+        for start_index in range(0, len(events), window):
+            chunk = events[start_index : start_index + window]
+            t0 = time.perf_counter()
+            for event in chunk:
+                engine.on_event(event)
+            dt = time.perf_counter() - t0
+            cumulative += dt
+            processed += len(chunk)
+            current, _peak = tracemalloc.get_traced_memory()
+            run.samples.append(
+                Sample(
+                    records=processed,
+                    cumulative_seconds=cumulative,
+                    rate=len(chunk) / dt if dt > 0 else float("inf"),
+                    memory_bytes=current,
+                )
+            )
+        run.final_result = engine.result()
+    finally:
+        if not tracemalloc_was_on:
+            tracemalloc.stop()
+    return run

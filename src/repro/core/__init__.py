@@ -1,0 +1,24 @@
+"""Core contribution of the paper: aggregate indexes.
+
+* :class:`~repro.core.pai_map.PAIMap` — hash-based Partial Aggregate
+  Index (Section 2.1.3).
+* :class:`~repro.core.rpai.RPAITree` — Relative Partial Aggregate Index
+  tree (Section 3) with O(log n) ``get_sum`` and ``shift_keys``.
+* :class:`~repro.core.reference_index.ReferenceIndex` — brute-force
+  oracle used by the differential tests.
+"""
+
+from repro.core.interfaces import AggregateIndex
+from repro.core.minmax import MinMaxView, OrderedMultiset
+from repro.core.pai_map import PAIMap
+from repro.core.reference_index import ReferenceIndex
+from repro.core.rpai import RPAITree
+
+__all__ = [
+    "AggregateIndex",
+    "PAIMap",
+    "RPAITree",
+    "ReferenceIndex",
+    "OrderedMultiset",
+    "MinMaxView",
+]

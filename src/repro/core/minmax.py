@@ -1,0 +1,113 @@
+"""MIN/MAX maintenance under deletions (paper Section 4.2.5).
+
+SUM/COUNT/AVG are *streamable*: the new aggregate follows from the old
+value and the delta.  MIN/MAX are not — after deleting the current
+minimum, the next minimum is unrecoverable from the scalar alone.  The
+paper sketches the fix: "keep a binary search tree of the data instead
+of storing just the aggregate value ... remove the corresponding value
+from the tree and retrieve the next maximum or minimum value in
+logarithmic time".
+
+:class:`OrderedMultiset` is that tree (a count-augmented TreeMap), and
+:class:`MinMaxView` wraps it as a maintained MIN/MAX aggregate the
+engines can use wherever a streamable scalar would go.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EngineStateError
+from repro.trees.treemap import TreeMap
+
+__all__ = ["OrderedMultiset", "MinMaxView"]
+
+
+class OrderedMultiset:
+    """A multiset of comparable values with O(log n) extremes.
+
+    Backed by the balanced TreeMap with counts as values, so duplicate
+    values are tracked exactly (the update streams routinely carry
+    duplicate prices/volumes).
+    """
+
+    __slots__ = ("_counts", "_size")
+
+    def __init__(self) -> None:
+        self._counts = TreeMap(prune_zeros=True)
+        self._size = 0
+
+    def add(self, value: float, count: int = 1) -> None:
+        if count <= 0:
+            raise ValueError("count must be positive")
+        self._counts.add(value, count)
+        self._size += count
+
+    def remove(self, value: float, count: int = 1) -> None:
+        """Remove ``count`` occurrences.
+
+        Raises:
+            EngineStateError: when fewer than ``count`` are present.
+        """
+        present = self._counts.get(value, 0)
+        if present < count:
+            raise EngineStateError(
+                f"removing {count} x {value!r} but only {present} present"
+            )
+        self._counts.add(value, -count)
+        self._size -= count
+
+    def count(self, value: float) -> int:
+        return int(self._counts.get(value, 0))
+
+    def min(self) -> float:
+        """Smallest value; raises KeyError when empty."""
+        return self._counts.min_key()
+
+    def max(self) -> float:
+        """Largest value; raises KeyError when empty."""
+        return self._counts.max_key()
+
+    def count_le(self, value: float, *, inclusive: bool = True) -> int:
+        """Number of elements ``<= value`` (``< value`` if exclusive)."""
+        return int(self._counts.get_sum(value, inclusive=inclusive))
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __contains__(self, value: float) -> bool:
+        return self._counts.get(value, 0) > 0
+
+
+class MinMaxView:
+    """A MIN or MAX aggregate maintained under inserts *and* deletes.
+
+    Drop-in replacement for the streamable-scalar accumulators: feed it
+    ``update(value, weight)`` per tuple, read ``value()``.  Empty input
+    yields ``default`` (0, matching the engines' empty-aggregate
+    convention).
+    """
+
+    __slots__ = ("func", "_values", "default")
+
+    def __init__(self, func: str, *, default: float = 0) -> None:
+        if func not in {"MIN", "MAX"}:
+            raise ValueError(f"MinMaxView handles MIN/MAX, got {func!r}")
+        self.func = func
+        self.default = default
+        self._values = OrderedMultiset()
+
+    def update(self, value: float, weight: int) -> None:
+        if weight > 0:
+            self._values.add(value, weight)
+        elif weight < 0:
+            self._values.remove(value, -weight)
+
+    def value(self) -> float:
+        if not self._values:
+            return self.default
+        return self._values.min() if self.func == "MIN" else self._values.max()
+
+    def __len__(self) -> int:
+        return len(self._values)

@@ -1,0 +1,685 @@
+"""RPAI trees: Relative Partial Aggregate Indexes (paper Section 3).
+
+An RPAI tree is a balanced binary search tree keyed by aggregate values
+in which every node stores its key **relative to its parent**: the
+actual key of a node is the sum of the stored keys along the path from
+the root.  This single representational twist is what makes
+``shift_keys`` logarithmic — adding ``d`` to one node's stored key
+implicitly shifts the keys of its entire subtree (Section 3.2.1).
+
+Each node additionally maintains:
+
+``sum``
+    the sum of the values in its subtree, which makes the prefix-sum
+    query ``get_sum(k)`` logarithmic (Section 3.1, Figure 3);
+``min_off`` / ``max_off``
+    the minimum / maximum actual key in its subtree expressed as an
+    offset from the node's *own* actual key.  These correspond to the
+    paper's ``minKey``/``maxKey`` attributes (Section 3.2.3) but are
+    stored frame-free, so they never need adjusting when the node's own
+    stored key changes; they are used to detect BST violations after a
+    negative shift.
+
+Balancing: the paper balances with Left-Leaning Red-Black trees and
+notes the scheme is interchangeable ("the same principles would apply
+to B-trees as well", Section 3.2.5).  This implementation balances with
+AVL rotations — the rotations carry the relative keys, subtree sums and
+min/max offsets through exactly as Section 3.2.5 requires, and AVL's
+delete is easier to verify exhaustively.  Heights, and therefore every
+complexity bound in the paper, are identical up to constants.
+
+Complexities (n = number of entries):
+
+* ``get`` / ``put`` / ``add`` / ``delete`` — O(log n)
+* ``get_sum`` / ``successor`` / ``first_key_with_prefix_above`` — O(log n)
+* ``shift_keys`` with positive offset — O(log n)  (Algorithm 1)
+* ``shift_keys`` with negative offset — O((1 + v) log n) where ``v`` is
+  the number of BST-order violations repaired (Algorithm 2).  In the
+  aggregate-maintenance special case of Section 3.2.4 (monotone keys,
+  offset bounded by the deleted tuple's contribution) ``v <= 1``, so
+  deletion-driven shifts stay logarithmic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+__all__ = ["RPAITree", "RPAINode"]
+
+
+class RPAINode:
+    """A single tree node.  All fields are package-internal.
+
+    Attributes:
+        key: key relative to the parent's actual key (the root's key is
+            relative to zero, i.e. absolute).
+        value: the stored partial aggregate.
+        sum: sum of ``value`` over this subtree.
+        min_off: (minimum actual key in subtree) - (this node's actual key).
+        max_off: (maximum actual key in subtree) - (this node's actual key).
+        height: AVL height (leaf = 1).
+    """
+
+    __slots__ = ("key", "value", "sum", "min_off", "max_off", "height", "left", "right")
+
+    def __init__(self, key: float, value: float) -> None:
+        self.key = key
+        self.value = value
+        self.sum = value
+        self.min_off: float = 0
+        self.max_off: float = 0
+        self.height = 1
+        self.left: RPAINode | None = None
+        self.right: RPAINode | None = None
+
+
+def _height(node: RPAINode | None) -> int:
+    return node.height if node is not None else 0
+
+
+def _update(node: RPAINode) -> None:
+    """Recompute the derived fields of ``node`` from its children.
+
+    Children must already be up to date.  ``min_off``/``max_off`` are
+    offsets from the node's own actual key, so they depend only on the
+    children's stored (relative) keys and offsets.
+    """
+    left, right = node.left, node.right
+    height = 1
+    total = node.value
+    if left is not None:
+        if left.height >= height:
+            height = left.height + 1
+        total += left.sum
+    if right is not None:
+        if right.height >= height:
+            height = right.height + 1
+        total += right.sum
+    node.height = height
+    node.sum = total
+    node.min_off = left.key + left.min_off if left is not None else 0
+    node.max_off = right.key + right.max_off if right is not None else 0
+
+
+def _rotate_left(h: RPAINode) -> RPAINode:
+    """Left rotation carrying relative keys: ``x = h.right`` becomes the
+    subtree root.  Key adjustments re-express every moved node's key in
+    its *new* parent's frame (see docs/rpai_internals.md for the derivation)."""
+    x = h.right
+    assert x is not None
+    xk = x.key
+    h.right = x.left
+    if h.right is not None:
+        h.right.key += xk
+    x.key += h.key
+    h.key = -xk
+    x.left = h
+    _update(h)
+    _update(x)
+    return x
+
+
+def _rotate_right(h: RPAINode) -> RPAINode:
+    """Mirror image of :func:`_rotate_left` with ``x = h.left``."""
+    x = h.left
+    assert x is not None
+    xk = x.key
+    h.left = x.right
+    if h.left is not None:
+        h.left.key += xk
+    x.key += h.key
+    h.key = -xk
+    x.right = h
+    _update(h)
+    _update(x)
+    return x
+
+
+def _rebalance(node: RPAINode) -> RPAINode:
+    """Standard AVL rebalancing step; also refreshes derived fields."""
+    _update(node)
+    balance = _height(node.left) - _height(node.right)
+    if balance > 1:
+        left = node.left
+        assert left is not None
+        if _height(left.left) < _height(left.right):
+            node.left = _rotate_left(left)
+        return _rotate_right(node)
+    if balance < -1:
+        right = node.right
+        assert right is not None
+        if _height(right.right) < _height(right.left):
+            node.right = _rotate_right(right)
+        return _rotate_left(node)
+    return node
+
+
+def _balance_any(node: RPAINode | None) -> RPAINode | None:
+    """Restore the AVL property at ``node`` when its children are valid
+    AVL trees of *arbitrary* height difference.
+
+    Negative ``shift_keys`` repairs (Algorithm 2's ``fixTree``) can
+    change a subtree's height by more than one, so the single-step
+    :func:`_rebalance` used by put/delete is not sufficient on the way
+    back up.  This is the classical AVL concatenation repair: rotate the
+    heavy side up and recursively re-balance the demoted child; the
+    height gap shrinks at every level, so the cost is
+    O(gap * log n).
+    """
+    if node is None:
+        return None
+    _update(node)
+    while True:
+        left_h = _height(node.left)
+        right_h = _height(node.right)
+        if left_h - right_h > 1:
+            left = node.left
+            assert left is not None
+            if _height(left.right) > _height(left.left):
+                node.left = _rotate_left(left)
+            node = _rotate_right(node)
+            node.right = _balance_any(node.right)
+            _update(node)
+        elif right_h - left_h > 1:
+            right = node.right
+            assert right is not None
+            if _height(right.left) > _height(right.right):
+                node.right = _rotate_right(right)
+            node = _rotate_left(node)
+            node.left = _balance_any(node.left)
+            _update(node)
+        else:
+            return node
+
+
+def _min_entry(node: RPAINode) -> tuple[float, float]:
+    """(key, value) of the minimum entry of ``node``'s subtree; the key
+    is expressed relative to ``node``'s parent frame."""
+    rel = node.key
+    while node.left is not None:
+        node = node.left
+        rel += node.key
+    return rel, node.value
+
+
+def _max_entry(node: RPAINode) -> tuple[float, float]:
+    """(key, value) of the maximum entry, key relative to the parent frame."""
+    rel = node.key
+    while node.right is not None:
+        node = node.right
+        rel += node.key
+    return rel, node.value
+
+
+class RPAITree:
+    """Relative Partial Aggregate Index (paper Section 3).
+
+    A map from unique numeric keys (aggregate values) to numeric values
+    (partial aggregates) supporting logarithmic ``get_sum`` and
+    ``shift_keys`` on top of the usual ordered-map operations.
+
+    Args:
+        prune_zeros: when True, an :meth:`add` that brings an entry's
+            value to exactly 0 removes the entry.  The query engines
+            enable this so the index size tracks live aggregate groups.
+
+    Example:
+        >>> t = RPAITree()
+        >>> for k, v in [(10, 3), (20, 3), (40, 2), (60, 8)]:
+        ...     t.put(k, v)
+        >>> t.get_sum(50)
+        8
+        >>> t.shift_keys(15, 100)   # shift keys > 15 up by 100
+        >>> sorted(k for k, _ in t.items())
+        [10, 120, 140, 160]
+    """
+
+    __slots__ = ("_root", "_size", "prune_zeros")
+
+    def __init__(self, *, prune_zeros: bool = False) -> None:
+        self._root: RPAINode | None = None
+        self._size = 0
+        self.prune_zeros = prune_zeros
+
+    # -- basic map operations -------------------------------------------------
+
+    def get(self, key: float, default: float = 0.0) -> float:
+        """Return the value stored at ``key``, or ``default``."""
+        node = self._root
+        remaining = key
+        while node is not None:
+            if remaining == node.key:
+                return node.value
+            remaining -= node.key
+            node = node.left if remaining < 0 else node.right
+        return default
+
+    def put(self, key: float, value: float) -> None:
+        """Insert ``key`` with ``value``, overwriting any existing entry."""
+        if self.prune_zeros and value == 0:
+            if key in self:
+                self.delete(key)
+            return
+        self._root = self._put(self._root, key, value, replace=True)
+
+    def add(self, key: float, delta: float) -> None:
+        """Add ``delta`` to the value at ``key`` (inserting if absent)."""
+        if self.prune_zeros:
+            current = self.get(key, None)
+            if current is None:
+                if delta == 0:
+                    return
+            elif current + delta == 0:
+                self.delete(key)
+                return
+        self._root = self._put(self._root, key, delta, replace=False)
+
+    def delete(self, key: float) -> float:
+        """Remove ``key`` and return its value; raises KeyError if absent."""
+        self._root, value = self._delete(self._root, key)
+        return value
+
+    def pop(self, key: float, default: float | None = None) -> float | None:
+        """Like :meth:`delete` but returns ``default`` instead of raising."""
+        if key in self:
+            return self.delete(key)
+        return default
+
+    # -- aggregate operations -------------------------------------------------
+
+    def get_sum(self, key: float, *, inclusive: bool = True) -> float:
+        """Sum of values over entries with key ``<= key`` (or ``< key``).
+
+        This is the paper's ``getSum`` (Figure 3): descend the tree and
+        absorb whole left subtrees (via their stored sums) whenever the
+        current node qualifies.
+        """
+        total: float = 0
+        node = self._root
+        remaining = key
+        while node is not None:
+            qualifies = node.key <= remaining if inclusive else node.key < remaining
+            remaining -= node.key
+            if qualifies:
+                total += node.value
+                if node.left is not None:
+                    total += node.left.sum
+                node = node.right
+            else:
+                node = node.left
+        return total
+
+    def total_sum(self) -> float:
+        """Sum of all values, in O(1)."""
+        return self._root.sum if self._root is not None else 0
+
+    def suffix_sum(self, key: float, *, inclusive: bool = False) -> float:
+        """Sum of values over entries with key ``> key`` (or ``>= key``)."""
+        return self.total_sum() - self.get_sum(key, inclusive=not inclusive)
+
+    def shift_keys(self, key: float, delta: float, *, inclusive: bool = False) -> None:
+        """Shift every key ``> key`` (``>= key`` if ``inclusive``) by ``delta``.
+
+        Positive offsets follow Algorithm 1 exactly and touch O(log n)
+        nodes.  Negative offsets follow Algorithm 2: the same descent,
+        plus a BST-violation check against the subtree min/max offsets
+        at every step of the way back up; violating entries are
+        extracted and re-inserted (merging equal keys by addition),
+        which is the Section 3.2.4 behaviour the engines rely on for
+        tuple deletions.
+        """
+        if delta == 0:
+            return
+        self._root = self._shift(self._root, key, delta, inclusive)
+
+    # -- order / search helpers ------------------------------------------------
+
+    def min_key(self) -> float:
+        """Smallest actual key; raises KeyError when empty."""
+        if self._root is None:
+            raise KeyError("empty index")
+        rel, _ = _min_entry(self._root)
+        return rel
+
+    def max_key(self) -> float:
+        """Largest actual key; raises KeyError when empty."""
+        if self._root is None:
+            raise KeyError("empty index")
+        rel, _ = _max_entry(self._root)
+        return rel
+
+    def successor(self, key: float) -> float | None:
+        """Smallest key strictly greater than ``key`` (None if none)."""
+        best: float | None = None
+        node = self._root
+        acc: float = 0
+        while node is not None:
+            actual = acc + node.key
+            if actual > key:
+                best = actual
+                acc = actual
+                node = node.left
+            else:
+                acc = actual
+                node = node.right
+        return best
+
+    def predecessor(self, key: float) -> float | None:
+        """Largest key strictly smaller than ``key`` (None if none)."""
+        best: float | None = None
+        node = self._root
+        acc: float = 0
+        while node is not None:
+            actual = acc + node.key
+            if actual < key:
+                best = actual
+                acc = actual
+                node = node.right
+            else:
+                acc = actual
+                node = node.left
+        return best
+
+    def first_key_with_prefix_above(self, threshold: float) -> float | None:
+        """Smallest key ``k`` such that ``get_sum(k) > threshold``.
+
+        Used by the multi-level-nesting engines (NQ1/NQ2) to locate the
+        eligibility boundary of a cumulative-volume predicate in
+        O(log n).  Assumes all values are non-negative (true for the
+        volume/quantity indexes the engines build).
+        """
+        node = self._root
+        if node is None or node.sum <= threshold:
+            return None
+        acc: float = 0
+        remaining = threshold
+        while node is not None:
+            actual = acc + node.key
+            left_sum = node.left.sum if node.left is not None else 0
+            if node.left is not None and left_sum > remaining:
+                node = node.left
+                acc = actual
+                continue
+            if left_sum + node.value > remaining:
+                return actual
+            remaining -= left_sum + node.value
+            node = node.right
+            acc = actual
+        return None  # pragma: no cover - guarded by the root.sum check
+
+    def range_items(
+        self,
+        lo: float,
+        hi: float,
+        *,
+        lo_inclusive: bool = False,
+        hi_inclusive: bool = True,
+    ) -> Iterator[tuple[float, float]]:
+        """Iterate ``(key, value)`` with key in the interval, ascending.
+
+        O(log n + m) for m reported entries.
+        """
+        yield from self._range(self._root, 0, lo, hi, lo_inclusive, hi_inclusive)
+
+    # -- iteration / dunder ----------------------------------------------------
+
+    def items(self) -> Iterator[tuple[float, float]]:
+        """All ``(actual_key, value)`` pairs in increasing key order."""
+        yield from self._items(self._root, 0)
+
+    def keys(self) -> Iterator[float]:
+        for k, _ in self.items():
+            yield k
+
+    def values(self) -> Iterator[float]:
+        for _, v in self.items():
+            yield v
+
+    def clear(self) -> None:
+        self._root = None
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._root is not None
+
+    def __contains__(self, key: float) -> bool:
+        node = self._root
+        remaining = key
+        while node is not None:
+            if remaining == node.key:
+                return True
+            remaining -= node.key
+            node = node.left if remaining < 0 else node.right
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        entries = ", ".join(f"{k}: {v}" for k, v in self.items())
+        return f"RPAITree({{{entries}}})"
+
+    def height(self) -> int:
+        """Current tree height (for balance diagnostics and tests)."""
+        return _height(self._root)
+
+    # -- internals --------------------------------------------------------------
+
+    def _put(
+        self, node: RPAINode | None, key: float, value: float, *, replace: bool
+    ) -> RPAINode:
+        """Insert/merge ``(key, value)`` into the subtree; ``key`` is
+        expressed in the subtree root's parent frame."""
+        if node is None:
+            self._size += 1
+            return RPAINode(key, value)
+        if key == node.key:
+            node.value = value if replace else node.value + value
+            _update(node)
+            return node
+        if key < node.key:
+            node.left = self._put(node.left, key - node.key, value, replace=replace)
+        else:
+            node.right = self._put(node.right, key - node.key, value, replace=replace)
+        return _rebalance(node)
+
+    def _delete(self, node: RPAINode | None, key: float) -> tuple[RPAINode | None, float]:
+        """Remove ``key`` (parent-frame) from the subtree; returns the
+        new subtree root and the removed value."""
+        if node is None:
+            raise KeyError(key)
+        if key < node.key:
+            node.left, value = self._delete(node.left, key - node.key)
+        elif key > node.key:
+            node.right, value = self._delete(node.right, key - node.key)
+        else:
+            value = node.value
+            if node.left is None:
+                self._size -= 1
+                replacement = node.right
+                if replacement is not None:
+                    replacement.key += node.key
+                return replacement, value
+            if node.right is None:
+                self._size -= 1
+                replacement = node.left
+                replacement.key += node.key
+                return replacement, value
+            # Two children: replace with the in-order successor.  The
+            # node's stored key moves by the successor's offset, so both
+            # children are re-based to keep their actual keys fixed.
+            successor_rel, successor_value = _min_entry(node.right)
+            node.right, _ = self._delete(node.right, successor_rel)
+            node.value = successor_value
+            node.key += successor_rel
+            if node.left is not None:
+                node.left.key -= successor_rel
+            if node.right is not None:
+                node.right.key -= successor_rel
+        return _rebalance(node), value
+
+    def _shift(
+        self, node: RPAINode | None, key: float, delta: float, inclusive: bool
+    ) -> RPAINode | None:
+        """Algorithm 1 / 2: shift qualifying keys in the subtree.
+
+        ``key`` is in the subtree root's parent frame.  Structure (and
+        therefore AVL balance) is unchanged except for violation fixes,
+        which rebalance internally.
+        """
+        if node is None:
+            return None
+        qualifies = node.key >= key if inclusive else node.key > key
+        if qualifies:
+            # Node and its whole right subtree shift implicitly with
+            # node.key; the left subtree is first shifted recursively
+            # (only its qualifying part moves) and then compensated so
+            # the +delta on node.key does not drag it along.
+            node.left = self._shift(node.left, key - node.key, delta, inclusive)
+            node.key += delta
+            if node.left is not None:
+                node.left.key -= delta
+            _update(node)
+            if delta >= 0:
+                return node
+            if node.left is not None and node.left.key + node.left.max_off >= 0:
+                node = self._fix_from_left(node)
+            return _balance_any(node)
+        node.right = self._shift(node.right, key - node.key, delta, inclusive)
+        _update(node)
+        if delta >= 0:
+            return node
+        if node.right is not None and node.right.key + node.right.min_off <= 0:
+            node = self._fix_from_right(node)
+        return _balance_any(node)
+
+    def _fix_from_left(self, node: RPAINode) -> "RPAINode | None":
+        """Restore the BST property when the left subtree contains keys
+        ``>=`` the node's key (paper's ``fixTreeFromLeft``).
+
+        Rather than detaching the whole left subtree, only the violating
+        entries are extracted (largest first) and re-inserted, so the
+        cost is O(v log n) for v violators.  Re-insertion uses merge
+        semantics: an entry landing exactly on an existing key adds its
+        value, which realises the Section 3.2.4 duplicate-collapse.
+        """
+        violators: list[tuple[float, float]] = []
+        while node.left is not None and node.left.key + node.left.max_off >= 0:
+            rel, value = _max_entry(node.left)  # rel is in node's frame, >= 0
+            node.left, _ = self._delete(node.left, rel)
+            violators.append((rel + node.key, value))  # parent-frame key
+        _update(node)
+        result = _balance_any(node)
+        for key, value in violators:
+            result = self._reinsert(result, key, value)
+        return result
+
+    def _fix_from_right(self, node: RPAINode) -> "RPAINode | None":
+        """Mirror image of :meth:`_fix_from_left` for right-side
+        violations (keys ``<=`` the node's key in the right subtree)."""
+        violators: list[tuple[float, float]] = []
+        while node.right is not None and node.right.key + node.right.min_off <= 0:
+            rel, value = _min_entry(node.right)  # rel is in node's frame, <= 0
+            node.right, _ = self._delete(node.right, rel)
+            violators.append((rel + node.key, value))  # parent-frame key
+        _update(node)
+        result = _balance_any(node)
+        for key, value in violators:
+            result = self._reinsert(result, key, value)
+        return result
+
+    def _reinsert(self, node: "RPAINode | None", key: float, value: float) -> RPAINode | None:
+        """Merge an extracted violator back into the subtree rooted at
+        ``node`` (``key`` in the parent frame).  Honors ``prune_zeros``:
+        a merge that cancels an existing entry deletes it instead."""
+        if self.prune_zeros:
+            existing = self._subtree_get(node, key)
+            if existing is not None and existing + value == 0:
+                new_node, _ = self._delete(node, key)
+                return new_node
+            if existing is None and value == 0:
+                return node
+        return self._put(node, key, value, replace=False)
+
+    @staticmethod
+    def _subtree_get(node: RPAINode | None, key: float) -> float | None:
+        remaining = key
+        while node is not None:
+            if remaining == node.key:
+                return node.value
+            remaining -= node.key
+            node = node.left if remaining < 0 else node.right
+        return None
+
+    def _items(self, node: RPAINode | None, acc: float) -> Iterator[tuple[float, float]]:
+        if node is None:
+            return
+        actual = acc + node.key
+        yield from self._items(node.left, actual)
+        yield (actual, node.value)
+        yield from self._items(node.right, actual)
+
+    def _range(
+        self,
+        node: RPAINode | None,
+        acc: float,
+        lo: float,
+        hi: float,
+        lo_inclusive: bool,
+        hi_inclusive: bool,
+    ) -> Iterator[tuple[float, float]]:
+        if node is None:
+            return
+        actual = acc + node.key
+        above_lo = actual >= lo if lo_inclusive else actual > lo
+        below_hi = actual <= hi if hi_inclusive else actual < hi
+        if above_lo:
+            yield from self._range(node.left, actual, lo, hi, lo_inclusive, hi_inclusive)
+        if above_lo and below_hi:
+            yield (actual, node.value)
+        if below_hi:
+            yield from self._range(node.right, actual, lo, hi, lo_inclusive, hi_inclusive)
+
+    # -- validation (tests only) -------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Walk the whole tree verifying every structural invariant.
+
+        Raises AssertionError on: broken BST order over *actual* keys,
+        stale heights, AVL imbalance, wrong subtree sums, or wrong
+        min/max offsets.  O(n); used heavily by the property tests.
+        """
+        size = self._validate(self._root, 0, None, None)
+        assert size == self._size, f"size mismatch: counted {size}, stored {self._size}"
+
+    def _validate(
+        self,
+        node: RPAINode | None,
+        acc: float,
+        lo: float | None,
+        hi: float | None,
+    ) -> int:
+        if node is None:
+            return 0
+        actual = acc + node.key
+        assert lo is None or actual > lo, f"BST violation: {actual} <= {lo}"
+        assert hi is None or actual < hi, f"BST violation: {actual} >= {hi}"
+        left_size = self._validate(node.left, actual, lo, actual)
+        right_size = self._validate(node.right, actual, actual, hi)
+        expected_height = 1 + max(_height(node.left), _height(node.right))
+        assert node.height == expected_height, "stale height"
+        balance = _height(node.left) - _height(node.right)
+        assert -1 <= balance <= 1, f"AVL imbalance {balance} at key {actual}"
+        expected_sum = node.value
+        expected_min: float = 0
+        expected_max: float = 0
+        if node.left is not None:
+            expected_sum += node.left.sum
+            expected_min = node.left.key + node.left.min_off
+        if node.right is not None:
+            expected_sum += node.right.sum
+            expected_max = node.right.key + node.right.max_off
+        assert node.sum == expected_sum, f"sum mismatch at key {actual}"
+        assert node.min_off == expected_min, f"min_off mismatch at key {actual}"
+        assert node.max_off == expected_max, f"max_off mismatch at key {actual}"
+        return left_size + right_size + 1

@@ -1,0 +1,30 @@
+"""Execution engines: naive, DBToaster-style, general algorithm, RPAI."""
+
+from repro.engine.aggr_index import (
+    GroupedRangeIndexEngine,
+    PointIndexEngine,
+    RangeIndexEngine,
+    build_single_index_engine,
+)
+from repro.engine.base import IncrementalEngine, Result
+from repro.engine.conjunctive import ConjunctiveIndexEngine, decompose_product_sum
+from repro.engine.general import GeneralAlgorithmEngine
+from repro.engine.naive import NaiveEngine, evaluate_query
+from repro.engine.registry import STRATEGIES, available_strategies, build_engine
+
+__all__ = [
+    "IncrementalEngine",
+    "Result",
+    "NaiveEngine",
+    "evaluate_query",
+    "GeneralAlgorithmEngine",
+    "PointIndexEngine",
+    "RangeIndexEngine",
+    "GroupedRangeIndexEngine",
+    "build_single_index_engine",
+    "ConjunctiveIndexEngine",
+    "decompose_product_sum",
+    "build_engine",
+    "available_strategies",
+    "STRATEGIES",
+]

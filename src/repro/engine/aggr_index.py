@@ -1,0 +1,530 @@
+"""The aggregate-index engines of paper Section 4.3 (Algorithm 4).
+
+These engines fully incrementalize single-relation queries of the shape
+
+    AggrQ(f, R, v θ q)          -- v uncorrelated, q correlated on R
+
+by maintaining an index *keyed by the correlated subquery's aggregate
+values* and mapping to the final result aggregates.  A tuple insertion
+then shifts a single key (equality correlation — Figure 1c) or one
+contiguous range of keys (inequality correlation — Figure 2c), and the
+result is read off the index with a point lookup or a ``get_sum``.
+
+The index implementation is pluggable, which realises the paper's
+Section 2→3 progression and powers the ablation benchmark:
+
+* :class:`~repro.core.pai_map.PAIMap` — O(1) point ops, O(n) range ops
+  (the Section 2.2.3 PAI-map engine);
+* :class:`~repro.trees.treemap.TreeMap` — O(log n) ``get_sum`` but O(n)
+  ``shift_keys`` (the Section 3.1 intermediate);
+* :class:`~repro.core.rpai.RPAITree` — O(log n) everything (the full
+  RPAI engine).
+
+Precondition inherited from the paper's setting: the inner aggregate's
+per-tuple contributions are strictly positive (volumes, quantities,
+counts).  This guarantees that distinct live aggregate keys belong to
+distinct correlation groups, which is what makes the boundary of each
+range shift unambiguous (see the tie analysis in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Type
+
+from repro.core.pai_map import PAIMap
+from repro.core.rpai import RPAITree
+from repro.engine.base import IncrementalEngine, Result
+from repro.engine.general import _compile_row_expr, _peel_constant_scale
+from repro.errors import UnsupportedQueryError
+from repro.query.analysis import is_correlated
+from repro.query.ast import AggrCall, AggrQuery, SubqueryExpr, walk_expr
+from repro.query.planner import IndexSpec, QueryPlan, Strategy, classify
+from repro.storage.stream import Event
+from repro.trees.treemap import TreeMap
+
+__all__ = [
+    "PointIndexEngine",
+    "RangeIndexEngine",
+    "GroupedRangeIndexEngine",
+    "build_single_index_engine",
+]
+
+Row = Mapping[str, Any]
+
+
+class _FixedSide:
+    """Maintains the uncorrelated probe value ``v`` (constants and
+    uncorrelated nested aggregates combined by arithmetic)."""
+
+    def __init__(self, query: AggrQuery, spec: IndexSpec) -> None:
+        # Collect the uncorrelated subqueries appearing in the fixed
+        # expression and maintain each as a scalar.
+        from repro.engine.general import _UncorrelatedScalar, _compile_predicate_side
+        from repro.query.ast import walk_expr
+
+        self._scalars: dict[AggrQuery, Any] = {}
+        for node in walk_expr(spec.fixed_expr):
+            if isinstance(node, SubqueryExpr):
+                sub = node.query
+                if is_correlated(sub):
+                    raise UnsupportedQueryError(
+                        "fixed side contains a correlated subquery"
+                    )
+                if sub.where is not None:
+                    raise UnsupportedQueryError(
+                        "fixed-side subqueries with predicates are unsupported"
+                    )
+                self._scalars[sub] = _UncorrelatedScalar(
+                    sub, sub.relations[0].alias
+                )
+        self._side = _compile_predicate_side(
+            spec.fixed_expr, spec.outer_alias, self._scalars, {}
+        )
+
+    def on_event(self, event: Event) -> None:
+        for sub_query, scalar in self._scalars.items():
+            if sub_query.relations[0].name == event.relation:
+                scalar.on_row(event.row, event.weight)
+
+    def value(self) -> float:
+        # The fixed side contains no outer columns by construction.
+        return self._side({})
+
+
+class _ResultAggregate:
+    """Compiled result aggregate: scale * AGG(arg)."""
+
+    def __init__(self, query: AggrQuery, alias: str) -> None:
+        scale, call = _peel_constant_scale(query.select[0].expr)
+        if not isinstance(call, AggrCall) or call.func != "SUM":
+            raise UnsupportedQueryError(
+                "aggregate-index engines require a SUM result aggregate "
+                "(COUNT can be expressed as SUM of 1)"
+            )
+        self.scale = scale
+        self.arg = (
+            _compile_row_expr(call.arg, alias) if call.arg is not None else None
+        )
+
+    def contribution(self, row: Row) -> float:
+        return self.arg(row) if self.arg is not None else 1
+
+
+def _index_engine_state(engine) -> dict:
+    """Checkpoint helper shared by the index engines: the compiled
+    closures are rebuilt from the plan on restore; everything else is
+    pure data."""
+    state = {
+        "plan": engine._plan,
+        "index_cls": engine._index_cls,
+        "name": engine.name,
+        "fixed_scalars": {
+            sub: scalar.aggregate for sub, scalar in engine._fixed._scalars.items()
+        },
+        "bound_map": engine.bound_map,
+    }
+    if hasattr(engine, "aggr_index"):
+        state["aggr_index"] = engine.aggr_index
+    if hasattr(engine, "res_map"):
+        state["res_map"] = engine.res_map
+    if hasattr(engine, "group_indexes"):
+        state["group_indexes"] = engine.group_indexes
+    return state
+
+
+def _restore_index_engine(engine, state: dict) -> None:
+    engine.__init__(state["plan"], state["index_cls"], name=state["name"])
+    for sub, aggregate in state["fixed_scalars"].items():
+        engine._fixed._scalars[sub].aggregate = aggregate
+    engine.bound_map = state["bound_map"]
+    if "aggr_index" in state:
+        engine.aggr_index = state["aggr_index"]
+    if "res_map" in state:
+        engine.res_map = state["res_map"]
+    if "group_indexes" in state:
+        engine.group_indexes = state["group_indexes"]
+
+
+def _probe(index, op: str, probe: float) -> float:
+    """Sum of index values over keys ``k`` with ``probe op k``."""
+    if op == "=":
+        return index.get(probe, 0)
+    if op == "<":
+        return index.total_sum() - index.get_sum(probe, inclusive=True)
+    if op == "<=":
+        return index.total_sum() - index.get_sum(probe, inclusive=False)
+    if op == ">":
+        return index.get_sum(probe, inclusive=False)
+    if op == ">=":
+        return index.get_sum(probe, inclusive=True)
+    raise UnsupportedQueryError(f"unsupported probe operator {op!r}")
+
+
+class PointIndexEngine(IncrementalEngine):
+    """Algorithm 4, ``"="`` case — Example 2.1 / Figure 1c.
+
+    The correlated predicate is an equality, so a new tuple changes
+    exactly one aggregate key: move that group's result value from the
+    old key to the new key.  O(1) per update with a PAI map.
+    """
+
+    name = "rpai"
+
+    def __init__(
+        self, plan: QueryPlan, index_cls: Type = PAIMap, name: str | None = None
+    ) -> None:
+        if plan.strategy is not Strategy.PAI_EQUALITY:
+            raise UnsupportedQueryError(
+                f"PointIndexEngine needs a PAI_EQUALITY plan, got {plan.strategy}"
+            )
+        (spec,) = plan.index_specs
+        if spec.inner_func != "SUM":
+            raise UnsupportedQueryError(
+                "point-index engine supports SUM inner aggregates"
+            )
+        if any(
+            inner.column != outer.column for inner, outer in spec.column_pairs()
+        ):
+            raise UnsupportedQueryError(
+                "point updates need the same attribute on both sides of "
+                "each correlation equality"
+            )
+        self.spec = spec
+        self.relation = plan.query.relations[0].name
+        alias = plan.query.relations[0].alias
+        self._fixed = _FixedSide(plan.query, spec)
+        self._result_agg = _ResultAggregate(plan.query, alias)
+        inner_alias = spec.inner_col.relation
+        self._inner_arg = (
+            _compile_row_expr(spec.inner_arg, inner_alias)
+            if spec.inner_arg is not None
+            else None
+        )
+        # Group key columns: one per correlation equality (Section 4.3
+        # allows "multiple conjunctive equality predicates").
+        self._group_cols = tuple(
+            outer.column for _inner, outer in spec.column_pairs()
+        )
+
+        # map3 in Figure 1c: group key (e.g. A) -> inner aggregate (rhs).
+        self.bound_map = PAIMap(prune_zeros=True)
+        # map1: group key -> result aggregate for the group.
+        self.res_map = PAIMap(prune_zeros=True)
+        # aggrMap: rhs value -> sum of result aggregates of groups at it.
+        self.aggr_index = index_cls(prune_zeros=True)
+        self._plan = plan
+        self._index_cls = index_cls
+        if name is not None:
+            self.name = name
+
+    def __getstate__(self) -> dict:
+        return _index_engine_state(self)
+
+    def __setstate__(self, state: dict) -> None:
+        _restore_index_engine(self, state)
+
+    def on_event(self, event: Event) -> Result:
+        self._fixed.on_event(event)
+        if event.relation == self.relation:
+            row, x = event.row, event.weight
+            group = (
+                row[self._group_cols[0]]
+                if len(self._group_cols) == 1
+                else tuple(row[c] for c in self._group_cols)
+            )
+            inner_delta = (
+                self._inner_arg(row) if self._inner_arg is not None else 1
+            ) * x
+            res_delta = self._result_agg.contribution(row) * x
+
+            old_rhs = self.bound_map.get(group, 0)
+            old_res = self.res_map.get(group, 0)
+            new_rhs = old_rhs + inner_delta
+            new_res = old_res + res_delta
+
+            # Move the group's value from the old key to the new key
+            # (Figure 1c lines 16-18).
+            if old_res != 0:
+                self.aggr_index.add(old_rhs, -old_res)
+            if new_res != 0:
+                self.aggr_index.add(new_rhs, new_res)
+
+            self.bound_map.add(group, inner_delta)
+            self.res_map.add(group, res_delta)
+        return self.result()
+
+    def result(self) -> Result:
+        probe = self._fixed.value()
+        return self._result_agg.scale * _probe(
+            self.aggr_index, self.spec.outer_op, probe
+        )
+
+
+class RangeIndexEngine(IncrementalEngine):
+    """Algorithm 4, inequality case — Example 2.2 / Figure 2c (VWAP).
+
+    The correlated predicate is an inequality over the same attribute on
+    both sides, so the subquery values are monotone in that attribute
+    and a new tuple shifts one contiguous *range* of aggregate keys:
+    ``shift_keys`` + two point updates.  O(log n) per update with an
+    RPAI tree, O(n) with a PAI map or TreeMap.
+    """
+
+    name = "rpai"
+
+    def __init__(
+        self, plan: QueryPlan, index_cls: Type = RPAITree, name: str | None = None
+    ) -> None:
+        if plan.strategy is not Strategy.RPAI_INEQUALITY:
+            raise UnsupportedQueryError(
+                f"RangeIndexEngine needs an RPAI_INEQUALITY plan, got "
+                f"{plan.strategy}"
+            )
+        (spec,) = plan.index_specs
+        if spec.inner_func != "SUM":
+            raise UnsupportedQueryError(
+                "range-index engine supports SUM inner aggregates"
+            )
+        if spec.inner_col.column != spec.outer_col.column:
+            raise UnsupportedQueryError(
+                "range shifts need the same attribute on both sides of the "
+                "correlated predicate"
+            )
+        self.spec = spec
+        self.relation = plan.query.relations[0].name
+        alias = plan.query.relations[0].alias
+        self._fixed = _FixedSide(plan.query, spec)
+        self._result_agg = _ResultAggregate(plan.query, alias)
+        inner_alias = spec.inner_col.relation
+        self._inner_arg = (
+            _compile_row_expr(spec.inner_arg, inner_alias)
+            if spec.inner_arg is not None
+            else None
+        )
+        self._key_col = spec.outer_col.column
+
+        # Normalize the inner inequality to "ascending key" form: for
+        # '>' / '>=' we store negated keys so the subquery value is
+        # always a prefix sum in stored-key order.
+        op = spec.inner_op
+        if op in {">", ">="}:
+            self._key_sign = -1
+            op = "<" if op == ">" else "<="
+        else:
+            self._key_sign = 1
+        self._inclusive_inner = op == "<="  # '<=' vs '<'
+
+        # map3 in Figure 2c: stored key (signed price) -> sum of inner
+        # contributions (volume) at that key.
+        self.bound_map = TreeMap(prune_zeros=True)
+        # aggrIndex: subquery value (rhs) -> sum of result contributions
+        # of the groups currently at that rhs.
+        self.aggr_index = index_cls(prune_zeros=True)
+        self._plan = plan
+        self._index_cls = index_cls
+        if name is not None:
+            self.name = name
+
+    def __getstate__(self) -> dict:
+        return _index_engine_state(self)
+
+    def __setstate__(self, state: dict) -> None:
+        _restore_index_engine(self, state)
+
+    def on_event(self, event: Event) -> Result:
+        self._fixed.on_event(event)
+        if event.relation == self.relation:
+            self._on_outer(event.row, event.weight)
+        return self.result()
+
+    def _on_outer(self, row: Row, x: int) -> None:
+        key = self._key_sign * row[self._key_col]
+        volume = (self._inner_arg(row) if self._inner_arg is not None else 1) * x
+        res_delta = self._result_agg.contribution(row) * x
+
+        old_vol_at_key = self.bound_map.get(key, 0)
+        prefix_excl = self.bound_map.get_sum(key, inclusive=False)
+
+        if self._inclusive_inner:
+            # rhs(g) includes the group's own key.  Affected groups are
+            # g >= key; their old rhs exceeds prefix_excl because the
+            # group at `key` (if live) carries positive own volume.
+            boundary, inclusive = prefix_excl, False
+            group_old_rhs = prefix_excl + old_vol_at_key
+            group_new_rhs = group_old_rhs + volume
+        else:
+            # Strict '<': the group at `key` is NOT affected; its rhs is
+            # exactly prefix_excl.  When the group does not exist yet
+            # (old volume 0) the shift must include keys equal to the
+            # boundary (see DESIGN.md tie analysis).
+            boundary, inclusive = prefix_excl, old_vol_at_key == 0
+            group_old_rhs = prefix_excl
+            group_new_rhs = prefix_excl  # own insert does not change it
+
+        # 1. Shift the affected range of aggregate keys (Figure 2c).
+        self.aggr_index.shift_keys(boundary, volume, inclusive=inclusive)
+        # 2. Update the bound maps.
+        self.bound_map.add(key, volume)
+        # 3. Place the new tuple's own contribution at its group's
+        #    (post-shift) aggregate key.
+        if res_delta != 0:
+            self.aggr_index.add(group_new_rhs, res_delta)
+
+    def result(self) -> Result:
+        probe = self._fixed.value()
+        return self._result_agg.scale * _probe(
+            self.aggr_index, self.spec.outer_op, probe
+        )
+
+
+class GroupedRangeIndexEngine(IncrementalEngine):
+    """Grouped variant of :class:`RangeIndexEngine` — the grammar's
+    ``Aggr[cols]`` form (e.g. VWAP *per broker*).
+
+    One aggregate index per group key; every update computes the shift
+    boundary once from the shared bound map and applies the same range
+    shift to each group's index, then the arriving tuple's contribution
+    lands in its own group's index.  O(G · log n) per update for G live
+    groups — G is small and fixed in the grouped queries this targets
+    (brokers, symbols).
+
+    The result is ``{group key: aggregate}`` with groups whose
+    qualifying set is empty omitted (matching the interpreter for the
+    positive result arguments the workloads use).
+    """
+
+    name = "rpai"
+
+    def __init__(
+        self, plan: QueryPlan, index_cls: Type = RPAITree, name: str | None = None
+    ) -> None:
+        if plan.strategy is not Strategy.RPAI_INEQUALITY:
+            raise UnsupportedQueryError(
+                f"GroupedRangeIndexEngine needs an RPAI_INEQUALITY plan, got "
+                f"{plan.strategy}"
+            )
+        query = plan.query
+        if not query.group_by:
+            raise UnsupportedQueryError("query has no GROUP BY (use RangeIndexEngine)")
+        alias = query.relations[0].alias
+        if any(col.relation != alias for col in query.group_by):
+            raise UnsupportedQueryError("GROUP BY must use outer-relation columns")
+        (spec,) = plan.index_specs
+        if spec.inner_func != "SUM" or spec.inner_col.column != spec.outer_col.column:
+            raise UnsupportedQueryError("unsupported grouped index shape")
+        self.spec = spec
+        self.relation = query.relations[0].name
+        self._group_columns = tuple(col.column for col in query.group_by)
+
+        # The result aggregate is the non-group-key select item.
+        aggregate_items = [
+            item
+            for item in query.select
+            if any(isinstance(node, AggrCall) for node in walk_expr(item.expr))
+        ]
+        if len(aggregate_items) != 1:
+            raise UnsupportedQueryError("exactly one aggregate select item required")
+        scale, call = _peel_constant_scale(aggregate_items[0].expr)
+        if not isinstance(call, AggrCall) or call.func != "SUM":
+            raise UnsupportedQueryError("grouped engine requires a SUM result")
+        self._scale = scale
+        self._result_arg = (
+            _compile_row_expr(call.arg, alias) if call.arg is not None else None
+        )
+
+        self._fixed = _FixedSide(query, spec)
+        self._index_cls = index_cls
+        op = spec.inner_op
+        if op in {">", ">="}:
+            self._key_sign = -1
+            op = "<" if op == ">" else "<="
+        else:
+            self._key_sign = 1
+        self._inclusive_inner = op == "<="
+        self._key_col = spec.outer_col.column
+        inner_alias = spec.inner_col.relation
+        self._inner_arg = (
+            _compile_row_expr(spec.inner_arg, inner_alias)
+            if spec.inner_arg is not None
+            else None
+        )
+        self.bound_map = TreeMap(prune_zeros=True)
+        self.group_indexes: dict[Any, Any] = {}
+        self._plan = plan
+        if name is not None:
+            self.name = name
+
+    def __getstate__(self) -> dict:
+        return _index_engine_state(self)
+
+    def __setstate__(self, state: dict) -> None:
+        _restore_index_engine(self, state)
+
+    def on_event(self, event: Event) -> Result:
+        self._fixed.on_event(event)
+        if event.relation != self.relation:
+            return self.result()
+        row, x = event.row, event.weight
+        key = self._key_sign * row[self._key_col]
+        volume = (self._inner_arg(row) if self._inner_arg is not None else 1) * x
+        res_delta = (self._result_arg(row) if self._result_arg is not None else 1) * x
+
+        old_at_key = self.bound_map.get(key, 0)
+        prefix_excl = self.bound_map.get_sum(key, inclusive=False)
+        if self._inclusive_inner:
+            boundary, inclusive = prefix_excl, False
+            group_new = prefix_excl + old_at_key + volume
+        else:
+            boundary, inclusive = prefix_excl, old_at_key == 0
+            group_new = prefix_excl
+
+        for index in self.group_indexes.values():
+            index.shift_keys(boundary, volume, inclusive=inclusive)
+        self.bound_map.add(key, volume)
+
+        gkey = (
+            row[self._group_columns[0]]
+            if len(self._group_columns) == 1
+            else tuple(row[c] for c in self._group_columns)
+        )
+        index = self.group_indexes.get(gkey)
+        if index is None:
+            index = self.group_indexes[gkey] = self._index_cls(prune_zeros=True)
+        if res_delta != 0:
+            index.add(group_new, res_delta)
+        if not len(index):
+            del self.group_indexes[gkey]
+        return self.result()
+
+    def result(self) -> Result:
+        probe = self._fixed.value()
+        out: dict[Any, float] = {}
+        for gkey, index in self.group_indexes.items():
+            value = self._scale * _probe(index, self.spec.outer_op, probe)
+            if value != 0:
+                out[gkey] = value
+        return out
+
+
+def build_single_index_engine(
+    query: AggrQuery, index_cls: Type | None = None, name: str | None = None
+) -> IncrementalEngine:
+    """Classify ``query`` and build the matching single-index engine.
+
+    Grouped inequality queries (``Aggr[cols]``) get the grouped range
+    engine; scalar queries get the point/range engines.
+
+    Raises:
+        UnsupportedQueryError: when the plan is not PAI_EQUALITY or
+            RPAI_INEQUALITY (use the registry for the other strategies).
+    """
+    plan = classify(query)
+    if plan.strategy is Strategy.PAI_EQUALITY:
+        return PointIndexEngine(plan, index_cls or PAIMap, name=name)
+    if plan.strategy is Strategy.RPAI_INEQUALITY:
+        if query.group_by:
+            return GroupedRangeIndexEngine(plan, index_cls or RPAITree, name=name)
+        return RangeIndexEngine(plan, index_cls or RPAITree, name=name)
+    raise UnsupportedQueryError(
+        f"no single-index engine for strategy {plan.strategy}: {plan.reason}"
+    )

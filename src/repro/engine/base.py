@@ -1,0 +1,57 @@
+"""Engine interface: the execution model of paper Section 4.2.1.
+
+Every engine consumes a stream of insert/delete events and keeps the
+query result fresh after each one — "whenever a new tuple arrives, the
+corresponding trigger will be called and the final result is computed
+after updating the indexes".
+
+Results are scalars for scalar aggregate queries and ``{group key:
+value}`` dicts for grouped queries (TPC-H Q18).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Union
+
+from repro.storage.stream import Event, Stream
+
+__all__ = ["IncrementalEngine", "Result"]
+
+Result = Union[float, dict]
+
+
+class IncrementalEngine(abc.ABC):
+    """Base class for all execution strategies.
+
+    Subclasses implement :meth:`on_event` (the update trigger) and
+    :meth:`result` (read the maintained output).  ``on_event`` returns
+    the refreshed result for convenience, matching the paper's trigger
+    pseudocode which ends every trigger with the result computation.
+    """
+
+    #: human-readable strategy name used in benchmark output
+    name: str = "engine"
+
+    @abc.abstractmethod
+    def on_event(self, event: Event) -> Result:
+        """Apply one insert/delete and return the refreshed result."""
+
+    @abc.abstractmethod
+    def result(self) -> Result:
+        """The current query output."""
+
+    def process(self, stream: Stream) -> Result:
+        """Feed every event of ``stream``; returns the final result."""
+        output: Result = self.result()
+        for event in stream:
+            output = self.on_event(event)
+        return output
+
+    def results_trace(self, stream: Stream) -> list[Result]:
+        """Feed the stream, recording the result after every event.
+
+        Used by the differential tests: two engines agree iff their
+        traces are identical element-wise.
+        """
+        return [self.on_event(event) for event in stream]

@@ -1,0 +1,102 @@
+"""Shared machinery for the specialized per-query RPAI engines.
+
+:class:`ShiftedSide` packages the Figure 2c trigger for one relation:
+an ordered bound map (attribute -> inner-aggregate contributions) plus
+any number of *parallel* aggregate indexes keyed by the correlated
+subquery's value — one per "required sum" exactly as Algorithm 4's
+``for reqSum in requiredSums(Q, Ri)`` loop.  MST needs two required
+sums per side (Σ price and count); VWAP needs one.
+
+The attribute ordering is normalized so the subquery value is always an
+*inclusive or strict prefix sum* in stored-key order ('>' / '>='
+correlations store negated keys).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.rpai import RPAITree
+from repro.errors import UnsupportedQueryError
+from repro.trees.treemap import TreeMap
+
+__all__ = ["ShiftedSide", "probe_index"]
+
+
+def probe_index(index, op: str, probe: float) -> float:
+    """Sum of ``index`` values over keys ``k`` satisfying ``probe op k``."""
+    if op == "=":
+        return index.get(probe, 0)
+    if op == "<":
+        return index.total_sum() - index.get_sum(probe, inclusive=True)
+    if op == "<=":
+        return index.total_sum() - index.get_sum(probe, inclusive=False)
+    if op == ">":
+        return index.get_sum(probe, inclusive=False)
+    if op == ">=":
+        return index.get_sum(probe, inclusive=True)
+    raise UnsupportedQueryError(f"unsupported probe operator {op!r}")
+
+
+class ShiftedSide:
+    """One relation's aggregate indexes under an inequality correlation.
+
+    Args:
+        inner_op: θ of the correlated predicate ``x.attr θ outer.attr``
+            (one of ``<  <=  >  >=``).
+        required_sums: how many parallel aggregate indexes to maintain
+            (each ``apply`` call passes one result delta per index).
+        index_cls: aggregate-index implementation (RPAITree by default;
+            PAIMap/TreeMap for the ablation variants).
+    """
+
+    def __init__(
+        self,
+        inner_op: str,
+        required_sums: int = 1,
+        index_cls: type = RPAITree,
+    ) -> None:
+        if inner_op in {">", ">="}:
+            self.key_sign = -1
+            inner_op = "<" if inner_op == ">" else "<="
+        elif inner_op in {"<", "<="}:
+            self.key_sign = 1
+        else:
+            raise UnsupportedQueryError(
+                f"ShiftedSide requires an inequality correlation, got {inner_op!r}"
+            )
+        self.inclusive = inner_op == "<="
+        self.bound_map = TreeMap(prune_zeros=True)
+        self.indexes = [index_cls(prune_zeros=True) for _ in range(required_sums)]
+        self.total_weight: float = 0  # running Σ of inner contributions
+
+    def apply(self, attr: float, weight: float, res_deltas: Sequence[float]) -> None:
+        """Process one tuple: ``attr`` is the correlation attribute,
+        ``weight`` the signed inner-aggregate contribution (± volume),
+        ``res_deltas`` the signed result contributions, one per index.
+
+        This is Figure 2c generalized: one range shift + one point
+        update per parallel index, one bound-map update.
+        """
+        key = self.key_sign * attr
+        old_at_key = self.bound_map.get(key, 0)
+        prefix_excl = self.bound_map.get_sum(key, inclusive=False)
+
+        if self.inclusive:
+            boundary, boundary_inclusive = prefix_excl, False
+            group_new = prefix_excl + old_at_key + weight
+        else:
+            boundary, boundary_inclusive = prefix_excl, old_at_key == 0
+            group_new = prefix_excl
+
+        for index, delta in zip(self.indexes, res_deltas):
+            index.shift_keys(boundary, weight, inclusive=boundary_inclusive)
+            if delta != 0:
+                index.add(group_new, delta)
+        self.bound_map.add(key, weight)
+        self.total_weight += weight
+
+    def qualifying(self, op: str, probe: float, which: int = 0) -> float:
+        """Sum of index ``which`` over groups whose subquery value ``k``
+        satisfies ``probe op k``."""
+        return probe_index(self.indexes[which], op, probe)

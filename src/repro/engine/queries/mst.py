@@ -1,0 +1,64 @@
+"""Specialized RPAI engine for the MST (missed trades) query.
+
+MST is the multi-relation conjunctive form of Section 4.3::
+
+    SELECT SUM(a.price - b.price) FROM asks a, bids b
+    WHERE 0.25 * (SELECT SUM(a1.volume) FROM asks a1)
+            > (SELECT SUM(a2.volume) FROM asks a2 WHERE a2.price > a.price)
+      AND 0.25 * (SELECT SUM(b1.volume) FROM bids b1)
+            > (SELECT SUM(b2.volume) FROM bids b2 WHERE b2.price > b.price)
+
+Four nested aggregates, two correlated — one per relation, each
+correlated only on its own relation's columns, so each side gets its
+own aggregate indexes (Algorithm 4's multi-relation form).  Because the
+result is a SUM over a cross join of a *linear* expression, it
+decomposes over the qualifying sets A and B::
+
+    Σ_{a∈A, b∈B} (a.price - b.price) = |B|·Σ_A price - |A|·Σ_B price
+
+so each side maintains two parallel aggregate indexes — Σ price and
+count — the "required sums" of Algorithm 4.  Every update is one range
+shift + point updates: O(log n).
+"""
+
+from __future__ import annotations
+
+from repro.core.rpai import RPAITree
+from repro.engine.base import IncrementalEngine, Result
+from repro.engine.queries.common import ShiftedSide
+from repro.storage.stream import Event
+
+__all__ = ["MSTRpaiEngine"]
+
+
+class MSTRpaiEngine(IncrementalEngine):
+    """O(log n)-per-update MST via per-relation RPAI indexes."""
+
+    name = "rpai"
+
+    def __init__(self, index_cls: type = RPAITree) -> None:
+        # Correlation: x.price > outer.price, SUM(volume); required
+        # sums per side: Σ price and count of qualifying tuples.
+        self.sides = {
+            "asks": ShiftedSide(">", required_sums=2, index_cls=index_cls),
+            "bids": ShiftedSide(">", required_sums=2, index_cls=index_cls),
+        }
+
+    def on_event(self, event: Event) -> Result:
+        side = self.sides.get(event.relation)
+        if side is not None:
+            row, x = event.row, event.weight
+            price, volume = row["price"], row["volume"]
+            side.apply(price, x * volume, (x * price, x))
+        return self.result()
+
+    def result(self) -> Result:
+        asks, bids = self.sides["asks"], self.sides["bids"]
+        # Outer predicates: 0.25 * total_volume > subquery value.
+        ask_probe = 0.25 * asks.total_weight
+        bid_probe = 0.25 * bids.total_weight
+        ask_sum = asks.qualifying(">", ask_probe, which=0)
+        ask_count = asks.qualifying(">", ask_probe, which=1)
+        bid_sum = bids.qualifying(">", bid_probe, which=0)
+        bid_count = bids.qualifying(">", bid_probe, which=1)
+        return bid_count * ask_sum - ask_count * bid_sum

@@ -1,0 +1,190 @@
+"""Specialized engines for the multi-level nested queries NQ1 and NQ2.
+
+**NQ1** replaces VWAP's correlated subquery with a 2-level nested
+aggregate whose inner level is correlated to the middle level only
+(DESIGN.md §4)::
+
+    rhs(b) = SELECT SUM(b2.volume) FROM bids b2
+             WHERE b2.price <= b.price
+               AND 0.25 * (SELECT SUM(b3.volume) FROM bids b3)
+                   < (SELECT SUM(b4.volume) FROM bids b4
+                      WHERE b4.price <= b2.price)
+
+Per the paper (Section 5.2.1): "NQ1 is handled by computing the delta
+of the new subquery independent of the outer query.  Once we compute
+the delta, the rest of the computation is the same as VWAP".  The
+middle level defines an *eligible-volume view* V(p) = vol(p) when the
+cumulative volume at p exceeds a quarter of the total (a suffix of
+prices, located with one ``first_key_with_prefix_above``).  Every
+update is turned into a small set of per-price deltas to V — the
+arriving tuple itself plus the prices whose eligibility toggled — and
+each delta drives one VWAP-style range shift of the outer aggregate
+index.
+
+Tie-safety: unlike VWAP, V(p) can be zero for live outer groups, so
+distinct groups can share an rhs value.  The aggregate index therefore
+uses **composite integer keys** ``rhs * M + price`` (M larger than any
+price), which are strictly increasing across groups; every shift
+boundary and probe becomes exact integer arithmetic.  This requires
+integer prices and volumes, which the workloads guarantee.
+
+**NQ2** correlates the *lowest* level with the outermost query::
+
+    rhs(b) = SELECT SUM(b2.volume) FROM bids b2
+             WHERE 0.25 * (SELECT SUM(b4.volume) FROM bids b4
+                           WHERE b4.price <= b.price)
+                   < (SELECT SUM(b3.volume) FROM bids b3
+                      WHERE b3.price <= b2.price)
+
+The eligibility threshold now depends on the outer tuple, so no single
+aggregate index serves all outer groups: the engine falls back to the
+general algorithm at the outer level, with every per-group probe an
+O(log n) boundary search — O(n log n) per update versus DBToaster's
+three nested loops (Table 1).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.rpai import RPAITree
+from repro.engine.base import IncrementalEngine, Result
+from repro.storage.stream import Event
+from repro.trees.treemap import TreeMap
+
+__all__ = ["NQ1RpaiEngine", "NQ2RpaiEngine"]
+
+#: Composite key stride: must exceed every price.  Python ints are
+#: arbitrary precision, so a generous constant costs nothing.
+_M = 1 << 45
+
+
+class NQ1RpaiEngine(IncrementalEngine):
+    """O(log n + crossings·log n) per update (amortized logarithmic)."""
+
+    name = "rpai"
+
+    def __init__(self) -> None:
+        self.price_vol = TreeMap(prune_zeros=True)  # all volume by price
+        self.total: float = 0
+        self.elig_vol = TreeMap(prune_zeros=True)  # the maintained view V
+        self.res_map: dict[int, float] = {}  # price -> Σ price·volume
+        self.aggr = RPAITree(prune_zeros=True)  # rhs·M + price -> group res
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _boundary(self) -> int | None:
+        """p*: smallest price whose cumulative volume exceeds total/4
+        (None iff the book is empty)."""
+        if self.total == 0:
+            return None
+        return self.price_vol.first_key_with_prefix_above(self.total / 4)
+
+    def _group_key(self, price: int) -> int:
+        """Composite aggregate-index key of the group at ``price`` under
+        the *current* view."""
+        return self.elig_vol.get_sum(price) * _M + price
+
+    def _apply_view_delta(self, price: int, delta: float) -> None:
+        """Feed one eligible-view delta through the outer VWAP machinery:
+        groups at prices >= ``price`` shift by ``delta`` (composite)."""
+        if delta == 0:
+            return
+        boundary = self.elig_vol.get_sum(price, inclusive=False) * _M + (price - 1)
+        self.aggr.shift_keys(boundary, delta * _M)
+        self.elig_vol.add(price, delta)
+
+    # -- trigger ------------------------------------------------------------------
+
+    def on_event(self, event: Event) -> Result:
+        if event.relation != "bids":
+            return self.result()
+        row, x = event.row, event.weight
+        price, volume = row["price"], row["volume"]
+
+        star_old = self._boundary()
+
+        # 1. Detach the arriving tuple's own group (its result value and
+        #    rhs both change non-uniformly).
+        old_res = self.res_map.get(price, 0)
+        if old_res != 0:
+            self.aggr.add(self._group_key(price), -old_res)
+
+        # 2. Apply the tuple to the base view.
+        self.price_vol.add(price, x * volume)
+        self.total += x * volume
+        new_res = old_res + x * price * volume
+        if new_res:
+            self.res_map[price] = new_res
+        else:
+            self.res_map.pop(price, None)
+
+        # 3. Delta the eligible view: candidates are the tuple's price
+        #    plus every price whose eligibility toggled when the
+        #    boundary moved.
+        star_new = self._boundary()
+        candidates: dict[int, None] = {price: None}
+        if star_old is not None and star_new is not None and star_old != star_new:
+            lo, hi = min(star_old, star_new), max(star_old, star_new)
+            for p, _v in self.price_vol.range_items(lo, hi, lo_inclusive=True, hi_inclusive=False):
+                candidates[int(p)] = None
+        for p in sorted(candidates):
+            eligible = star_new is not None and p >= star_new
+            target = self.price_vol.get(p, 0) if eligible else 0
+            self._apply_view_delta(p, target - self.elig_vol.get(p, 0))
+
+        # 4. Re-attach the tuple's group at its new composite key.
+        if new_res != 0:
+            self.aggr.add(self._group_key(price), new_res)
+        return self.result()
+
+    def result(self) -> Result:
+        # Outer predicate: 0.75 * total < rhs  (strict).
+        lhs = 0.75 * self.total
+        floor_key = math.floor(lhs) * _M + (_M - 1)
+        return self.aggr.total_sum() - self.aggr.get_sum(floor_key)
+
+
+class NQ2RpaiEngine(IncrementalEngine):
+    """General algorithm at the outer level: O(n log n) per update."""
+
+    name = "rpai"
+
+    def __init__(self) -> None:
+        self.price_vol = TreeMap(prune_zeros=True)
+        self.total: float = 0
+        self.res_map: dict[int, float] = {}  # price -> Σ price·volume
+        self._result: float = 0
+
+    def on_event(self, event: Event) -> Result:
+        if event.relation != "bids":
+            return self._result
+        row, x = event.row, event.weight
+        price, volume = row["price"], row["volume"]
+        self.price_vol.add(price, x * volume)
+        self.total += x * volume
+        new_res = self.res_map.get(price, 0) + x * price * volume
+        if new_res:
+            self.res_map[price] = new_res
+        else:
+            self.res_map.pop(price, None)
+        self._result = self._recompute()
+        return self._result
+
+    def _recompute(self) -> float:
+        """Iterate outer groups; each probe is two O(log n) searches."""
+        total_res: float = 0
+        lhs = 0.75 * self.total
+        for price, res in self.res_map.items():
+            threshold = 0.25 * self.price_vol.get_sum(price)
+            star = self.price_vol.first_key_with_prefix_above(threshold)
+            if star is None:
+                rhs: float = 0
+            else:
+                rhs = self.total - self.price_vol.get_sum(star, inclusive=False)
+            if lhs < rhs:
+                total_res += res
+        return total_res
+
+    def result(self) -> Result:
+        return self._result

@@ -1,0 +1,67 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single base class.  Subclasses are deliberately
+fine-grained: the query front-end, the planner, and the engines each
+raise a distinct type so that tests (and downstream users) can assert
+on *why* something was rejected, not just that it was.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "QueryParseError",
+    "QueryAnalysisError",
+    "UnsupportedQueryError",
+    "SchemaError",
+    "EngineStateError",
+    "DuplicateKeyError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class QueryParseError(ReproError):
+    """The SQL text could not be parsed into the AggrQ grammar.
+
+    Carries the offending position so callers can point at the token.
+    """
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class QueryAnalysisError(ReproError):
+    """The query parsed, but free/bound analysis found an inconsistency.
+
+    Examples: a column referencing an alias that is not in scope, or an
+    aggregate function applied to a non-numeric expression.
+    """
+
+
+class UnsupportedQueryError(ReproError):
+    """The query is valid but outside the class an engine supports.
+
+    The planner raises this when asked to compile a query whose shape
+    does not match Section 4.3 of the paper (for the aggregate-index
+    engine) or Section 4.2 (for the general algorithm).
+    """
+
+
+class SchemaError(ReproError):
+    """A tuple did not match the relation schema it was inserted into."""
+
+
+class EngineStateError(ReproError):
+    """An engine was driven incorrectly (e.g. deleting a missing tuple)."""
+
+
+class DuplicateKeyError(ReproError):
+    """An index insert collided with an existing key where overwrite or
+    merge semantics were not requested."""

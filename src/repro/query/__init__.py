@@ -1,0 +1,58 @@
+"""Query front-end: AggrQ grammar AST, SQL parser, analysis, planner."""
+
+from repro.query.analysis import (
+    bound_columns,
+    extract_pred_values,
+    free_columns,
+    is_correlated,
+    is_streamable_query,
+    nesting_depth,
+    validate_query,
+)
+from repro.query.ast import (
+    AggrCall,
+    AggrQuery,
+    And,
+    Arith,
+    ColumnRef,
+    Comparison,
+    Const,
+    Expr,
+    InSubquery,
+    Or,
+    Predicate,
+    RelationRef,
+    SelectItem,
+    SubqueryExpr,
+)
+from repro.query.parser import parse_query
+from repro.query.planner import QueryPlan, Strategy, asymptotic_cost, classify
+
+__all__ = [
+    "parse_query",
+    "classify",
+    "QueryPlan",
+    "Strategy",
+    "asymptotic_cost",
+    "AggrQuery",
+    "AggrCall",
+    "And",
+    "Arith",
+    "ColumnRef",
+    "Comparison",
+    "Const",
+    "Expr",
+    "InSubquery",
+    "Or",
+    "Predicate",
+    "RelationRef",
+    "SelectItem",
+    "SubqueryExpr",
+    "free_columns",
+    "bound_columns",
+    "extract_pred_values",
+    "is_correlated",
+    "is_streamable_query",
+    "nesting_depth",
+    "validate_query",
+]

@@ -1,0 +1,345 @@
+"""A recursive-descent parser for the SQL subset the paper targets.
+
+The grammar covers exactly the query class of Section 4.1: scalar and
+grouped aggregate queries over joined base relations, with arithmetic
+predicate operands that may contain (correlated) nested aggregate
+subqueries, plus ``IN (SELECT ...)`` membership and ``HAVING`` for
+TPC-H Q18.  String literals, qualified column references, and the five
+aggregate functions are supported; anything else raises
+:class:`~repro.errors.QueryParseError` with the offending offset.
+
+Usage:
+    >>> from repro.query.parser import parse_query
+    >>> q = parse_query('''
+    ...     SELECT SUM(b.price * b.volume) FROM bids b
+    ...     WHERE 0.75 * (SELECT SUM(b1.volume) FROM bids b1)
+    ...         < (SELECT SUM(b2.volume) FROM bids b2
+    ...            WHERE b2.price <= b.price)
+    ... ''')
+    >>> len(list(q.subqueries()))
+    2
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import QueryParseError
+from repro.query.ast import (
+    AggrCall,
+    AggrQuery,
+    And,
+    Arith,
+    ColumnRef,
+    Comparison,
+    Const,
+    Expr,
+    InSubquery,
+    Or,
+    Predicate,
+    RelationRef,
+    SelectItem,
+    SubqueryExpr,
+)
+
+__all__ = ["parse_query", "tokenize"]
+
+_KEYWORDS = {
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "GROUP",
+    "BY",
+    "HAVING",
+    "AND",
+    "OR",
+    "IN",
+    "AS",
+    "BETWEEN",
+    "SUM",
+    "COUNT",
+    "AVG",
+    "AVERAGE",
+    "MIN",
+    "MAX",
+}
+
+_AGGR_KEYWORDS = {"SUM", "COUNT", "AVG", "AVERAGE", "MIN", "MAX"}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>\d+\.\d+|\.\d+|\d+)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op><>|<=|>=|=|<|>|\+|-|\*|/)
+  | (?P<punct>[(),.])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # KEYWORD | IDENT | NUMBER | STRING | OP | PUNCT | EOF
+    text: str
+    position: int
+
+
+def tokenize(sql: str) -> list[_Token]:
+    """Split SQL text into tokens; raises QueryParseError on junk."""
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(sql):
+        match = _TOKEN_RE.match(sql, position)
+        if match is None:
+            raise QueryParseError(f"unexpected character {sql[position]!r}", position)
+        position = match.end()
+        if match.lastgroup == "ws":
+            continue
+        text = match.group()
+        if match.lastgroup == "ident":
+            upper = text.upper()
+            if upper in _KEYWORDS:
+                tokens.append(_Token("KEYWORD", upper, match.start()))
+            else:
+                tokens.append(_Token("IDENT", text, match.start()))
+        elif match.lastgroup == "number":
+            tokens.append(_Token("NUMBER", text, match.start()))
+        elif match.lastgroup == "string":
+            tokens.append(_Token("STRING", text, match.start()))
+        elif match.lastgroup == "op":
+            tokens.append(_Token("OP", text, match.start()))
+        else:
+            tokens.append(_Token("PUNCT", text, match.start()))
+    tokens.append(_Token("EOF", "", len(sql)))
+    return tokens
+
+
+class _Parser:
+    """Cursor-based recursive-descent parser with cheap backtracking."""
+
+    def __init__(self, sql: str) -> None:
+        self.sql = sql
+        self.tokens = tokenize(sql)
+        self.index = 0
+
+    # -- token plumbing ---------------------------------------------------------
+
+    def peek(self, ahead: int = 0) -> _Token:
+        return self.tokens[min(self.index + ahead, len(self.tokens) - 1)]
+
+    def advance(self) -> _Token:
+        token = self.tokens[self.index]
+        if token.kind != "EOF":
+            self.index += 1
+        return token
+
+    def accept(self, kind: str, text: str | None = None) -> _Token | None:
+        token = self.peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: str | None = None) -> _Token:
+        token = self.accept(kind, text)
+        if token is None:
+            actual = self.peek()
+            wanted = text or kind
+            raise QueryParseError(
+                f"expected {wanted}, found {actual.text or 'end of input'!r}",
+                actual.position,
+            )
+        return token
+
+    # -- grammar ------------------------------------------------------------------
+
+    def parse(self) -> AggrQuery:
+        query = self.query()
+        self.expect("EOF")
+        return query
+
+    def query(self) -> AggrQuery:
+        self.expect("KEYWORD", "SELECT")
+        select = [self.select_item()]
+        while self.accept("PUNCT", ","):
+            select.append(self.select_item())
+        self.expect("KEYWORD", "FROM")
+        relations = [self.relation()]
+        while self.accept("PUNCT", ","):
+            relations.append(self.relation())
+        where = None
+        if self.accept("KEYWORD", "WHERE"):
+            where = self.predicate()
+        group_by: list[ColumnRef] = []
+        if self.accept("KEYWORD", "GROUP"):
+            self.expect("KEYWORD", "BY")
+            group_by.append(self.column_ref())
+            while self.accept("PUNCT", ","):
+                group_by.append(self.column_ref())
+        having = None
+        if self.accept("KEYWORD", "HAVING"):
+            having = self.predicate()
+        return AggrQuery(
+            select=tuple(select),
+            relations=tuple(relations),
+            where=where,
+            group_by=tuple(group_by),
+            having=having,
+        )
+
+    def select_item(self) -> SelectItem:
+        expr = self.expr()
+        alias = None
+        if self.accept("KEYWORD", "AS"):
+            alias = self.expect("IDENT").text
+        elif self.peek().kind == "IDENT":
+            alias = self.advance().text
+        return SelectItem(expr, alias)
+
+    def relation(self) -> RelationRef:
+        name = self.expect("IDENT").text
+        alias = name
+        if self.peek().kind == "IDENT":
+            alias = self.advance().text
+        return RelationRef(name, alias)
+
+    def column_ref(self) -> ColumnRef:
+        first = self.expect("IDENT").text
+        self.expect("PUNCT", ".")
+        second = self.expect("IDENT").text
+        return ColumnRef(first, second)
+
+    # -- predicates -----------------------------------------------------------------
+
+    def predicate(self) -> Predicate:
+        left = self.and_predicate()
+        while self.accept("KEYWORD", "OR"):
+            left = Or(left, self.and_predicate())
+        return left
+
+    def and_predicate(self) -> Predicate:
+        left = self.atomic_predicate()
+        while self.accept("KEYWORD", "AND"):
+            left = And(left, self.atomic_predicate())
+        return left
+
+    def atomic_predicate(self) -> Predicate:
+        # '(' may open either a parenthesised boolean predicate or an
+        # arithmetic/subquery operand; try the expression route first
+        # and fall back to the boolean route on failure.
+        if self.peek().kind == "PUNCT" and self.peek().text == "(":
+            saved = self.index
+            try:
+                return self.comparison_or_in()
+            except QueryParseError:
+                self.index = saved
+            self.expect("PUNCT", "(")
+            inner = self.predicate()
+            self.expect("PUNCT", ")")
+            return inner
+        return self.comparison_or_in()
+
+    def comparison_or_in(self) -> Predicate:
+        left = self.expr()
+        if self.accept("KEYWORD", "IN"):
+            self.expect("PUNCT", "(")
+            sub = self.query()
+            self.expect("PUNCT", ")")
+            return InSubquery(left, sub)
+        if self.accept("KEYWORD", "BETWEEN"):
+            # Desugars to `lo <= e AND e <= hi`, so the AST stays within
+            # the paper's grammar and printing round-trips.
+            low = self.expr()
+            self.expect("KEYWORD", "AND")
+            high = self.expr()
+            return And(Comparison("<=", low, left), Comparison("<=", left, high))
+        op_token = self.peek()
+        if op_token.kind == "OP" and op_token.text in {"=", "<>", "<", "<=", ">", ">="}:
+            self.advance()
+            right = self.expr()
+            return Comparison(op_token.text, left, right)
+        raise QueryParseError(
+            f"expected comparison operator, found {op_token.text!r}",
+            op_token.position,
+        )
+
+    # -- expressions ------------------------------------------------------------------
+
+    def expr(self) -> Expr:
+        left = self.term()
+        while True:
+            token = self.peek()
+            if token.kind == "OP" and token.text in {"+", "-"}:
+                self.advance()
+                left = Arith(token.text, left, self.term())
+            else:
+                return left
+
+    def term(self) -> Expr:
+        left = self.factor()
+        while True:
+            token = self.peek()
+            if token.kind == "OP" and token.text in {"*", "/"}:
+                self.advance()
+                left = Arith(token.text, left, self.factor())
+            else:
+                return left
+
+    def factor(self) -> Expr:
+        token = self.peek()
+        if token.kind == "NUMBER":
+            self.advance()
+            value = float(token.text) if "." in token.text else int(token.text)
+            return Const(value)
+        if token.kind == "STRING":
+            self.advance()
+            return Const(token.text[1:-1].replace("''", "'"))
+        if token.kind == "OP" and token.text == "-":
+            self.advance()
+            inner = self.factor()
+            if isinstance(inner, Const) and isinstance(inner.value, (int, float)):
+                return Const(-inner.value)
+            return Arith("-", Const(0), inner)
+        if token.kind == "KEYWORD" and token.text in _AGGR_KEYWORDS:
+            return self.aggr_call()
+        if token.kind == "PUNCT" and token.text == "(":
+            self.advance()
+            if self.peek().kind == "KEYWORD" and self.peek().text == "SELECT":
+                sub = self.query()
+                self.expect("PUNCT", ")")
+                return SubqueryExpr(sub)
+            inner = self.expr()
+            self.expect("PUNCT", ")")
+            return inner
+        if token.kind == "IDENT":
+            if self.peek(1).kind == "PUNCT" and self.peek(1).text == ".":
+                return self.column_ref()
+            raise QueryParseError(
+                f"bare identifier {token.text!r}: columns must be qualified "
+                "as alias.column",
+                token.position,
+            )
+        raise QueryParseError(f"unexpected token {token.text!r}", token.position)
+
+    def aggr_call(self) -> AggrCall:
+        func = self.advance().text
+        if func == "AVERAGE":
+            func = "AVG"
+        self.expect("PUNCT", "(")
+        if func == "COUNT" and self.accept("OP", "*"):
+            self.expect("PUNCT", ")")
+            return AggrCall("COUNT", None)
+        arg = self.expr()
+        self.expect("PUNCT", ")")
+        return AggrCall(func, arg)
+
+
+def parse_query(sql: str) -> AggrQuery:
+    """Parse SQL text into an :class:`~repro.query.ast.AggrQuery`.
+
+    Raises:
+        QueryParseError: with the byte offset of the first bad token.
+    """
+    return _Parser(sql).parse()

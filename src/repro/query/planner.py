@@ -1,0 +1,453 @@
+"""Strategy planner: Section 4.3.1's "overhead of identification".
+
+Given a parsed query, :func:`classify` pattern-matches it against the
+shapes the paper's optimizations require and returns a
+:class:`QueryPlan` saying *how* it should be incrementalized:
+
+* ``UNCORRELATED`` — no correlated nested aggregates (TPC-H Q18): every
+  subquery is independently maintainable and the outer result follows
+  by point updates.
+* ``PAI_EQUALITY`` — Section 2.1.3 / Algorithm 4 ``"="`` case: a single
+  aggregate index with point key moves; O(1) per update (Example 2.1).
+* ``RPAI_INEQUALITY`` — Section 2.2.3 / Algorithm 4 ``"<="`` case: a
+  single aggregate index with range key shifts; O(log n) with an RPAI
+  tree (VWAP).
+* ``RPAI_CONJUNCTIVE`` — the multi-relation form of Section 4.3: a
+  conjunction ``v1 θ q_R1 AND ... AND vn θ q_Rn`` with each ``q_Ri``
+  correlated only on ``Ri``; one aggregate index per relation (MST,
+  PSP).
+* ``GENERAL`` — the Section 4.2 general algorithm (SQ1, SQ2).
+* ``GENERAL_NESTED`` — multi-level nesting (NQ1, NQ2): delta-compute
+  the inner view, then either feed the deltas into aggregate indexes
+  (NQ1) or fall back to the general algorithm at the outer level (NQ2).
+
+The checks run once per query ("during trigger generation") and are
+linear in the query size — no exponential blow-up, matching the paper's
+claim.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import UnsupportedQueryError
+from repro.query.analysis import (
+    extract_pred_values,
+    free_columns,
+    is_correlated,
+    is_streamable_query,
+    nesting_depth,
+    validate_query,
+)
+from repro.query.ast import (
+    AggrCall,
+    AggrQuery,
+    ColumnRef,
+    Comparison,
+    Expr,
+    InSubquery,
+    SubqueryExpr,
+    walk_expr,
+)
+
+__all__ = [
+    "Strategy",
+    "QueryPlan",
+    "IndexSpec",
+    "classify",
+    "asymptotic_cost",
+]
+
+
+class Strategy(enum.Enum):
+    UNCORRELATED = "uncorrelated"
+    PAI_EQUALITY = "pai-equality"
+    RPAI_INEQUALITY = "rpai-inequality"
+    RPAI_CONJUNCTIVE = "rpai-conjunctive"
+    RPAI_GROUPED = "rpai-grouped"
+    GENERAL = "general"
+    GENERAL_NESTED = "general-nested"
+
+
+@dataclass(frozen=True)
+class IndexSpec:
+    """Everything an aggregate-index engine needs for one correlated
+    predicate ``fixed_expr θ (SELECT agg(inner_arg) FROM R x WHERE
+    inner_col θ' outer_col)``.
+
+    Attributes:
+        relation: base relation name the subquery ranges over.
+        outer_alias: alias of the outer relation the subquery correlates
+            with.
+        outer_op: θ — comparison between the fixed side and the
+            subquery value, normalized so the subquery is on the
+            *right* (``fixed θ sub``).
+        fixed_expr: the uncorrelated side (constant arithmetic over
+            uncorrelated subqueries/constants).
+        inner_func: SUM/COUNT/AVG.
+        inner_arg: argument of the inner aggregate (None for COUNT(*)).
+        inner_op: θ' of the correlated predicate, normalized so the
+            *inner* column is on the left (``inner_col θ' outer_col``).
+        inner_col: bound column (from the subquery's own relation).
+        outer_col: free column (from the outer relation).
+        extra_pairs: additional (inner_col, outer_col) equality pairs
+            when the correlation is a conjunction of equalities
+            (Section 4.3: "multiple conjunctive equality predicates
+            (results in a single point update)").
+    """
+
+    relation: str
+    outer_alias: str
+    outer_op: str
+    fixed_expr: Expr
+    inner_func: str
+    inner_arg: Expr | None
+    inner_op: str
+    inner_col: ColumnRef
+    outer_col: ColumnRef
+    extra_pairs: tuple[tuple[ColumnRef, ColumnRef], ...] = ()
+
+    def column_pairs(self) -> tuple[tuple[ColumnRef, ColumnRef], ...]:
+        """All (inner, outer) correlation column pairs."""
+        return ((self.inner_col, self.outer_col), *self.extra_pairs)
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """Result of :func:`classify`."""
+
+    strategy: Strategy
+    query: AggrQuery
+    index_specs: tuple[IndexSpec, ...] = field(default=())
+    reason: str = ""
+
+    def describe(self) -> str:
+        lines = [f"strategy: {self.strategy.value}"]
+        if self.reason:
+            lines.append(f"reason: {self.reason}")
+        for spec in self.index_specs:
+            lines.append(
+                f"  index on {spec.relation}: {spec.inner_func} keyed by "
+                f"{spec.inner_col} {spec.inner_op} {spec.outer_col}, "
+                f"probe {spec.outer_op} {spec.fixed_expr}"
+            )
+        return "\n".join(lines)
+
+
+_EQ_OPS = {"="}
+_INEQ_OPS = {"<", "<=", ">", ">="}
+
+
+def classify(query: AggrQuery) -> QueryPlan:
+    """Pattern-match ``query`` against the paper's optimization shapes.
+
+    Raises:
+        UnsupportedQueryError: only for queries outside the AggrQ class
+            entirely (e.g. non-aggregate select lists).
+    """
+    validate_query(query)
+    _require_aggregate(query)
+
+    subqueries = extract_pred_values(query)
+    correlated = [sub for sub in subqueries if is_correlated(sub)]
+
+    if not correlated:
+        return QueryPlan(
+            Strategy.UNCORRELATED,
+            query,
+            reason="no correlated nested aggregates; every view is "
+            "independently maintainable",
+        )
+
+    if any(nesting_depth(sub) >= 1 for sub in correlated):
+        return QueryPlan(
+            Strategy.GENERAL_NESTED,
+            query,
+            reason="correlated subquery itself contains nested aggregates "
+            "(multi-level nesting)",
+        )
+
+    if not is_streamable_query(query):
+        return QueryPlan(
+            Strategy.GENERAL,
+            query,
+            reason="contains non-streamable aggregates (MIN/MAX); aggregate "
+            "indexes cannot shift their values (Section 4.3.2)",
+        )
+
+    grouped = _match_grouped_threshold(query)
+    if grouped is not None:
+        return QueryPlan(
+            Strategy.RPAI_GROUPED,
+            query,
+            index_specs=(grouped,),
+            reason="outer column compared against an equality-correlated "
+            "aggregate: one ordered index per correlation group (TPC-H "
+            "Q17 shape, Section 5.2.2)",
+        )
+
+    specs = _match_conjunctive_shape(query)
+    if specs is not None:
+        if len(query.relations) == 1:
+            spec = specs[0]
+            if spec.inner_op in _EQ_OPS:
+                strategy = Strategy.PAI_EQUALITY
+            else:
+                strategy = Strategy.RPAI_INEQUALITY
+            return QueryPlan(strategy, query, index_specs=tuple(specs))
+        return QueryPlan(
+            Strategy.RPAI_CONJUNCTIVE, query, index_specs=tuple(specs)
+        )
+
+    return QueryPlan(
+        Strategy.GENERAL,
+        query,
+        reason="correlated nested aggregate does not match the aggregate-"
+        "index shape of Section 4.3 (falling back to the general algorithm)",
+    )
+
+
+def _require_aggregate(query: AggrQuery) -> None:
+    has_aggregate = any(
+        isinstance(node, AggrCall)
+        for item in query.select
+        for node in walk_expr(item.expr)
+    )
+    if not has_aggregate:
+        raise UnsupportedQueryError(
+            "only aggregate queries are supported (select list has no "
+            "aggregate function)"
+        )
+
+
+def _match_conjunctive_shape(query: AggrQuery) -> list[IndexSpec] | None:
+    """Match ``v1 θ q_R1 AND ... AND vn θ q_Rn`` (Section 4.3).
+
+    Requirements: one conjunct per relation with a correlated subquery
+    correlated *only* on that relation's columns; each subquery is a
+    single-relation single-aggregate query whose predicate compares a
+    bare bound column with a bare free column.  Returns None when the
+    query does not match.
+    """
+    conjuncts = query.conjuncts()
+    if not conjuncts or len(conjuncts) != len(query.relations):
+        return None
+    specs: list[IndexSpec] = []
+    seen_aliases: set[str] = set()
+    for conjunct in conjuncts:
+        if not isinstance(conjunct, Comparison):
+            return None
+        spec = _match_index_predicate(query, conjunct)
+        if spec is None:
+            return None
+        if spec.outer_alias in seen_aliases:
+            return None
+        seen_aliases.add(spec.outer_alias)
+        specs.append(spec)
+    return specs
+
+
+def _match_index_predicate(query: AggrQuery, pred: Comparison) -> IndexSpec | None:
+    """Match one conjunct of the form ``fixed θ correlated-subquery``
+    (either operand order), returning its IndexSpec or None."""
+    left_sub = _sole_correlated_subquery(pred.left)
+    right_sub = _sole_correlated_subquery(pred.right)
+    if (left_sub is None) == (right_sub is None):
+        return None  # need exactly one correlated side
+    if right_sub is not None:
+        outer_op, fixed_expr, sub = pred.op, pred.left, right_sub
+    else:
+        flipped = pred.flipped()
+        outer_op, fixed_expr, sub = flipped.op, flipped.left, left_sub
+    if _contains_correlated_subquery(fixed_expr):
+        return None
+    # The correlated side must be the bare subquery (no arithmetic
+    # wrapping), otherwise shifted keys would need rescaling.
+    bare = pred.right if right_sub is not None else pred.left
+    if not isinstance(bare, SubqueryExpr):
+        return None
+
+    if len(sub.relations) != 1 or sub.group_by or sub.having is not None:
+        return None
+    if len(sub.select) != 1:
+        return None
+    inner_agg = sub.select[0].expr
+    if not isinstance(inner_agg, AggrCall) or not inner_agg.streamable:
+        return None
+
+    free = free_columns(sub)
+    if not free:
+        return None
+    outer_aliases = {ref.relation for ref in free}
+    if len(outer_aliases) != 1:
+        return None
+    (outer_alias,) = outer_aliases
+    # Correlates with exactly one of this query's relations.
+    if outer_alias not in query.aliases:
+        return None
+
+    inner_alias = sub.relations[0].alias
+    inner_conjuncts = sub.conjuncts()
+    if not inner_conjuncts:
+        return None
+
+    pairs: list[tuple[str, ColumnRef, ColumnRef]] = []
+    for conjunct in inner_conjuncts:
+        if not isinstance(conjunct, Comparison):
+            return None
+        for ref in free:
+            spec_op, inner_col = _match_symmetric_columns(conjunct, inner_alias, ref)
+            if spec_op is not None and inner_col is not None:
+                pairs.append((spec_op, inner_col, ref))
+                break
+        else:
+            return None
+    if len(pairs) != len(inner_conjuncts):
+        return None
+
+    if len(pairs) == 1:
+        spec_op, inner_col, outer_col = pairs[0]
+    else:
+        # Multiple conjunctive predicates only work as a single point
+        # update when every one is an equality (Section 4.3).
+        if any(op != "=" for op, _, _ in pairs):
+            return None
+        spec_op, inner_col, outer_col = pairs[0]
+
+    return IndexSpec(
+        relation=sub.relations[0].name,
+        outer_alias=outer_alias,
+        outer_op=outer_op,
+        fixed_expr=fixed_expr,
+        inner_func=inner_agg.func,
+        inner_arg=inner_agg.arg,
+        inner_op=spec_op,
+        inner_col=inner_col,
+        outer_col=outer_col,
+        extra_pairs=tuple((ic, oc) for _, ic, oc in pairs[1:]),
+    )
+
+
+def _match_grouped_threshold(query: AggrQuery) -> IndexSpec | None:
+    """Match the TPC-H Q17 shape: some conjunct compares a *bare outer
+    column* against a correlated subquery whose own predicate is an
+    equality correlation (``l.quantity < (SELECT ... WHERE l2.partkey =
+    p.partkey)``).  The engine then keeps one ordered index per
+    correlation group, probed with the group's (changing) aggregate.
+
+    Remaining conjuncts must be subquery-free (joins and constant
+    filters), which the engines handle directly.
+    """
+    conjuncts = query.conjuncts()
+    target: Comparison | None = None
+    for conjunct in conjuncts:
+        if not isinstance(conjunct, Comparison):
+            return None
+        has_sub = _contains_correlated_subquery(conjunct.left) or (
+            _contains_correlated_subquery(conjunct.right)
+        )
+        if has_sub:
+            if target is not None:
+                return None
+            target = conjunct
+    if target is None:
+        return None
+
+    # Normalize so the subquery is on the right.
+    if isinstance(target.right, SubqueryExpr):
+        column_side, op, sub_expr = target.left, target.op, target.right
+    elif isinstance(target.left, SubqueryExpr):
+        flipped = target.flipped()
+        column_side, op, sub_expr = flipped.left, flipped.op, flipped.right
+    else:
+        return None
+    if not isinstance(column_side, ColumnRef) or op in _EQ_OPS:
+        return None
+    assert isinstance(sub_expr, SubqueryExpr)
+    sub = sub_expr.query
+
+    if len(sub.relations) != 1 or sub.group_by or sub.having is not None:
+        return None
+    if len(sub.select) != 1:
+        return None
+    aggs = [
+        node
+        for node in walk_expr(sub.select[0].expr)
+        if isinstance(node, AggrCall)
+    ]
+    if len(aggs) != 1 or not aggs[0].streamable:
+        return None
+
+    free = free_columns(sub)
+    if len(free) != 1:
+        return None
+    (outer_col,) = free
+    inner_pred = sub.where
+    if not isinstance(inner_pred, Comparison) or inner_pred.op != "=":
+        return None
+    inner_alias = sub.relations[0].alias
+    spec_op, inner_col = _match_symmetric_columns(inner_pred, inner_alias, outer_col)
+    if spec_op != "=" or inner_col is None:
+        return None
+
+    return IndexSpec(
+        relation=sub.relations[0].name,
+        outer_alias=column_side.relation,
+        outer_op=op,
+        fixed_expr=column_side,
+        inner_func=aggs[0].func,
+        inner_arg=aggs[0].arg,
+        inner_op="=",
+        inner_col=inner_col,
+        outer_col=outer_col,
+    )
+
+
+def _match_symmetric_columns(
+    pred: Comparison, inner_alias: str, outer_col: ColumnRef
+) -> tuple[str | None, ColumnRef | None]:
+    """Require ``inner.c θ outer.c`` with bare columns on both sides
+    (SQ2's asymmetric arithmetic fails here, sending it to the general
+    algorithm exactly as in the paper)."""
+    left, right, op = pred.left, pred.right, pred.op
+    if isinstance(left, ColumnRef) and left.relation == inner_alias and right == outer_col:
+        return op, left
+    if isinstance(right, ColumnRef) and right.relation == inner_alias and left == outer_col:
+        return Comparison(op, left, right).flipped().op, right
+    return None, None
+
+
+def _sole_correlated_subquery(expr: Expr) -> AggrQuery | None:
+    """The unique correlated subquery inside ``expr`` (None if zero or
+    several)."""
+    found = [
+        node.query
+        for node in walk_expr(expr)
+        if isinstance(node, SubqueryExpr) and is_correlated(node.query)
+    ]
+    return found[0] if len(found) == 1 else None
+
+
+def _contains_correlated_subquery(expr: Expr) -> bool:
+    return any(
+        isinstance(node, SubqueryExpr) and is_correlated(node.query)
+        for node in walk_expr(expr)
+    )
+
+
+#: Per-update asymptotic cost by strategy, for Table 1 reporting.
+_COSTS = {
+    Strategy.UNCORRELATED: "O(1)",
+    Strategy.PAI_EQUALITY: "O(1)",
+    Strategy.RPAI_INEQUALITY: "O(log n)",
+    Strategy.RPAI_CONJUNCTIVE: "O(log n)",
+    Strategy.RPAI_GROUPED: "O(log n)",
+    Strategy.GENERAL: "O(n)",
+    Strategy.GENERAL_NESTED: "O(n log n)",
+}
+
+
+def asymptotic_cost(plan: QueryPlan) -> str:
+    """Human-readable per-update complexity of the chosen strategy."""
+    return _COSTS[plan.strategy]

@@ -1,0 +1,16 @@
+"""Storage substrate: schemas, multiset relations, and update streams."""
+
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+from repro.storage.stream import DELETE, INSERT, Event, Stream, interleave, with_deletions
+
+__all__ = [
+    "Schema",
+    "Relation",
+    "Event",
+    "Stream",
+    "INSERT",
+    "DELETE",
+    "interleave",
+    "with_deletions",
+]

@@ -1,0 +1,93 @@
+"""In-memory multiset relations.
+
+The naive re-evaluation engine (and the differential tests) need an
+actual stored table to recompute queries from scratch.  A
+:class:`Relation` is a bag of rows with insert (X = +1) and delete
+(X = -1) semantics matching the paper's update model (Section 2.2:
+"transactions in these financial markets often contain updates or
+retractions of older transactions").
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Iterator, Mapping
+
+from repro.errors import EngineStateError
+from repro.storage.schema import Schema
+
+__all__ = ["Relation"]
+
+
+class Relation:
+    """A multiset of rows conforming to a :class:`Schema`.
+
+    Rows are stored as a ``Counter`` over column-ordered tuples so that
+    deletion of one instance of a duplicate row is well defined and
+    O(1).  Iteration yields dict rows (one per multiplicity).
+    """
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        self._counts: Counter[tuple] = Counter()
+        self._size = 0
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def insert(self, row: Mapping[str, Any]) -> None:
+        """Add one instance of ``row`` (validated against the schema)."""
+        self.schema.validate(row)
+        self._counts[self.schema.project(row)] += 1
+        self._size += 1
+
+    def delete(self, row: Mapping[str, Any]) -> None:
+        """Remove one instance of ``row``.
+
+        Raises:
+            EngineStateError: if the row is not present.
+        """
+        self.schema.validate(row)
+        key = self.schema.project(row)
+        if self._counts[key] <= 0:
+            raise EngineStateError(
+                f"{self.name}: deleting a row that is not present: {row!r}"
+            )
+        self._counts[key] -= 1
+        if self._counts[key] == 0:
+            del self._counts[key]
+        self._size -= 1
+
+    def apply(self, row: Mapping[str, Any], weight: int) -> None:
+        """Insert (+1) or delete (-1) depending on ``weight``."""
+        if weight == 1:
+            self.insert(row)
+        elif weight == -1:
+            self.delete(row)
+        else:
+            raise EngineStateError(f"unsupported weight {weight}")
+
+    def rows(self) -> Iterator[dict[str, Any]]:
+        """Iterate rows as dicts; duplicates yield multiple times."""
+        columns = self.schema.columns
+        for key, count in self._counts.items():
+            row = dict(zip(columns, key))
+            for _ in range(count):
+                yield dict(row)
+
+    def distinct_rows(self) -> Iterator[tuple[dict[str, Any], int]]:
+        """Iterate ``(row, multiplicity)`` pairs — the faster path for
+        re-evaluation loops that can weight by multiplicity."""
+        columns = self.schema.columns
+        for key, count in self._counts.items():
+            yield dict(zip(columns, key)), count
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, row: Mapping[str, Any]) -> bool:
+        return self._counts.get(self.schema.project(row), 0) > 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Relation({self.name!r}, {self._size} rows)"

@@ -1,0 +1,96 @@
+"""Relation schemas.
+
+A :class:`Schema` names the columns of a relation and optionally types
+them.  The incremental engines only need names (rows are dicts), but the
+schema layer validates tuples at the stream boundary so malformed events
+fail fast with a :class:`~repro.errors.SchemaError` instead of deep
+inside a trigger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.errors import SchemaError
+
+__all__ = ["Schema"]
+
+
+@dataclass(frozen=True)
+class Schema:
+    """Column layout of a relation.
+
+    Attributes:
+        name: relation name (e.g. ``"bids"``).
+        columns: ordered column names.
+        types: optional column -> python type mapping used by
+            :meth:`validate`; columns absent from the mapping are
+            unchecked.
+    """
+
+    name: str
+    columns: tuple[str, ...]
+    types: Mapping[str, type] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(set(self.columns)) != len(self.columns):
+            raise SchemaError(f"duplicate column in schema {self.name!r}")
+
+    def validate(self, row: Mapping[str, Any]) -> None:
+        """Check that ``row`` has exactly this schema's columns (and
+        matching types where declared).
+
+        Raises:
+            SchemaError: on missing/extra columns or a type mismatch.
+        """
+        missing = [c for c in self.columns if c not in row]
+        if missing:
+            raise SchemaError(f"{self.name}: row missing columns {missing}")
+        extra = [c for c in row if c not in self.columns]
+        if extra:
+            raise SchemaError(f"{self.name}: row has unknown columns {extra}")
+        for column, expected in self.types.items():
+            value = row[column]
+            if not isinstance(value, expected):
+                raise SchemaError(
+                    f"{self.name}.{column}: expected {expected.__name__}, "
+                    f"got {type(value).__name__} ({value!r})"
+                )
+
+    def project(self, row: Mapping[str, Any]) -> tuple:
+        """Return the row as a tuple in schema column order (hashable,
+        used for multiset bookkeeping)."""
+        return tuple(row[c] for c in self.columns)
+
+
+# Schemas of the benchmark relations (paper Section 5.1).
+
+BIDS = Schema(
+    "bids",
+    ("timestamp", "id", "broker_id", "volume", "price"),
+    types={"volume": int, "price": int},
+)
+ASKS = Schema(
+    "asks",
+    ("timestamp", "id", "broker_id", "volume", "price"),
+    types={"volume": int, "price": int},
+)
+R_AB = Schema("R", ("A", "B"), types={"A": int, "B": int})
+
+LINEITEM = Schema(
+    "lineitem",
+    ("orderkey", "partkey", "quantity", "extendedprice"),
+    types={"orderkey": int, "partkey": int, "quantity": int, "extendedprice": int},
+)
+PART = Schema(
+    "part",
+    ("partkey", "brand", "container"),
+    types={"partkey": int, "brand": str, "container": str},
+)
+ORDERS = Schema(
+    "orders",
+    ("orderkey", "custkey", "orderdate", "totalprice"),
+    types={"orderkey": int, "custkey": int},
+)
+CUSTOMER = Schema("customer", ("custkey", "name"), types={"custkey": int, "name": str})

@@ -1,0 +1,132 @@
+"""Update streams: the input model of incremental processing.
+
+A stream is a sequence of :class:`Event` objects, each an insertion
+(``weight = +1``) or deletion (``weight = -1``) of one row into one
+relation — exactly the ``t.X`` convention of the paper's trigger code
+(Figures 1 and 2).  Engines consume events one at a time and refresh
+their result after each.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import EngineStateError
+
+__all__ = ["Event", "Stream", "interleave", "with_deletions"]
+
+INSERT = 1
+DELETE = -1
+
+
+@dataclass(frozen=True)
+class Event:
+    """One update: ``weight`` is +1 (insert) or -1 (delete)."""
+
+    relation: str
+    row: Mapping[str, Any]
+    weight: int = INSERT
+
+    def __post_init__(self) -> None:
+        if self.weight not in (INSERT, DELETE):
+            raise EngineStateError(f"event weight must be ±1, got {self.weight}")
+
+    def inverted(self) -> "Event":
+        """The event that undoes this one."""
+        return Event(self.relation, self.row, -self.weight)
+
+
+class Stream:
+    """A finite, replayable sequence of events.
+
+    Thin wrapper over a list that adds prefix slicing (for scalability
+    sweeps over trace sizes) and per-relation filtering.
+    """
+
+    def __init__(self, events: Iterable[Event]) -> None:
+        self._events: list[Event] = list(events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __getitem__(self, index: int) -> Event:
+        return self._events[index]
+
+    def prefix(self, n: int) -> "Stream":
+        """First ``n`` events — used by the Figure 8 trace-size sweep."""
+        return Stream(self._events[:n])
+
+    def for_relation(self, name: str) -> "Stream":
+        return Stream(e for e in self._events if e.relation == name)
+
+    def relations(self) -> set[str]:
+        return {e.relation for e in self._events}
+
+    def insert_count(self) -> int:
+        return sum(1 for e in self._events if e.weight == INSERT)
+
+    def delete_count(self) -> int:
+        return sum(1 for e in self._events if e.weight == DELETE)
+
+
+def interleave(*streams: Sequence[Event]) -> Stream:
+    """Round-robin merge of several streams (bids and asks arrive
+    interleaved in the finance workload)."""
+    merged: list[Event] = []
+    iterators = [iter(s) for s in streams]
+    for bundle in itertools.zip_longest(*iterators):
+        for event in bundle:
+            if event is not None:
+                merged.append(event)
+    return Stream(merged)
+
+
+def with_deletions(
+    events: Sequence[Event],
+    delete_ratio: float,
+    choose: Callable[[Sequence[Event]], int],
+) -> Stream:
+    """Weave retractions into an insert-only stream.
+
+    After each insert, with probability ``delete_ratio`` a previously
+    inserted (and not yet deleted) row — picked by ``choose`` from the
+    live prefix — is retracted.  This reproduces the paper's
+    insert+retraction update model without needing the original trace.
+
+    Args:
+        events: insert-only events.
+        delete_ratio: expected deletions per insertion (0 disables).
+        choose: callback receiving the live events and returning the
+            index to retract; randomness is injected by the caller so
+            streams stay reproducible.
+    """
+    out: list[Event] = []
+    live: list[Event] = []
+    for event in events:
+        if event.weight != INSERT:
+            raise EngineStateError("with_deletions expects an insert-only stream")
+        out.append(event)
+        live.append(event)
+        if delete_ratio > 0 and live and _chance(len(out), delete_ratio, choose, live):
+            index = choose(live)
+            victim = live.pop(index)
+            out.append(victim.inverted())
+    return Stream(out)
+
+
+def _chance(
+    position: int,
+    ratio: float,
+    choose: Callable[[Sequence[Event]], int],
+    live: Sequence[Event],
+) -> bool:
+    # Deterministic thinning: emit a deletion every round(1/ratio)
+    # inserts.  Randomising *which* row dies (via `choose`) is enough
+    # variability for the benchmarks while keeping stream length exact.
+    period = max(1, round(1.0 / ratio))
+    return position % period == 0

@@ -1,0 +1,18 @@
+"""Classical ordered-index substrates used as comparators and helpers.
+
+* :class:`~repro.trees.treemap.TreeMap` — augmented absolute-key BST
+  (Section 3.1 starting point; O(log n) get_sum, O(n) shift_keys).
+* :class:`~repro.trees.fenwick.FenwickTree` — Binary Indexed Tree
+  (Section 6 related work; fixed universe, no key shifts).
+* :class:`~repro.trees.segment_tree.SegmentTree` — segment tree
+  (Section 6 related work; fixed universe, no key shifts).
+* :class:`~repro.trees.rpai_btree.RPAIBTree` — RPAI over a B-tree
+  (Section 3.2.5's "same principles would apply to B-trees").
+"""
+
+from repro.trees.fenwick import FenwickTree
+from repro.trees.rpai_btree import RPAIBTree
+from repro.trees.segment_tree import SegmentTree
+from repro.trees.treemap import TreeMap
+
+__all__ = ["TreeMap", "FenwickTree", "SegmentTree", "RPAIBTree"]

@@ -1,0 +1,83 @@
+"""Fenwick tree (Binary Indexed Tree) over a fixed integer key universe.
+
+Related-work comparator (paper Section 6): Fenwick trees [Fenwick 1994]
+answer prefix-sum queries in O(log U) over a *fixed* universe of keys
+``0..capacity-1``, but have **no support for shifting key ranges** —
+moving the keys of all entries above a pivot requires rebuilding, which
+is exactly the gap RPAI trees fill.  The ablation benchmark
+(``benchmarks/bench_rpai_ops.py``) quantifies this.
+"""
+
+from __future__ import annotations
+
+__all__ = ["FenwickTree"]
+
+
+class FenwickTree:
+    """Classic BIT storing point values with prefix-sum queries.
+
+    Args:
+        capacity: size of the key universe; valid keys are
+            ``0 <= key < capacity``.
+    """
+
+    __slots__ = ("_tree", "_values", "capacity")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._tree = [0.0] * (capacity + 1)
+        self._values = [0.0] * capacity  # point values, for get/rebuild
+
+    def add(self, key: int, delta: float) -> None:
+        """Add ``delta`` to the value at ``key``; O(log capacity)."""
+        if not 0 <= key < self.capacity:
+            raise IndexError(f"key {key} outside universe [0, {self.capacity})")
+        self._values[key] += delta
+        i = key + 1
+        while i <= self.capacity:
+            self._tree[i] += delta
+            i += i & (-i)
+
+    def get(self, key: int, default: float = 0.0) -> float:
+        if not 0 <= key < self.capacity:
+            return default
+        return self._values[key]
+
+    def put(self, key: int, value: float) -> None:
+        self.add(key, value - self.get(key))
+
+    def get_sum(self, key: int, *, inclusive: bool = True) -> float:
+        """Sum of values with keys ``<= key`` (``< key`` if exclusive)."""
+        upper = key if inclusive else key - 1
+        upper = min(upper, self.capacity - 1)
+        total = 0.0
+        i = upper + 1
+        while i > 0:
+            total += self._tree[i]
+            i -= i & (-i)
+        return total
+
+    def total_sum(self) -> float:
+        return self.get_sum(self.capacity - 1)
+
+    def shift_keys(self, key: int, delta: int, *, inclusive: bool = False) -> None:
+        """O(capacity): Fenwick trees cannot shift keys structurally, so
+        this literally rebuilds — included to make the comparison in the
+        ablation benchmark honest."""
+        start = key if inclusive else key + 1
+        moved: dict[int, float] = {}
+        for k in range(max(start, 0), self.capacity):
+            if self._values[k] != 0:
+                moved[k] = self._values[k]
+        for k, v in moved.items():
+            self.add(k, -v)
+        for k, v in moved.items():
+            nk = k + delta
+            if not 0 <= nk < self.capacity:
+                raise IndexError(f"shift moved key {k} outside the universe")
+            self.add(nk, v)
+
+    def __len__(self) -> int:
+        return sum(1 for v in self._values if v != 0)

@@ -1,0 +1,79 @@
+"""Segment tree over a fixed integer key universe.
+
+Related-work comparator (paper Section 6): segment trees [de Berg et
+al. 2008] support range-sum queries in O(log U) and, with lazy
+propagation, range *value* updates — but like Fenwick trees they index
+positions in a fixed universe and cannot shift the keys themselves.
+Included for the Section 6 comparison benchmark.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SegmentTree"]
+
+
+class SegmentTree:
+    """Iterative segment tree with point updates and range-sum queries.
+
+    Keys are integers in ``[0, capacity)``; the tree size is rounded up
+    to the next power of two.
+    """
+
+    __slots__ = ("_size", "_tree", "capacity")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        size = 1
+        while size < capacity:
+            size *= 2
+        self._size = size
+        self._tree = [0.0] * (2 * size)
+
+    def add(self, key: int, delta: float) -> None:
+        """Add ``delta`` to the value at ``key``; O(log capacity)."""
+        if not 0 <= key < self.capacity:
+            raise IndexError(f"key {key} outside universe [0, {self.capacity})")
+        i = key + self._size
+        while i >= 1:
+            self._tree[i] += delta
+            i //= 2
+
+    def put(self, key: int, value: float) -> None:
+        self.add(key, value - self.get(key))
+
+    def get(self, key: int, default: float = 0.0) -> float:
+        if not 0 <= key < self.capacity:
+            return default
+        return self._tree[key + self._size]
+
+    def range_sum(self, lo: int, hi: int) -> float:
+        """Sum of values for keys in ``[lo, hi]`` (inclusive both ends)."""
+        lo = max(lo, 0)
+        hi = min(hi, self.capacity - 1)
+        if lo > hi:
+            return 0.0
+        total = 0.0
+        left = lo + self._size
+        right = hi + self._size + 1
+        while left < right:
+            if left & 1:
+                total += self._tree[left]
+                left += 1
+            if right & 1:
+                right -= 1
+                total += self._tree[right]
+            left //= 2
+            right //= 2
+        return total
+
+    def get_sum(self, key: int, *, inclusive: bool = True) -> float:
+        upper = key if inclusive else key - 1
+        return self.range_sum(0, upper)
+
+    def total_sum(self) -> float:
+        return self._tree[1]
+
+    def __len__(self) -> int:
+        return sum(1 for i in range(self.capacity) if self._tree[i + self._size] != 0)

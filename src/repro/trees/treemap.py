@@ -1,0 +1,362 @@
+"""An augmented TreeMap: balanced BST with absolute keys and subtree sums.
+
+This is the Section 3.1 structure — "we augment a typical TreeMap data
+structure to maintain the required information in the nodes of the
+tree" — *before* the parent-relative twist of Section 3.2.  It supports
+``get_sum`` in O(log n) like the RPAI tree, but ``shift_keys`` must
+rewrite every qualifying key and is therefore O(n).
+
+The query engines use it wherever an *ordered* index is needed whose
+keys never shift (column-keyed indexes such as ``price -> sum(volume)``
+in PSP or ``quantity -> sum(extendedprice)`` in Q17), and the ablation
+benchmark uses it to isolate exactly how much of RPAI's win comes from
+relative keys versus from tree-based prefix sums.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+__all__ = ["TreeMap"]
+
+
+class _Node:
+    __slots__ = ("key", "value", "sum", "height", "left", "right")
+
+    def __init__(self, key: float, value: float) -> None:
+        self.key = key
+        self.value = value
+        self.sum = value
+        self.height = 1
+        self.left: _Node | None = None
+        self.right: _Node | None = None
+
+
+def _height(node: _Node | None) -> int:
+    return node.height if node is not None else 0
+
+
+def _update(node: _Node) -> None:
+    node.height = 1 + max(_height(node.left), _height(node.right))
+    node.sum = node.value
+    if node.left is not None:
+        node.sum += node.left.sum
+    if node.right is not None:
+        node.sum += node.right.sum
+
+
+def _rotate_left(h: _Node) -> _Node:
+    x = h.right
+    assert x is not None
+    h.right = x.left
+    x.left = h
+    _update(h)
+    _update(x)
+    return x
+
+
+def _rotate_right(h: _Node) -> _Node:
+    x = h.left
+    assert x is not None
+    h.left = x.right
+    x.right = h
+    _update(h)
+    _update(x)
+    return x
+
+
+def _rebalance(node: _Node) -> _Node:
+    _update(node)
+    balance = _height(node.left) - _height(node.right)
+    if balance > 1:
+        assert node.left is not None
+        if _height(node.left.left) < _height(node.left.right):
+            node.left = _rotate_left(node.left)
+        return _rotate_right(node)
+    if balance < -1:
+        assert node.right is not None
+        if _height(node.right.right) < _height(node.right.left):
+            node.right = _rotate_right(node.right)
+        return _rotate_left(node)
+    return node
+
+
+class TreeMap:
+    """Ordered map with O(log n) prefix sums over values.
+
+    Implements the same AggregateIndex protocol as :class:`PAIMap` and
+    :class:`RPAITree` so engines and benchmarks can swap it in; its
+    ``shift_keys`` is the O(n) collect-and-rebuild the paper ascribes to
+    non-relative trees.
+    """
+
+    __slots__ = ("_root", "_size", "prune_zeros")
+
+    def __init__(self, *, prune_zeros: bool = False) -> None:
+        self._root: _Node | None = None
+        self._size = 0
+        self.prune_zeros = prune_zeros
+
+    # -- basic map operations -------------------------------------------------
+
+    def get(self, key: float, default: float = 0.0) -> float:
+        node = self._root
+        while node is not None:
+            if key == node.key:
+                return node.value
+            node = node.left if key < node.key else node.right
+        return default
+
+    def put(self, key: float, value: float) -> None:
+        if self.prune_zeros and value == 0:
+            if key in self:
+                self.delete(key)
+            return
+        self._root = self._put(self._root, key, value, replace=True)
+
+    def add(self, key: float, delta: float) -> None:
+        if self.prune_zeros:
+            current = self.get(key, None)
+            if current is None:
+                if delta == 0:
+                    return
+            elif current + delta == 0:
+                self.delete(key)
+                return
+        self._root = self._put(self._root, key, delta, replace=False)
+
+    def delete(self, key: float) -> float:
+        self._root, value = self._delete(self._root, key)
+        return value
+
+    def pop(self, key: float, default: float | None = None) -> float | None:
+        if key in self:
+            return self.delete(key)
+        return default
+
+    # -- aggregate operations -------------------------------------------------
+
+    def get_sum(self, key: float, *, inclusive: bool = True) -> float:
+        total: float = 0
+        node = self._root
+        while node is not None:
+            qualifies = node.key <= key if inclusive else node.key < key
+            if qualifies:
+                total += node.value
+                if node.left is not None:
+                    total += node.left.sum
+                node = node.right
+            else:
+                node = node.left
+        return total
+
+    def total_sum(self) -> float:
+        return self._root.sum if self._root is not None else 0
+
+    def suffix_sum(self, key: float, *, inclusive: bool = False) -> float:
+        return self.total_sum() - self.get_sum(key, inclusive=not inclusive)
+
+    def shift_keys(self, key: float, delta: float, *, inclusive: bool = False) -> None:
+        """O(n): extract qualifying entries, rebuild with shifted keys."""
+        if delta == 0:
+            return
+        moved: list[tuple[float, float]] = []
+        kept: list[tuple[float, float]] = []
+        for k, v in self.items():
+            qualifies = k >= key if inclusive else k > key
+            (moved if qualifies else kept).append((k, v))
+        self.clear()
+        for k, v in kept:
+            self.add(k, v)
+        for k, v in moved:
+            self.add(k + delta, v)
+
+    # -- order / search helpers ------------------------------------------------
+
+    def min_key(self) -> float:
+        node = self._root
+        if node is None:
+            raise KeyError("empty index")
+        while node.left is not None:
+            node = node.left
+        return node.key
+
+    def max_key(self) -> float:
+        node = self._root
+        if node is None:
+            raise KeyError("empty index")
+        while node.right is not None:
+            node = node.right
+        return node.key
+
+    def successor(self, key: float) -> float | None:
+        best: float | None = None
+        node = self._root
+        while node is not None:
+            if node.key > key:
+                best = node.key
+                node = node.left
+            else:
+                node = node.right
+        return best
+
+    def predecessor(self, key: float) -> float | None:
+        best: float | None = None
+        node = self._root
+        while node is not None:
+            if node.key < key:
+                best = node.key
+                node = node.right
+            else:
+                node = node.left
+        return best
+
+    def first_key_with_prefix_above(self, threshold: float) -> float | None:
+        node = self._root
+        if node is None or node.sum <= threshold:
+            return None
+        remaining = threshold
+        while node is not None:
+            left_sum = node.left.sum if node.left is not None else 0
+            if node.left is not None and left_sum > remaining:
+                node = node.left
+                continue
+            if left_sum + node.value > remaining:
+                return node.key
+            remaining -= left_sum + node.value
+            node = node.right
+        return None  # pragma: no cover
+
+    def range_items(
+        self,
+        lo: float,
+        hi: float,
+        *,
+        lo_inclusive: bool = False,
+        hi_inclusive: bool = True,
+    ) -> Iterator[tuple[float, float]]:
+        yield from self._range(self._root, lo, hi, lo_inclusive, hi_inclusive)
+
+    # -- iteration / dunder ----------------------------------------------------
+
+    def items(self) -> Iterator[tuple[float, float]]:
+        yield from self._items(self._root)
+
+    def keys(self) -> Iterator[float]:
+        for k, _ in self.items():
+            yield k
+
+    def values(self) -> Iterator[float]:
+        for _, v in self.items():
+            yield v
+
+    def clear(self) -> None:
+        self._root = None
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._root is not None
+
+    def __contains__(self, key: float) -> bool:
+        node = self._root
+        while node is not None:
+            if key == node.key:
+                return True
+            node = node.left if key < node.key else node.right
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        entries = ", ".join(f"{k}: {v}" for k, v in self.items())
+        return f"TreeMap({{{entries}}})"
+
+    # -- internals --------------------------------------------------------------
+
+    def _put(self, node: _Node | None, key: float, value: float, *, replace: bool) -> _Node:
+        if node is None:
+            self._size += 1
+            return _Node(key, value)
+        if key == node.key:
+            node.value = value if replace else node.value + value
+            _update(node)
+            return node
+        if key < node.key:
+            node.left = self._put(node.left, key, value, replace=replace)
+        else:
+            node.right = self._put(node.right, key, value, replace=replace)
+        return _rebalance(node)
+
+    def _delete(self, node: _Node | None, key: float) -> tuple[_Node | None, float]:
+        if node is None:
+            raise KeyError(key)
+        if key < node.key:
+            node.left, value = self._delete(node.left, key)
+        elif key > node.key:
+            node.right, value = self._delete(node.right, key)
+        else:
+            value = node.value
+            if node.left is None:
+                self._size -= 1
+                return node.right, value
+            if node.right is None:
+                self._size -= 1
+                return node.left, value
+            successor = node.right
+            while successor.left is not None:
+                successor = successor.left
+            node.key = successor.key
+            node.value = successor.value
+            node.right, _ = self._delete(node.right, successor.key)
+        return _rebalance(node), value
+
+    def _items(self, node: _Node | None) -> Iterator[tuple[float, float]]:
+        if node is None:
+            return
+        yield from self._items(node.left)
+        yield (node.key, node.value)
+        yield from self._items(node.right)
+
+    def _range(
+        self,
+        node: _Node | None,
+        lo: float,
+        hi: float,
+        lo_inclusive: bool,
+        hi_inclusive: bool,
+    ) -> Iterator[tuple[float, float]]:
+        if node is None:
+            return
+        above_lo = node.key >= lo if lo_inclusive else node.key > lo
+        below_hi = node.key <= hi if hi_inclusive else node.key < hi
+        if above_lo:
+            yield from self._range(node.left, lo, hi, lo_inclusive, hi_inclusive)
+        if above_lo and below_hi:
+            yield (node.key, node.value)
+        if below_hi:
+            yield from self._range(node.right, lo, hi, lo_inclusive, hi_inclusive)
+
+    # -- validation (tests only) -------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Verify BST order, AVL balance, heights and subtree sums."""
+        size = self._validate(self._root, None, None)
+        assert size == self._size, "size mismatch"
+
+    def _validate(self, node: _Node | None, lo: float | None, hi: float | None) -> int:
+        if node is None:
+            return 0
+        assert lo is None or node.key > lo, "BST violation"
+        assert hi is None or node.key < hi, "BST violation"
+        left_size = self._validate(node.left, lo, node.key)
+        right_size = self._validate(node.right, node.key, hi)
+        assert node.height == 1 + max(_height(node.left), _height(node.right))
+        assert abs(_height(node.left) - _height(node.right)) <= 1, "AVL imbalance"
+        expected = node.value
+        if node.left is not None:
+            expected += node.left.sum
+        if node.right is not None:
+            expected += node.right.sum
+        assert node.sum == expected, "sum mismatch"
+        return left_size + right_size + 1

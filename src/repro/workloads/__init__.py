@@ -1,0 +1,23 @@
+"""Workloads: data generators and the benchmark query suite."""
+
+from repro.workloads.orderbook import (
+    OrderBookConfig,
+    generate_bids_only,
+    generate_order_book,
+)
+from repro.workloads.queries import QUERIES, QueryDef, get_query, query_names
+from repro.workloads.tpch import Q17_BRAND, Q17_CONTAINER, TPCHConfig, generate_tpch
+
+__all__ = [
+    "OrderBookConfig",
+    "generate_order_book",
+    "generate_bids_only",
+    "TPCHConfig",
+    "generate_tpch",
+    "Q17_BRAND",
+    "Q17_CONTAINER",
+    "QUERIES",
+    "QueryDef",
+    "get_query",
+    "query_names",
+]

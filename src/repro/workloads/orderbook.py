@@ -1,0 +1,110 @@
+"""Synthetic financial order-book stream generator.
+
+The paper evaluates on a historical order-book trace (from the
+DBToaster finance benchmark [24, 25]) that is not publicly
+redistributable.  This module generates a synthetic equivalent: two
+interleaved streams of *bids* and *asks* records with integer prices
+and volumes, optional retractions (deletions) of earlier records, and
+knobs for the distributional properties that drive the asymptotic
+separations the paper measures:
+
+* ``price_levels`` — number of distinct prices.  DBToaster's final
+  result loop iterates over distinct prices, so this controls the
+  baseline's per-update cost exactly as trace size does in the paper.
+* ``delete_ratio`` — retraction frequency (the paper's update model
+  includes deletions; they exercise RPAI's negative key shifts).
+* random-walk prices — consecutive trades cluster around the current
+  market price, like a real book.
+
+Integer prices/volumes keep every engine's arithmetic exact, so the
+differential tests can require bit-identical results.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.storage.stream import Event, Stream, interleave
+
+__all__ = ["OrderBookConfig", "generate_order_book", "generate_bids_only", "generate_side"]
+
+
+@dataclass(frozen=True)
+class OrderBookConfig:
+    """Knobs for the synthetic order book.
+
+    Attributes:
+        events: total number of events across both sides (bids + asks),
+            including deletions.
+        price_levels: number of distinct integer price levels.
+        volume_max: volumes are uniform in [1, volume_max].
+        brokers: number of distinct broker ids.
+        delete_ratio: expected deletions per insertion (0 = append-only).
+        seed: RNG seed; streams are fully reproducible.
+        walk_step: maximum per-trade movement of the market price, as a
+            fraction of ``price_levels``.
+    """
+
+    events: int = 10_000
+    price_levels: int = 1_000
+    volume_max: int = 100
+    brokers: int = 10
+    delete_ratio: float = 0.1
+    seed: int = 42
+    walk_step: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.events <= 0 or self.price_levels <= 0 or self.volume_max <= 0:
+            raise ValueError("events, price_levels and volume_max must be positive")
+        if not 0 <= self.delete_ratio < 1:
+            raise ValueError("delete_ratio must be in [0, 1)")
+
+
+def generate_side(
+    relation: str, count: int, config: OrderBookConfig, rng: random.Random
+) -> list[Event]:
+    """Generate ``count`` events (inserts + woven deletions) for one
+    side of the book."""
+    events: list[Event] = []
+    live: list[dict] = []
+    price = config.price_levels // 2
+    step = max(1, int(config.price_levels * config.walk_step))
+    next_id = 1
+    timestamp = 0
+    period = (
+        max(2, round(1.0 / config.delete_ratio)) if config.delete_ratio > 0 else 0
+    )
+    while len(events) < count:
+        timestamp += 1
+        price = min(config.price_levels, max(1, price + rng.randint(-step, step)))
+        row = {
+            "timestamp": timestamp,
+            "id": next_id,
+            "broker_id": rng.randint(1, config.brokers),
+            "volume": rng.randint(1, config.volume_max),
+            "price": price,
+        }
+        next_id += 1
+        events.append(Event(relation, row, +1))
+        live.append(row)
+        if period and len(events) % period == 0 and live and len(events) < count:
+            victim = live.pop(rng.randrange(len(live)))
+            events.append(Event(relation, victim, -1))
+    return events[:count]
+
+
+def generate_order_book(config: OrderBookConfig) -> Stream:
+    """Interleaved bids/asks stream with ``config.events`` total events."""
+    rng = random.Random(config.seed)
+    per_side = config.events // 2
+    bids = generate_side("bids", per_side, config, rng)
+    asks = generate_side("asks", config.events - per_side, config, rng)
+    return interleave(bids, asks)
+
+
+def generate_bids_only(config: OrderBookConfig) -> Stream:
+    """Bids-only stream (VWAP and the synthetic SQ/NQ queries read a
+    single relation)."""
+    rng = random.Random(config.seed)
+    return Stream(generate_side("bids", config.events, config, rng))

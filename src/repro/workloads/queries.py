@@ -1,0 +1,223 @@
+"""The benchmark query suite (paper Section 5.1.1, Table 1).
+
+Full SQL is given in the paper for Example 2.1 (here ``EQ``), VWAP and
+TPC-H Q17; MST and PSP are the DBToaster finance-benchmark queries the
+paper references; SQ1/SQ2/NQ1/NQ2 are the paper's synthetic variants,
+described in prose in Section 5.2.1 and pinned down in DESIGN.md §4.
+
+Every query is provided as SQL text (parsed on first access) together
+with the schemas of the relations it touches, so tests, examples and
+benchmarks all share one definition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.query.ast import AggrQuery
+from repro.query.parser import parse_query
+from repro.storage import schema as schemas
+from repro.storage.schema import Schema
+
+__all__ = ["QueryDef", "QUERIES", "query_names", "get_query"]
+
+
+@dataclass(frozen=True)
+class QueryDef:
+    """A named benchmark query: SQL text + the schemas it needs."""
+
+    name: str
+    sql: str
+    schemas: tuple[Schema, ...]
+    description: str
+
+    @cached_property
+    def ast(self) -> AggrQuery:
+        return parse_query(self.sql)
+
+    def schema_map(self) -> dict[str, Schema]:
+        return {s.name: s for s in self.schemas}
+
+
+EQ = QueryDef(
+    name="EQ",
+    description=(
+        "Example 2.1: nested aggregate with equality correlation — "
+        "the PAI-map O(1) showcase"
+    ),
+    sql="""
+        SELECT SUM(r.A * r.B) FROM R r
+        WHERE 0.5 * (SELECT SUM(r1.B) FROM R r1)
+            = (SELECT SUM(r2.B) FROM R r2 WHERE r2.A = r.A)
+    """,
+    schemas=(schemas.R_AB,),
+)
+
+VWAP = QueryDef(
+    name="VWAP",
+    description=(
+        "Example 2.2: volume-weighted average price over the final "
+        "quartile of stock volume — inequality correlation, RPAI O(log n)"
+    ),
+    sql="""
+        SELECT SUM(b.price * b.volume) FROM bids b
+        WHERE 0.75 * (SELECT SUM(b1.volume) FROM bids b1)
+            < (SELECT SUM(b2.volume) FROM bids b2
+               WHERE b2.price <= b.price)
+    """,
+    schemas=(schemas.BIDS,),
+)
+
+MST = QueryDef(
+    name="MST",
+    description=(
+        "Missed trades: cross join of asks and bids, four nested "
+        "aggregates of which two are correlated (Section 5.2.1)"
+    ),
+    sql="""
+        SELECT SUM(a.price - b.price) FROM asks a, bids b
+        WHERE 0.25 * (SELECT SUM(a1.volume) FROM asks a1)
+                > (SELECT SUM(a2.volume) FROM asks a2 WHERE a2.price > a.price)
+          AND 0.25 * (SELECT SUM(b1.volume) FROM bids b1)
+                > (SELECT SUM(b2.volume) FROM bids b2 WHERE b2.price > b.price)
+    """,
+    schemas=(schemas.BIDS, schemas.ASKS),
+)
+
+PSP = QueryDef(
+    name="PSP",
+    description=(
+        "Price spread: cross join with column-vs-moving-threshold "
+        "predicates (uncorrelated nested aggregates)"
+    ),
+    sql="""
+        SELECT SUM(a.price - b.price) FROM bids b, asks a
+        WHERE b.volume > 0.0001 * (SELECT SUM(b1.volume) FROM bids b1)
+          AND a.volume > 0.0001 * (SELECT SUM(a1.volume) FROM asks a1)
+    """,
+    schemas=(schemas.BIDS, schemas.ASKS),
+)
+
+SQ1 = QueryDef(
+    name="SQ1",
+    description=(
+        "VWAP with the uncorrelated side made correlated: both predicate "
+        "sides vary per outer tuple, so only the general algorithm applies"
+    ),
+    sql="""
+        SELECT SUM(b.price * b.volume) FROM bids b
+        WHERE 0.75 * (SELECT SUM(b1.volume) FROM bids b1
+                      WHERE b1.price >= b.price)
+            < (SELECT SUM(b2.volume) FROM bids b2
+               WHERE b2.price <= b.price)
+    """,
+    schemas=(schemas.BIDS,),
+)
+
+SQ2 = QueryDef(
+    name="SQ2",
+    description=(
+        "VWAP with an asymmetric inner inequality (b2.price + b2.volume "
+        "<= b.price): rejected by the aggregate-index pattern matcher"
+    ),
+    sql="""
+        SELECT SUM(b.price * b.volume) FROM bids b
+        WHERE 0.75 * (SELECT SUM(b1.volume) FROM bids b1)
+            < (SELECT SUM(b2.volume) FROM bids b2
+               WHERE b2.price + b2.volume <= b.price)
+    """,
+    schemas=(schemas.BIDS,),
+)
+
+NQ1 = QueryDef(
+    name="NQ1",
+    description=(
+        "VWAP whose correlated subquery is itself a 2-level nested "
+        "aggregate; the inner eligibility view is delta-maintained "
+        "independently of the outer query"
+    ),
+    sql="""
+        SELECT SUM(b.price * b.volume) FROM bids b
+        WHERE 0.75 * (SELECT SUM(b1.volume) FROM bids b1)
+            < (SELECT SUM(b2.volume) FROM bids b2
+               WHERE b2.price <= b.price
+                 AND 0.25 * (SELECT SUM(b3.volume) FROM bids b3)
+                     < (SELECT SUM(b4.volume) FROM bids b4
+                        WHERE b4.price <= b2.price))
+    """,
+    schemas=(schemas.BIDS,),
+)
+
+NQ2 = QueryDef(
+    name="NQ2",
+    description=(
+        "Like NQ1 but the lowest nesting level correlates with the "
+        "outermost query, forcing the general algorithm at the outer level"
+    ),
+    sql="""
+        SELECT SUM(b.price * b.volume) FROM bids b
+        WHERE 0.75 * (SELECT SUM(b1.volume) FROM bids b1)
+            < (SELECT SUM(b2.volume) FROM bids b2
+               WHERE 0.25 * (SELECT SUM(b4.volume) FROM bids b4
+                             WHERE b4.price <= b.price)
+                     < (SELECT SUM(b3.volume) FROM bids b3
+                        WHERE b3.price <= b2.price))
+    """,
+    schemas=(schemas.BIDS,),
+)
+
+Q17 = QueryDef(
+    name="Q17",
+    description=(
+        "TPC-H Q17: small-quantity-order revenue; single correlated "
+        "nested aggregate with equality correlation on partkey"
+    ),
+    sql="""
+        SELECT SUM(l.extendedprice) / 7.0 FROM lineitem l, part p
+        WHERE p.partkey = l.partkey
+          AND p.brand = 'Brand#23'
+          AND p.container = 'WRAP BOX'
+          AND l.quantity < (SELECT 0.2 * AVG(l2.quantity) FROM lineitem l2
+                            WHERE l2.partkey = p.partkey)
+    """,
+    schemas=(schemas.LINEITEM, schemas.PART),
+)
+
+Q18 = QueryDef(
+    name="Q18",
+    description=(
+        "TPC-H Q18: large-volume customers; uncorrelated nested aggregate "
+        "(both systems fully incrementalize it — parity check)"
+    ),
+    sql="""
+        SELECT c.custkey, SUM(l.quantity)
+        FROM customer c, orders o, lineitem l
+        WHERE o.orderkey IN (SELECT l2.orderkey FROM lineitem l2
+                             GROUP BY l2.orderkey
+                             HAVING SUM(l2.quantity) > 300)
+          AND c.custkey = o.custkey
+          AND o.orderkey = l.orderkey
+        GROUP BY c.custkey
+    """,
+    schemas=(schemas.CUSTOMER, schemas.ORDERS, schemas.LINEITEM),
+)
+
+
+QUERIES: dict[str, QueryDef] = {
+    q.name: q for q in (EQ, VWAP, MST, PSP, SQ1, SQ2, NQ1, NQ2, Q17, Q18)
+}
+
+
+def query_names() -> list[str]:
+    return list(QUERIES)
+
+
+def get_query(name: str) -> QueryDef:
+    """Look up a benchmark query by (case-insensitive) name."""
+    try:
+        return QUERIES[name.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown query {name!r}; available: {', '.join(QUERIES)}"
+        ) from None

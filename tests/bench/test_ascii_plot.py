@@ -1,0 +1,48 @@
+"""Tests for the log-log ASCII plot helper."""
+
+from repro.bench.ascii_plot import loglog_plot
+
+
+def test_empty_series():
+    assert "no positive data points" in loglog_plot({})
+
+
+def test_nonpositive_points_skipped():
+    text = loglog_plot({"a": [(0, 1), (-5, 2), (10, 0)]})
+    assert "no positive data points" in text
+
+
+def test_basic_rendering():
+    text = loglog_plot(
+        {
+            "rpai": [(100, 0.01), (1000, 0.1), (10000, 1.0)],
+            "dbtoaster": [(100, 0.01), (1000, 1.0), (10000, 100.0)],
+        },
+        width=40,
+        height=10,
+    )
+    lines = text.splitlines()
+    assert len(lines) == 13  # grid + axis + x labels + legend
+    assert "R=rpai" in text
+    assert "D=dbtoaster" in text
+    # markers present in the grid
+    grid = "\n".join(lines[:10])
+    assert "R" in grid and "D" in grid
+
+
+def test_marker_collision_disambiguated():
+    text = loglog_plot(
+        {"rpai": [(10, 1)], "recompute": [(10, 2)]},
+        width=20,
+        height=6,
+    )
+    legend = text.splitlines()[-1]
+    # both series get distinct markers
+    assert "=rpai" in legend and "=recompute" in legend
+    markers = [part.split("=")[0].strip() for part in legend.split("]")[-1].split("   ") if "=" in part]
+    assert len(set(markers)) == len(markers)
+
+
+def test_single_point_series():
+    text = loglog_plot({"x": [(5, 5)]}, width=16, height=4)
+    assert "X" in text

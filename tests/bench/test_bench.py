@@ -1,0 +1,74 @@
+"""Tests for the measurement harness and reporting helpers."""
+
+import pytest
+
+from repro.bench.reporting import format_series, format_table, scaling_exponent, speedup
+from repro.bench.runner import run_instrumented, run_timed
+from repro.engine.registry import build_engine
+
+from tests.conftest import random_bid_stream
+
+
+class TestRunner:
+    def test_run_timed_returns_final_result(self):
+        stream = random_bid_stream(100, seed=1)
+        engine = build_engine("VWAP", "rpai")
+        reference = build_engine("VWAP", "rpai")
+        run = run_timed(engine, stream)
+        assert run.events == 100
+        assert run.seconds > 0
+        assert run.final_result == reference.process(stream)
+        assert run.events_per_second > 0
+
+    def test_run_instrumented_samples(self):
+        stream = random_bid_stream(100, seed=2)
+        run = run_instrumented(build_engine("VWAP", "rpai"), stream, window=25)
+        assert len(run.samples) == 4
+        assert [s.records for s in run.samples] == [25, 50, 75, 100]
+        assert run.samples[-1].cumulative_seconds >= run.samples[0].cumulative_seconds
+        assert all(s.memory_bytes >= 0 for s in run.samples)
+        assert run.peak_memory() >= 0
+        assert run.total_seconds() > 0
+
+    def test_instrumented_result_matches_timed(self):
+        stream = random_bid_stream(80, seed=3)
+        timed = run_timed(build_engine("VWAP", "rpai"), stream)
+        instrumented = run_instrumented(build_engine("VWAP", "rpai"), stream, window=30)
+        assert timed.final_result == instrumented.final_result
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1.0], ["bb", 22.5]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_format_table_number_rendering(self):
+        text = format_table(["x"], [[0.0], [123456.0], [0.001234]])
+        assert "0" in text
+        assert "1.23e+05" in text or "123456" in text
+
+    def test_format_series(self):
+        text = format_series("rpai", [100, 1000], [0.5, 5.0])
+        assert text.startswith("rpai:")
+        assert "100=0.5s" in text
+
+    def test_scaling_exponent_linear(self):
+        sizes = [100, 200, 400, 800]
+        times = [s * 0.001 for s in sizes]
+        assert scaling_exponent(sizes, times) == pytest.approx(1.0, abs=0.01)
+
+    def test_scaling_exponent_quadratic(self):
+        sizes = [100, 200, 400, 800]
+        times = [s**2 * 1e-6 for s in sizes]
+        assert scaling_exponent(sizes, times) == pytest.approx(2.0, abs=0.01)
+
+    def test_scaling_exponent_requires_two_points(self):
+        with pytest.raises(ValueError):
+            scaling_exponent([100], [1.0])
+
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == 5.0
+        assert speedup(1.0, 0.0) == float("inf")

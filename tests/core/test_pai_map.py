@@ -1,0 +1,181 @@
+"""Unit and property tests for PAI maps (Section 2.1.3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pai_map import PAIMap
+from repro.core.reference_index import ReferenceIndex
+
+
+class TestBasics:
+    def test_empty(self):
+        pai = PAIMap()
+        assert len(pai) == 0
+        assert pai.get(1) == 0.0
+        assert pai.total_sum() == 0
+        assert 1 not in pai
+
+    def test_put_get_overwrite(self):
+        pai = PAIMap()
+        pai.put(3, 7)
+        pai.put(3, 9)
+        assert pai.get(3) == 9
+        assert len(pai) == 1
+        assert pai.total_sum() == 9
+
+    def test_add(self):
+        pai = PAIMap()
+        pai.add(1, 5)
+        pai.add(1, -2)
+        assert pai.get(1) == 3
+        assert pai.total_sum() == 3
+
+    def test_delete(self):
+        pai = PAIMap()
+        pai.put(1, 5)
+        assert pai.delete(1) == 5
+        assert 1 not in pai
+        assert pai.total_sum() == 0
+
+    def test_delete_missing_raises(self):
+        with pytest.raises(KeyError):
+            PAIMap().delete(42)
+
+    def test_items_sorted(self):
+        pai = PAIMap()
+        for k in (5, 1, 3):
+            pai.put(k, k * 10)
+        assert list(pai.items()) == [(1, 10), (3, 30), (5, 50)]
+
+    def test_unordered_items_complete(self):
+        pai = PAIMap()
+        for k in (5, 1, 3):
+            pai.put(k, k)
+        assert sorted(pai.unordered_items()) == [(1, 1), (3, 3), (5, 5)]
+
+
+class TestAggregateOps:
+    def test_get_sum_figure2c_semantics(self):
+        pai = PAIMap()
+        for key, value in [(10, 1), (20, 2), (30, 4)]:
+            pai.put(key, value)
+        assert pai.get_sum(20) == 3
+        assert pai.get_sum(20, inclusive=False) == 1
+        assert pai.get_sum(5) == 0
+        assert pai.get_sum(100) == 7
+
+    def test_shift_keys_exclusive(self):
+        pai = PAIMap()
+        for key in (10, 20, 30):
+            pai.put(key, key)
+        pai.shift_keys(10, 5)
+        assert sorted(k for k, _ in pai.items()) == [10, 25, 35]
+
+    def test_shift_keys_inclusive(self):
+        pai = PAIMap()
+        for key in (10, 20):
+            pai.put(key, key)
+        pai.shift_keys(10, 5, inclusive=True)
+        assert sorted(k for k, _ in pai.items()) == [15, 25]
+
+    def test_shift_merges_collisions(self):
+        pai = PAIMap()
+        pai.put(10, 1)
+        pai.put(15, 2)
+        pai.shift_keys(12, -5)
+        assert list(pai.items()) == [(10, 3)]
+
+    def test_shift_preserves_total(self):
+        pai = PAIMap()
+        for key in range(10):
+            pai.put(key, key + 1)
+        pai.shift_keys(4, 100)
+        assert pai.total_sum() == sum(range(1, 11))
+
+
+class TestOrderHelpers:
+    def test_min_max(self):
+        pai = PAIMap()
+        for key in (7, 3, 9):
+            pai.put(key, 1)
+        assert pai.min_key() == 3
+        assert pai.max_key() == 9
+
+    def test_min_max_empty_raise(self):
+        with pytest.raises(KeyError):
+            PAIMap().min_key()
+        with pytest.raises(KeyError):
+            PAIMap().max_key()
+
+    def test_successor_predecessor(self):
+        pai = PAIMap()
+        for key in (1, 5, 9):
+            pai.put(key, 1)
+        assert pai.successor(1) == 5
+        assert pai.successor(9) is None
+        assert pai.predecessor(5) == 1
+        assert pai.predecessor(1) is None
+
+    def test_first_key_with_prefix_above(self):
+        pai = PAIMap()
+        for key, value in [(1, 2), (2, 2), (3, 2)]:
+            pai.put(key, value)
+        assert pai.first_key_with_prefix_above(3) == 2
+        assert pai.first_key_with_prefix_above(6) is None
+
+    def test_range_items(self):
+        pai = PAIMap()
+        for key in (1, 2, 3, 4):
+            pai.put(key, key)
+        assert list(pai.range_items(1, 3)) == [(2, 2), (3, 3)]
+
+
+class TestPruneZeros:
+    def test_add_to_zero_prunes(self):
+        pai = PAIMap(prune_zeros=True)
+        pai.add(1, 5)
+        pai.add(1, -5)
+        assert 1 not in pai
+        assert len(pai) == 0
+
+    def test_shift_prunes_merged_zeros(self):
+        pai = PAIMap(prune_zeros=True)
+        pai.put(10, 5)
+        pai.put(15, -5)
+        pai.shift_keys(12, -5)
+        assert len(pai) == 0
+
+
+KEYS = st.integers(min_value=-20, max_value=20)
+VALUES = st.integers(min_value=-9, max_value=9)
+
+
+class TestProperties:
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["put", "add", "delete", "shift"]), KEYS, VALUES
+            ),
+            max_size=50,
+        )
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_matches_oracle(self, ops):
+        pai = PAIMap()
+        oracle = ReferenceIndex()
+        for kind, key, value in ops:
+            if kind == "put":
+                pai.put(key, value)
+                oracle.put(key, value)
+            elif kind == "add":
+                pai.add(key, value)
+                oracle.add(key, value)
+            elif kind == "delete":
+                if key in oracle:
+                    assert pai.delete(key) == oracle.delete(key)
+            else:
+                pai.shift_keys(key, value)
+                oracle.shift_keys(key, value)
+            assert list(pai.items()) == list(oracle.items())
+            assert pai.total_sum() == oracle.total_sum()

@@ -1,0 +1,80 @@
+"""Sanity tests for the brute-force oracle itself (if the oracle is
+wrong, every differential test is vacuous)."""
+
+import pytest
+
+from repro.core.reference_index import ReferenceIndex
+
+
+def test_put_get_delete_roundtrip():
+    ref = ReferenceIndex()
+    ref.put(2, 20)
+    ref.put(1, 10)
+    assert ref.get(1) == 10
+    assert ref.get(2) == 20
+    assert list(ref.items()) == [(1, 10), (2, 20)]
+    assert ref.delete(1) == 10
+    assert list(ref.items()) == [(2, 20)]
+
+
+def test_delete_missing_raises():
+    with pytest.raises(KeyError):
+        ReferenceIndex().delete(0)
+
+
+def test_get_sum_hand_computed():
+    ref = ReferenceIndex()
+    for key, value in [(1, 1), (2, 2), (3, 4), (4, 8)]:
+        ref.put(key, value)
+    assert ref.get_sum(2) == 3
+    assert ref.get_sum(2, inclusive=False) == 1
+    assert ref.get_sum(0) == 0
+    assert ref.get_sum(10) == 15
+    assert ref.total_sum() == 15
+
+
+def test_shift_hand_computed():
+    ref = ReferenceIndex()
+    for key in (1, 2, 3):
+        ref.put(key, key)
+    ref.shift_keys(1, 10)
+    assert list(ref.items()) == [(1, 1), (12, 2), (13, 3)]
+    ref.shift_keys(0, -11, inclusive=True)
+    # all keys move down 11: -10, 1, 2
+    assert list(ref.items()) == [(-10, 1), (1, 2), (2, 3)]
+
+
+def test_shift_merge():
+    ref = ReferenceIndex()
+    ref.put(5, 1)
+    ref.put(7, 2)
+    ref.shift_keys(6, -2)
+    assert list(ref.items()) == [(5, 3)]
+
+
+def test_successor_predecessor_and_bounds():
+    ref = ReferenceIndex()
+    for key in (10, 20):
+        ref.put(key, 1)
+    assert ref.successor(10) == 20
+    assert ref.successor(20) is None
+    assert ref.predecessor(20) == 10
+    assert ref.predecessor(10) is None
+    assert ref.min_key() == 10
+    assert ref.max_key() == 20
+
+
+def test_first_key_with_prefix_above():
+    ref = ReferenceIndex()
+    for key, value in [(1, 5), (2, 5)]:
+        ref.put(key, value)
+    assert ref.first_key_with_prefix_above(4) == 1
+    assert ref.first_key_with_prefix_above(5) == 2
+    assert ref.first_key_with_prefix_above(10) is None
+
+
+def test_prune_zeros():
+    ref = ReferenceIndex(prune_zeros=True)
+    ref.add(1, 1)
+    ref.add(1, -1)
+    assert len(ref) == 0

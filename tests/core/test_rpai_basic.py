@@ -1,0 +1,330 @@
+"""Unit tests for the RPAI tree: every operation, including the worked
+examples from the paper's Figures 3, 4 and 5."""
+
+import pytest
+
+from repro.core.rpai import RPAITree
+
+
+def build(entries):
+    tree = RPAITree()
+    for key, value in entries:
+        tree.put(key, value)
+    tree.check_invariants()
+    return tree
+
+
+class TestBasicMapOperations:
+    def test_empty_tree(self):
+        tree = RPAITree()
+        assert len(tree) == 0
+        assert not tree
+        assert list(tree.items()) == []
+        assert tree.get(5) == 0.0
+        assert 5 not in tree
+        assert tree.total_sum() == 0
+
+    def test_put_and_get(self):
+        tree = build([(10, 1), (5, 2), (20, 3)])
+        assert tree.get(10) == 1
+        assert tree.get(5) == 2
+        assert tree.get(20) == 3
+        assert tree.get(7, default=-1) == -1
+
+    def test_put_overwrites(self):
+        tree = build([(10, 1)])
+        tree.put(10, 9)
+        assert tree.get(10) == 9
+        assert len(tree) == 1
+
+    def test_add_accumulates(self):
+        tree = RPAITree()
+        tree.add(4, 3)
+        tree.add(4, 2)
+        assert tree.get(4) == 5
+        assert len(tree) == 1
+
+    def test_add_creates_missing_key(self):
+        tree = RPAITree()
+        tree.add(7, 1)
+        assert 7 in tree
+
+    def test_delete_returns_value(self):
+        tree = build([(1, 10), (2, 20), (3, 30)])
+        assert tree.delete(2) == 20
+        assert 2 not in tree
+        assert len(tree) == 2
+        tree.check_invariants()
+
+    def test_delete_missing_raises(self):
+        tree = build([(1, 10)])
+        with pytest.raises(KeyError):
+            tree.delete(99)
+
+    def test_delete_root_with_two_children(self):
+        tree = build([(10, 1), (5, 2), (20, 3)])
+        tree.delete(10)
+        tree.check_invariants()
+        assert sorted(tree.keys()) == [5, 20]
+
+    def test_pop_with_default(self):
+        tree = build([(1, 10)])
+        assert tree.pop(1) == 10
+        assert tree.pop(1, default=-5) == -5
+
+    def test_clear(self):
+        tree = build([(1, 1), (2, 2)])
+        tree.clear()
+        assert len(tree) == 0
+        assert list(tree.items()) == []
+
+    def test_negative_and_float_keys(self):
+        tree = build([(-5, 1), (0, 2), (3.5, 3)])
+        assert tree.get(-5) == 1
+        assert tree.get(3.5) == 3
+        assert [k for k, _ in tree.items()] == [-5, 0, 3.5]
+
+    def test_items_sorted_by_actual_key(self):
+        entries = [(40, 2), (20, 3), (60, 8), (10, 3), (30, 6), (50, 2), (70, 7)]
+        tree = build(entries)
+        assert list(tree.items()) == sorted(entries)
+
+    def test_keys_and_values_iterators(self):
+        tree = build([(2, 20), (1, 10)])
+        assert list(tree.keys()) == [1, 2]
+        assert list(tree.values()) == [10, 20]
+
+
+class TestGetSum:
+    def test_figure3_example(self):
+        """Figure 3: getSum(50) over the paper's example tree is 16."""
+        tree = build(
+            [(40, 2), (20, 3), (60, 8), (10, 3), (30, 6), (50, 2), (70, 7)]
+        )
+        # keys <= 50: 10->3, 20->3, 30->6, 40->2, 50->2 = 16
+        assert tree.get_sum(50) == 16
+
+    def test_inclusive_vs_exclusive(self):
+        tree = build([(10, 1), (20, 2), (30, 4)])
+        assert tree.get_sum(20, inclusive=True) == 3
+        assert tree.get_sum(20, inclusive=False) == 1
+
+    def test_get_sum_below_min(self):
+        tree = build([(10, 1)])
+        assert tree.get_sum(5) == 0
+
+    def test_get_sum_above_max_equals_total(self):
+        tree = build([(10, 1), (20, 2)])
+        assert tree.get_sum(10**9) == tree.total_sum() == 3
+
+    def test_suffix_sum(self):
+        tree = build([(10, 1), (20, 2), (30, 4)])
+        assert tree.suffix_sum(20) == 4
+        assert tree.suffix_sum(20, inclusive=True) == 6
+
+    def test_get_sum_float_probe(self):
+        tree = build([(10, 1), (20, 2)])
+        assert tree.get_sum(15.5) == 1
+        assert tree.get_sum(9.99) == 0
+
+
+class TestShiftKeysPositive:
+    def test_figure4_example(self):
+        """Figure 4: shiftKeys(k=9, d=10) shifts keys > 9 up by 10."""
+        tree = build([(13, 1), (7, 1), (19, 1), (8, 1), (11, 1), (14, 1), (20, 1)])
+        tree.shift_keys(9, 10)
+        tree.check_invariants()
+        assert sorted(tree.keys()) == [7, 8, 21, 23, 24, 29, 30]
+
+    def test_shift_all(self):
+        tree = build([(1, 1), (2, 2), (3, 3)])
+        tree.shift_keys(0, 100)
+        assert sorted(tree.keys()) == [101, 102, 103]
+        assert tree.get(101) == 1
+
+    def test_shift_none(self):
+        tree = build([(1, 1), (2, 2)])
+        tree.shift_keys(10, 5)
+        assert sorted(tree.keys()) == [1, 2]
+
+    def test_shift_inclusive(self):
+        tree = build([(10, 1), (20, 2)])
+        tree.shift_keys(10, 5, inclusive=True)
+        assert sorted(tree.keys()) == [15, 25]
+
+    def test_shift_exclusive_boundary_stays(self):
+        tree = build([(10, 1), (20, 2)])
+        tree.shift_keys(10, 5)
+        assert sorted(tree.keys()) == [10, 25]
+
+    def test_zero_delta_is_noop(self):
+        tree = build([(10, 1)])
+        tree.shift_keys(0, 0)
+        assert list(tree.keys()) == [10]
+
+    def test_values_preserved_through_shift(self):
+        tree = build([(10, 7), (20, 11), (30, 13)])
+        tree.shift_keys(15, 4)
+        assert tree.get(10) == 7
+        assert tree.get(24) == 11
+        assert tree.get(34) == 13
+        assert tree.total_sum() == 31
+
+    def test_shift_then_get_sum(self):
+        tree = build([(10, 1), (20, 2), (30, 4)])
+        tree.shift_keys(15, 100)
+        assert tree.get_sum(50) == 1
+        assert tree.get_sum(130) == 7
+
+
+class TestShiftKeysNegative:
+    def test_figure5_worst_case(self):
+        """Figure 5: shiftKeys(k=19, d=-15) — the key 20 crashes down
+        through the tree triggering repeated fixTree calls."""
+        tree = build([(13, 1), (7, 2), (19, 3), (8, 4), (11, 5), (14, 6), (20, 7)])
+        tree.shift_keys(19, -15)
+        tree.check_invariants()
+        assert sorted(tree.keys()) == [5, 7, 8, 11, 13, 14, 19]
+        assert tree.get(5) == 7  # the moved key kept its value
+
+    def test_negative_shift_no_violation(self):
+        tree = build([(10, 1), (100, 2)])
+        tree.shift_keys(50, -10)
+        tree.check_invariants()
+        assert sorted(tree.keys()) == [10, 90]
+
+    def test_negative_shift_merges_colliding_keys(self):
+        """Section 3.2.4: a deletion-driven shift can make two aggregate
+        keys equal; the values merge by addition."""
+        tree = build([(10, 3), (15, 5), (20, 7)])
+        tree.shift_keys(15, -5)
+        tree.check_invariants()
+        assert sorted(tree.keys()) == [10, 15]
+        assert tree.get(15) == 12  # 5 + 7
+        assert tree.get(10) == 3
+
+    def test_negative_shift_collapse_everything(self):
+        tree = build([(1, 1), (2, 2), (3, 4), (4, 8)])
+        tree.shift_keys(1, -100)
+        tree.check_invariants()
+        # keys 2,3,4 all moved far below 1, preserving relative order
+        assert sorted(tree.keys()) == [-98, -97, -96, 1]
+        assert tree.total_sum() == 15
+
+    def test_negative_shift_merge_with_prune(self):
+        tree = RPAITree(prune_zeros=True)
+        tree.put(10, 5)
+        tree.put(15, -5)
+        tree.shift_keys(12, -5)
+        tree.check_invariants()
+        # 15 -> 10 merges with opposite value and is pruned
+        assert len(tree) == 0
+
+
+class TestOrderHelpers:
+    def test_min_max(self):
+        tree = build([(5, 1), (1, 1), (9, 1)])
+        assert tree.min_key() == 1
+        assert tree.max_key() == 9
+
+    def test_min_max_empty_raise(self):
+        tree = RPAITree()
+        with pytest.raises(KeyError):
+            tree.min_key()
+        with pytest.raises(KeyError):
+            tree.max_key()
+
+    def test_successor_predecessor(self):
+        tree = build([(10, 1), (20, 1), (30, 1)])
+        assert tree.successor(10) == 20
+        assert tree.successor(15) == 20
+        assert tree.successor(30) is None
+        assert tree.predecessor(20) == 10
+        assert tree.predecessor(10) is None
+        assert tree.predecessor(35) == 30
+
+    def test_first_key_with_prefix_above(self):
+        tree = build([(10, 3), (20, 3), (30, 6)])
+        assert tree.first_key_with_prefix_above(0) == 10
+        assert tree.first_key_with_prefix_above(2.5) == 10
+        assert tree.first_key_with_prefix_above(3) == 20
+        assert tree.first_key_with_prefix_above(5.9) == 20
+        assert tree.first_key_with_prefix_above(6) == 30
+        assert tree.first_key_with_prefix_above(12) is None
+
+    def test_range_items(self):
+        tree = build([(10, 1), (20, 2), (30, 3), (40, 4)])
+        assert list(tree.range_items(10, 30)) == [(20, 2), (30, 3)]
+        assert list(tree.range_items(10, 30, lo_inclusive=True)) == [
+            (10, 1),
+            (20, 2),
+            (30, 3),
+        ]
+        assert list(tree.range_items(10, 30, hi_inclusive=False)) == [(20, 2)]
+        assert list(tree.range_items(100, 200)) == []
+
+
+class TestPruneZeros:
+    def test_add_to_zero_removes(self):
+        tree = RPAITree(prune_zeros=True)
+        tree.add(5, 3)
+        tree.add(5, -3)
+        assert 5 not in tree
+        assert len(tree) == 0
+
+    def test_put_zero_removes(self):
+        tree = RPAITree(prune_zeros=True)
+        tree.put(5, 3)
+        tree.put(5, 0)
+        assert 5 not in tree
+
+    def test_put_zero_on_missing_is_noop(self):
+        tree = RPAITree(prune_zeros=True)
+        tree.put(5, 0)
+        assert len(tree) == 0
+
+    def test_add_zero_on_missing_is_noop(self):
+        tree = RPAITree(prune_zeros=True)
+        tree.add(5, 0)
+        assert len(tree) == 0
+
+    def test_without_prune_zero_values_stay(self):
+        tree = RPAITree()
+        tree.add(5, 3)
+        tree.add(5, -3)
+        assert 5 in tree
+        assert tree.get(5) == 0
+
+
+class TestBalance:
+    def test_sequential_inserts_stay_balanced(self):
+        tree = RPAITree()
+        for key in range(1, 2049):
+            tree.put(key, 1)
+        tree.check_invariants()
+        # AVL height bound: 1.44 * log2(n + 2)
+        assert tree.height() <= 17
+
+    def test_reverse_inserts_stay_balanced(self):
+        tree = RPAITree()
+        for key in range(2048, 0, -1):
+            tree.put(key, 1)
+        tree.check_invariants()
+        assert tree.height() <= 17
+
+    def test_interleaved_delete_keeps_balance(self):
+        tree = RPAITree()
+        for key in range(512):
+            tree.put(key, 1)
+        for key in range(0, 512, 2):
+            tree.delete(key)
+        tree.check_invariants()
+        assert len(tree) == 256
+
+    def test_shift_preserves_size(self):
+        tree = RPAITree()
+        for key in range(100):
+            tree.put(key * 10, key)
+        tree.shift_keys(500, 7)
+        assert len(tree) == 100
+        tree.check_invariants()

@@ -1,0 +1,176 @@
+"""Property-based tests: RPAI trees against the brute-force oracle.
+
+Strategy: generate random operation sequences and require that the
+RPAI tree and the :class:`ReferenceIndex` oracle expose identical
+observable state after every step, while the tree's structural
+invariants (BST order over actual keys, AVL balance, subtree sums,
+min/max offsets) hold throughout.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pai_map import PAIMap
+from repro.core.reference_index import ReferenceIndex
+from repro.core.rpai import RPAITree
+from repro.trees.treemap import TreeMap
+
+KEYS = st.integers(min_value=-30, max_value=30)
+VALUES = st.integers(min_value=-9, max_value=9)
+DELTAS = st.integers(min_value=-12, max_value=12)
+
+OPERATIONS = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), KEYS, VALUES),
+        st.tuples(st.just("add"), KEYS, VALUES),
+        st.tuples(st.just("delete"), KEYS, st.just(0)),
+        st.tuples(st.just("shift"), KEYS, DELTAS),
+        st.tuples(st.just("shift_inclusive"), KEYS, DELTAS),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def apply_op(index, op: tuple) -> None:
+    kind, key, value = op
+    if kind == "put":
+        index.put(key, value)
+    elif kind == "add":
+        index.add(key, value)
+    elif kind == "delete":
+        if key in index:
+            index.delete(key)
+    elif kind == "shift":
+        index.shift_keys(key, value)
+    elif kind == "shift_inclusive":
+        index.shift_keys(key, value, inclusive=True)
+
+
+class TestRPAIDifferential:
+    @given(ops=OPERATIONS, prune=st.booleans())
+    @settings(max_examples=300, deadline=None)
+    def test_matches_oracle_after_every_op(self, ops, prune):
+        tree = RPAITree(prune_zeros=prune)
+        oracle = ReferenceIndex(prune_zeros=prune)
+        for op in ops:
+            apply_op(tree, op)
+            apply_op(oracle, op)
+            tree.check_invariants()
+            assert list(tree.items()) == list(oracle.items())
+            assert len(tree) == len(oracle)
+            assert tree.total_sum() == oracle.total_sum()
+
+    @given(ops=OPERATIONS, probe=KEYS)
+    @settings(max_examples=200, deadline=None)
+    def test_queries_match_oracle(self, ops, probe):
+        tree = RPAITree()
+        oracle = ReferenceIndex()
+        for op in ops:
+            apply_op(tree, op)
+            apply_op(oracle, op)
+        assert tree.get_sum(probe) == oracle.get_sum(probe)
+        assert tree.get_sum(probe, inclusive=False) == oracle.get_sum(
+            probe, inclusive=False
+        )
+        assert tree.get(probe, None) == oracle.get(probe, None)
+        assert tree.successor(probe) == oracle.successor(probe)
+        assert tree.predecessor(probe) == oracle.predecessor(probe)
+        assert (probe in tree) == (probe in oracle)
+
+    @given(ops=OPERATIONS, lo=KEYS, hi=KEYS)
+    @settings(max_examples=150, deadline=None)
+    def test_range_items_match_oracle(self, ops, lo, hi):
+        tree = RPAITree()
+        oracle = ReferenceIndex()
+        for op in ops:
+            apply_op(tree, op)
+            apply_op(oracle, op)
+        assert list(tree.range_items(lo, hi)) == list(oracle.range_items(lo, hi))
+        assert list(
+            tree.range_items(lo, hi, lo_inclusive=True, hi_inclusive=False)
+        ) == list(oracle.range_items(lo, hi, lo_inclusive=True, hi_inclusive=False))
+
+    @given(
+        entries=st.dictionaries(KEYS, st.integers(min_value=1, max_value=9), min_size=1),
+        threshold=st.integers(min_value=-5, max_value=120),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_prefix_search_matches_oracle(self, entries, threshold):
+        """first_key_with_prefix_above requires non-negative values."""
+        tree = RPAITree()
+        oracle = ReferenceIndex()
+        for key, value in entries.items():
+            tree.put(key, value)
+            oracle.put(key, value)
+        assert tree.first_key_with_prefix_above(threshold) == (
+            oracle.first_key_with_prefix_above(threshold)
+        )
+
+
+class TestRPAIStructure:
+    @given(
+        keys=st.lists(st.integers(min_value=-10_000, max_value=10_000), unique=True, min_size=1)
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_balance_after_bulk_insert(self, keys):
+        tree = RPAITree()
+        for key in keys:
+            tree.put(key, 1)
+        tree.check_invariants()
+        # AVL height bound ~ 1.44 log2(n+2)
+        import math
+
+        assert tree.height() <= int(1.45 * math.log2(len(keys) + 2)) + 1
+
+    @given(ops=OPERATIONS)
+    @settings(max_examples=150, deadline=None)
+    def test_shift_preserves_total_sum_and_size_without_merge(self, ops):
+        tree = RPAITree()
+        oracle = ReferenceIndex()
+        for op in ops:
+            apply_op(tree, op)
+            apply_op(oracle, op)
+        before_total = tree.total_sum()
+        # A huge positive shift cannot merge keys.
+        tree.shift_keys(0, 10**6)
+        tree.check_invariants()
+        assert tree.total_sum() == before_total
+
+    @given(
+        entries=st.dictionaries(KEYS, VALUES, min_size=2),
+        pivot=KEYS,
+        delta=st.integers(min_value=1, max_value=10**6),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_shift_is_exact_partition(self, entries, pivot, delta):
+        """Keys <= pivot stay; keys > pivot move by exactly delta."""
+        tree = RPAITree()
+        for key, value in entries.items():
+            tree.put(key, value)
+        tree.shift_keys(pivot, delta)
+        expected = sorted(
+            (key + delta if key > pivot else key, value)
+            for key, value in entries.items()
+        )
+        assert list(tree.items()) == expected
+
+
+class TestAllIndexesAgree:
+    """PAIMap, TreeMap and RPAITree implement one contract; random
+    op sequences must leave all three in the same observable state."""
+
+    @given(ops=OPERATIONS, probe=KEYS)
+    @settings(max_examples=200, deadline=None)
+    def test_three_implementations_agree(self, ops, probe):
+        implementations = [RPAITree(), PAIMap(), TreeMap(), ReferenceIndex()]
+        for op in ops:
+            for impl in implementations:
+                apply_op(impl, op)
+        reference = list(implementations[-1].items())
+        for impl in implementations[:-1]:
+            assert list(impl.items()) == reference, type(impl).__name__
+            assert impl.get_sum(probe) == implementations[-1].get_sum(probe)
+            assert impl.total_sum() == implementations[-1].total_sum()

@@ -1,0 +1,134 @@
+"""Stress and adversarial-shape tests for the RPAI tree.
+
+The property tests cover small random sequences exhaustively; these
+push size, pathological orderings, and the Figure 5 worst case at
+scale, and assert the structural bounds the complexity claims rest on.
+"""
+
+import math
+import random
+
+from repro.core.reference_index import ReferenceIndex
+from repro.core.rpai import RPAITree
+
+
+def avl_height_bound(n: int) -> int:
+    return int(1.45 * math.log2(n + 2)) + 1
+
+
+class TestScale:
+    def test_ten_thousand_mixed_operations(self):
+        rng = random.Random(99)
+        tree = RPAITree(prune_zeros=True)
+        oracle = ReferenceIndex(prune_zeros=True)
+        for step in range(10_000):
+            op = rng.randrange(6)
+            key = rng.randint(-500, 500)
+            value = rng.randint(1, 9)
+            if op < 2:
+                tree.add(key, value)
+                oracle.add(key, value)
+            elif op == 2 and len(oracle):
+                victim = rng.choice([k for k, _ in oracle.items()])
+                assert tree.delete(victim) == oracle.delete(victim)
+            elif op == 3:
+                delta = rng.randint(1, 20)
+                tree.shift_keys(key, delta)
+                oracle.shift_keys(key, delta)
+            elif op == 4:
+                delta = -rng.randint(1, 20)
+                tree.shift_keys(key, delta)
+                oracle.shift_keys(key, delta)
+            else:
+                assert tree.get_sum(key) == oracle.get_sum(key)
+            if step % 500 == 0:
+                tree.check_invariants()
+                assert list(tree.items()) == list(oracle.items())
+        tree.check_invariants()
+        assert list(tree.items()) == list(oracle.items())
+
+    def test_height_stays_logarithmic_under_shift_churn(self):
+        tree = RPAITree()
+        for key in range(5_000):
+            tree.put(key * 3, 1)
+        rng = random.Random(7)
+        for _ in range(2_000):
+            pivot = rng.randint(0, 20_000)
+            tree.shift_keys(pivot, rng.choice([1, 2, -1, -2]))
+        tree.check_invariants()
+        assert tree.height() <= avl_height_bound(len(tree))
+
+    def test_monotone_aggregate_deletion_pattern(self):
+        """The engine deletion pattern at scale: shift down by exactly
+        one gap (collides/merges), verify against the oracle."""
+        tree = RPAITree(prune_zeros=True)
+        oracle = ReferenceIndex(prune_zeros=True)
+        for key in range(1, 2_001):
+            tree.put(key * 10, key)
+            oracle.put(key * 10, key)
+        rng = random.Random(3)
+        for _ in range(300):
+            pivot = rng.randrange(10, 20_000, 10)
+            tree.shift_keys(pivot, -10)
+            oracle.shift_keys(pivot, -10)
+        tree.check_invariants()
+        assert list(tree.items()) == list(oracle.items())
+
+
+class TestAdversarialShapes:
+    def test_figure5_cascade_at_depth(self):
+        """Shift the maximum below the minimum of a big tree: every
+        level repairs, and the result is still correct and balanced."""
+        tree = RPAITree()
+        n = 1_024
+        for key in range(n):
+            tree.put(key, 1)
+        tree.shift_keys(n - 2, -10 * n)  # max crashes far below min
+        tree.check_invariants()
+        keys = sorted(tree.keys())
+        assert keys[0] == (n - 1) - 10 * n
+        assert len(tree) == n
+
+    def test_alternating_extreme_shifts(self):
+        tree = RPAITree()
+        oracle = ReferenceIndex()
+        for key in range(200):
+            tree.put(key * 5, key + 1)
+            oracle.put(key * 5, key + 1)
+        for round_ in range(50):
+            pivot = (round_ * 37) % 1000
+            tree.shift_keys(pivot, 10**6)
+            oracle.shift_keys(pivot, 10**6)
+            tree.shift_keys(pivot, -(10**6))
+            oracle.shift_keys(pivot, -(10**6))
+            tree.check_invariants()
+        assert list(tree.items()) == list(oracle.items())
+
+    def test_interleaved_inclusive_exclusive_shifts(self):
+        tree = RPAITree()
+        oracle = ReferenceIndex()
+        rng = random.Random(11)
+        for key in range(0, 400, 2):
+            tree.put(key, 1)
+            oracle.put(key, 1)
+        for _ in range(200):
+            pivot = rng.randint(-10, 900)
+            delta = rng.randint(-7, 7)
+            inclusive = rng.random() < 0.5
+            tree.shift_keys(pivot, delta, inclusive=inclusive)
+            oracle.shift_keys(pivot, delta, inclusive=inclusive)
+        tree.check_invariants()
+        assert list(tree.items()) == list(oracle.items())
+
+    def test_float_keys_with_shifts(self):
+        """Floats are supported for ad-hoc use (engines use ints)."""
+        tree = RPAITree()
+        oracle = ReferenceIndex()
+        for index in range(100):
+            key = index + 0.5
+            tree.put(key, 1)
+            oracle.put(key, 1)
+        tree.shift_keys(50.0, 0.25)
+        oracle.shift_keys(50.0, 0.25)
+        assert list(tree.items()) == list(oracle.items())
+        tree.check_invariants()

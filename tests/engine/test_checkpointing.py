@@ -1,0 +1,96 @@
+"""Engine state checkpointing: every engine must survive a
+pickle/unpickle round trip mid-stream and continue producing results
+identical to an uninterrupted run.
+
+This is an operational requirement for any long-running incremental
+system (restart without replaying the whole stream) and doubles as a
+test that no engine hides state in module globals.
+"""
+
+import pickle
+
+import pytest
+
+from repro.engine.registry import build_engine
+from repro.workloads import (
+    OrderBookConfig,
+    TPCHConfig,
+    generate_order_book,
+    generate_tpch,
+)
+
+from tests.conftest import random_bid_stream
+
+
+def _stream(name: str):
+    if name in ("Q17", "Q18"):
+        return generate_tpch(TPCHConfig(scale_factor=0.01, seed=44))
+    if name in ("MST", "PSP"):
+        return generate_order_book(
+            OrderBookConfig(events=200, price_levels=30, volume_max=10, seed=45, delete_ratio=0.2)
+        )
+    if name == "EQ":
+        import random
+
+        from repro.storage.stream import Event, Stream
+
+        rng = random.Random(46)
+        events, live = [], []
+        while len(events) < 200:
+            if live and rng.random() < 0.2:
+                events.append(Event("R", live.pop(rng.randrange(len(live))), -1))
+            else:
+                row = {"A": rng.randint(1, 6), "B": rng.randint(1, 4)}
+                live.append(row)
+                events.append(Event("R", row, +1))
+        return Stream(events)
+    return random_bid_stream(200, seed=47, delete_probability=0.2)
+
+
+ALL_QUERIES = ["EQ", "VWAP", "MST", "PSP", "SQ1", "SQ2", "NQ1", "NQ2", "Q17", "Q18"]
+
+
+@pytest.mark.parametrize("name", ALL_QUERIES)
+def test_rpai_engine_pickle_roundtrip_mid_stream(name):
+    stream = list(_stream(name))
+    half = len(stream) // 2
+
+    uninterrupted = build_engine(name, "rpai")
+    for event in stream:
+        expected = uninterrupted.on_event(event)
+
+    engine = build_engine(name, "rpai")
+    for event in stream[:half]:
+        engine.on_event(event)
+    restored = pickle.loads(pickle.dumps(engine))
+    for event in stream[half:]:
+        actual = restored.on_event(event)
+    assert actual == expected
+
+
+@pytest.mark.parametrize("name", ["VWAP", "Q18"])
+def test_dbtoaster_engine_pickle_roundtrip(name):
+    stream = list(_stream(name))
+    engine = build_engine(name, "dbtoaster")
+    for event in stream[:50]:
+        engine.on_event(event)
+    restored = pickle.loads(pickle.dumps(engine))
+    reference = build_engine(name, "dbtoaster")
+    for event in stream[:50]:
+        reference.on_event(event)
+    for event in stream[50:]:
+        assert restored.on_event(event) == reference.on_event(event)
+
+
+def test_rpai_tree_pickles():
+    from repro.core import RPAITree
+
+    tree = RPAITree(prune_zeros=True)
+    for key in range(100):
+        tree.put(key * 3, key)
+    clone = pickle.loads(pickle.dumps(tree))
+    clone.check_invariants()
+    assert list(clone.items()) == list(tree.items())
+    clone.shift_keys(150, 7)
+    tree.shift_keys(150, 7)
+    assert list(clone.items()) == list(tree.items())

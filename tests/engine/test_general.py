@@ -1,0 +1,134 @@
+"""Tests for the Section 4.2 general-algorithm engine."""
+
+import pytest
+
+from repro.engine.general import GeneralAlgorithmEngine
+from repro.engine.naive import NaiveEngine
+from repro.errors import UnsupportedQueryError
+from repro.query.parser import parse_query
+from repro.storage import schema as schemas
+from repro.storage.stream import Event
+from repro.workloads.queries import QUERIES
+
+from tests.conftest import bid_events, random_bid_stream
+
+
+class TestSupportedShapes:
+    @pytest.mark.parametrize("name", ["VWAP", "SQ1", "SQ2", "EQ"])
+    def test_matches_naive(self, name):
+        qd = QUERIES[name]
+        ga = GeneralAlgorithmEngine(qd.ast)
+        naive = NaiveEngine(qd.ast, qd.schema_map())
+        if name == "EQ":
+            import random
+
+            rng = random.Random(1)
+            live = []
+            for index in range(150):
+                if live and rng.random() < 0.3:
+                    event = Event("R", live.pop(rng.randrange(len(live))), -1)
+                else:
+                    row = {"A": rng.randint(1, 5), "B": rng.randint(1, 3)}
+                    live.append(row)
+                    event = Event("R", row, +1)
+                assert naive.on_event(event) == ga.on_event(event), index
+        else:
+            for index, event in enumerate(random_bid_stream(140, seed=sum(map(ord, name)))):
+                assert naive.on_event(event) == ga.on_event(event), index
+
+    def test_sq2_produces_nonzero_results(self):
+        """Guard against a vacuous differential test: with low prices
+        and volumes the asymmetric predicate does fire."""
+        qd = QUERIES["SQ2"]
+        ga = GeneralAlgorithmEngine(qd.ast)
+        results = [
+            ga.on_event(e)
+            for e in random_bid_stream(
+                200, seed=2, price_levels=60, volume_max=4, delete_probability=0.1
+            )
+        ]
+        assert any(r != 0 for r in results)
+
+    def test_count_result_aggregate(self):
+        q = parse_query(
+            "SELECT COUNT(*) FROM bids b WHERE "
+            "0.5 * (SELECT SUM(b1.volume) FROM bids b1) < "
+            "(SELECT SUM(b2.volume) FROM bids b2 WHERE b2.price <= b.price)"
+        )
+        ga = GeneralAlgorithmEngine(q)
+        naive = NaiveEngine(q, {"bids": schemas.BIDS})
+        for event in random_bid_stream(100, seed=41):
+            assert naive.on_event(event) == ga.on_event(event)
+
+    def test_avg_inner_aggregate(self):
+        q = parse_query(
+            "SELECT SUM(b.price) FROM bids b WHERE "
+            "(SELECT AVG(b1.volume) FROM bids b1) < "
+            "(SELECT AVG(b2.volume) FROM bids b2 WHERE b2.price <= b.price)"
+        )
+        ga = GeneralAlgorithmEngine(q)
+        naive = NaiveEngine(q, {"bids": schemas.BIDS})
+        for event in random_bid_stream(100, seed=43):
+            assert naive.on_event(event) == ga.on_event(event)
+
+    def test_equality_correlation(self):
+        q = parse_query(
+            "SELECT SUM(b.price) FROM bids b WHERE "
+            "0.25 * (SELECT SUM(b1.volume) FROM bids b1) < "
+            "(SELECT SUM(b2.volume) FROM bids b2 WHERE b2.price = b.price)"
+        )
+        ga = GeneralAlgorithmEngine(q)
+        naive = NaiveEngine(q, {"bids": schemas.BIDS})
+        for event in random_bid_stream(120, seed=44, price_levels=6):
+            assert naive.on_event(event) == ga.on_event(event)
+
+
+class TestRejections:
+    def test_multi_relation_rejected(self):
+        with pytest.raises(UnsupportedQueryError):
+            GeneralAlgorithmEngine(QUERIES["MST"].ast)
+
+    def test_group_by_rejected(self):
+        q = parse_query("SELECT SUM(b.price) FROM bids b GROUP BY b.broker_id")
+        with pytest.raises(UnsupportedQueryError):
+            GeneralAlgorithmEngine(q)
+
+    def test_min_result_rejected(self):
+        q = parse_query(
+            "SELECT MIN(b.price) FROM bids b WHERE "
+            "1 < (SELECT SUM(b2.volume) FROM bids b2 WHERE b2.price <= b.price)"
+        )
+        with pytest.raises(UnsupportedQueryError):
+            GeneralAlgorithmEngine(q)
+
+    def test_disjunctive_predicate_rejected(self):
+        q = parse_query(
+            "SELECT SUM(b.price) FROM bids b WHERE b.price > 1 OR b.price < 0"
+        )
+        with pytest.raises(UnsupportedQueryError):
+            GeneralAlgorithmEngine(q)
+
+    def test_correlation_with_foreign_alias_rejected(self):
+        q = parse_query(
+            "SELECT SUM(l.quantity) FROM lineitem l WHERE "
+            "l.quantity < (SELECT AVG(l2.quantity) FROM lineitem l2 "
+            "WHERE l2.partkey = l.partkey AND l2.orderkey <= l.orderkey "
+            "AND l2.quantity >= l.quantity)"
+        )
+        # multiple predicates in the subquery -> not a single comparison
+        with pytest.raises(UnsupportedQueryError):
+            GeneralAlgorithmEngine(q)
+
+
+class TestStateBookkeeping:
+    def test_group_key_prunes_on_empty(self):
+        qd = QUERIES["VWAP"]
+        ga = GeneralAlgorithmEngine(qd.ast)
+        events = list(bid_events([(10, 5), (20, 5)]))
+        for event in events:
+            ga.on_event(event)
+        assert len(ga._res_sum) == 2
+        for event in events:
+            ga.on_event(event.inverted())
+        assert len(ga._res_sum) == 0
+        assert ga.result() == 0

@@ -1,0 +1,172 @@
+"""Focused tests for the Section 4.3 aggregate-index engines: trigger
+edge cases, all three pluggable index implementations, and the planner
+hand-off."""
+
+import pytest
+
+from repro.core.pai_map import PAIMap
+from repro.core.rpai import RPAITree
+from repro.engine.aggr_index import (
+    PointIndexEngine,
+    RangeIndexEngine,
+    build_single_index_engine,
+)
+from repro.engine.naive import NaiveEngine
+from repro.errors import UnsupportedQueryError
+from repro.query.parser import parse_query
+from repro.query.planner import classify
+from repro.storage.stream import Event
+from repro.trees.treemap import TreeMap
+from repro.workloads.queries import QUERIES
+
+from tests.conftest import bid_events, make_bid, random_bid_stream
+
+
+@pytest.fixture
+def vwap_engine():
+    return build_single_index_engine(QUERIES["VWAP"].ast)
+
+
+class TestBuildDispatch:
+    def test_vwap_builds_range_engine(self, vwap_engine):
+        assert isinstance(vwap_engine, RangeIndexEngine)
+
+    def test_eq_builds_point_engine(self):
+        engine = build_single_index_engine(QUERIES["EQ"].ast)
+        assert isinstance(engine, PointIndexEngine)
+
+    def test_general_shape_rejected(self):
+        with pytest.raises(UnsupportedQueryError):
+            build_single_index_engine(QUERIES["SQ1"].ast)
+
+    def test_wrong_plan_type_rejected(self):
+        with pytest.raises(UnsupportedQueryError):
+            PointIndexEngine(classify(QUERIES["VWAP"].ast))
+        with pytest.raises(UnsupportedQueryError):
+            RangeIndexEngine(classify(QUERIES["EQ"].ast))
+
+
+class TestVWAPTriggerEdgeCases:
+    def test_paper_walkthrough(self, vwap_engine):
+        stream = bid_events([(100, 10), (200, 10), (300, 10), (400, 10)])
+        assert [vwap_engine.on_event(e) for e in stream] == [1000, 2000, 3000, 4000]
+
+    def test_duplicate_price_merges_group(self, vwap_engine):
+        for event in bid_events([(100, 10), (100, 5)]):
+            vwap_engine.on_event(event)
+        # one group at price 100 with rhs 15
+        assert len(vwap_engine.aggr_index) == 1
+        assert vwap_engine.aggr_index.get(15) == 100 * 15
+
+    def test_delete_last_tuple_of_group_removes_group(self, vwap_engine):
+        events = list(bid_events([(100, 10), (200, 10)]))
+        for event in events:
+            vwap_engine.on_event(event)
+        vwap_engine.on_event(events[1].inverted())
+        assert len(vwap_engine.aggr_index) == 1
+        vwap_engine.on_event(events[0].inverted())
+        assert len(vwap_engine.aggr_index) == 0
+        assert vwap_engine.result() == 0
+
+    def test_delete_merges_colliding_rhs(self, vwap_engine):
+        # groups at 100 (rhs 10) and 200 (rhs 20); deleting the bid at
+        # 100 shifts 200's rhs down to 10 — group 100 dies, 200 takes
+        # the key.
+        events = list(bid_events([(100, 10), (200, 10)]))
+        for event in events:
+            vwap_engine.on_event(event)
+        vwap_engine.on_event(events[0].inverted())
+        assert list(vwap_engine.aggr_index.items()) == [(10, 2000)]
+
+    def test_index_size_tracks_live_groups_not_updates(self, vwap_engine):
+        for event in random_bid_stream(300, seed=3, price_levels=10):
+            vwap_engine.on_event(event)
+        assert len(vwap_engine.aggr_index) <= 10
+
+    def test_ignores_other_relations(self, vwap_engine):
+        before = vwap_engine.result()
+        vwap_engine.on_event(Event("asks", make_bid(10, 10)))
+        assert vwap_engine.result() == before
+
+
+@pytest.mark.parametrize("index_cls", [RPAITree, PAIMap, TreeMap])
+class TestIndexImplementationsInterchangeable:
+    def test_vwap_same_results(self, index_cls):
+        reference = build_single_index_engine(QUERIES["VWAP"].ast)
+        candidate = build_single_index_engine(QUERIES["VWAP"].ast, index_cls=index_cls)
+        for event in random_bid_stream(200, seed=17):
+            assert reference.on_event(event) == candidate.on_event(event)
+
+    def test_eq_same_results(self, index_cls):
+        import random
+
+        reference = build_single_index_engine(QUERIES["EQ"].ast)
+        candidate = build_single_index_engine(QUERIES["EQ"].ast, index_cls=index_cls)
+        rng = random.Random(2)
+        live = []
+        for _ in range(200):
+            if live and rng.random() < 0.3:
+                event = Event("R", live.pop(rng.randrange(len(live))), -1)
+            else:
+                row = {"A": rng.randint(1, 5), "B": rng.randint(1, 4)}
+                live.append(row)
+                event = Event("R", row, +1)
+            assert reference.on_event(event) == candidate.on_event(event)
+
+
+class TestEQTrigger:
+    def test_figure1c_walkthrough(self):
+        """Crafted so the equality predicate actually fires."""
+        engine = build_single_index_engine(QUERIES["EQ"].ast)
+        naive = NaiveEngine(QUERIES["EQ"].ast, QUERIES["EQ"].schema_map())
+        rows = [
+            {"A": 1, "B": 2},  # total=2, lhs=1, rhs(1)=2
+            {"A": 2, "B": 2},  # total=4, lhs=2, rhs(1)=rhs(2)=2 -> both match
+        ]
+        for row in rows:
+            expected = naive.on_event(Event("R", row))
+            assert engine.on_event(Event("R", row)) == expected
+        assert engine.result() == 6
+
+    def test_group_death_prunes_index(self):
+        engine = build_single_index_engine(QUERIES["EQ"].ast)
+        engine.on_event(Event("R", {"A": 1, "B": 2}))
+        engine.on_event(Event("R", {"A": 1, "B": 2}, -1))
+        assert len(engine.aggr_index) == 0
+        assert len(engine.bound_map) == 0
+        assert len(engine.res_map) == 0
+
+
+class TestOuterOpVariants:
+    """The probe direction depends on the outer comparison operator."""
+
+    @pytest.mark.parametrize(
+        "op",
+        ["<", "<=", ">", ">="],
+    )
+    def test_outer_op_matches_naive(self, op):
+        sql = f"""
+            SELECT SUM(b.price * b.volume) FROM bids b
+            WHERE 0.5 * (SELECT SUM(b1.volume) FROM bids b1)
+                {op} (SELECT SUM(b2.volume) FROM bids b2
+                      WHERE b2.price <= b.price)
+        """
+        query = parse_query(sql)
+        engine = build_single_index_engine(query)
+        naive = NaiveEngine(query, QUERIES["VWAP"].schema_map())
+        for index, event in enumerate(random_bid_stream(120, seed=31)):
+            assert naive.on_event(event) == engine.on_event(event), (op, index)
+
+    @pytest.mark.parametrize("inner_op", ["<", "<=", ">", ">="])
+    def test_inner_op_matches_naive(self, inner_op):
+        sql = f"""
+            SELECT SUM(b.price * b.volume) FROM bids b
+            WHERE 0.5 * (SELECT SUM(b1.volume) FROM bids b1)
+                < (SELECT SUM(b2.volume) FROM bids b2
+                   WHERE b2.price {inner_op} b.price)
+        """
+        query = parse_query(sql)
+        engine = build_single_index_engine(query)
+        naive = NaiveEngine(query, QUERIES["VWAP"].schema_map())
+        for index, event in enumerate(random_bid_stream(120, seed=37)):
+            assert naive.on_event(event) == engine.on_event(event), (inner_op, index)

@@ -1,0 +1,169 @@
+"""Hand-computed cases for the naive interpreter (the ground truth all
+other engines are tested against — it gets its own direct tests)."""
+
+import pytest
+
+from repro.engine.naive import NaiveEngine
+from repro.errors import QueryAnalysisError
+from repro.query.parser import parse_query
+from repro.storage import schema as schemas
+from repro.storage.stream import Event
+from repro.workloads.queries import QUERIES
+
+from tests.conftest import bid_events, make_bid
+
+
+def test_vwap_hand_computed():
+    engine = NaiveEngine(QUERIES["VWAP"].ast, QUERIES["VWAP"].schema_map())
+    stream = bid_events([(100, 10), (200, 10), (300, 10), (400, 10)])
+    results = [engine.on_event(e) for e in stream]
+    # n=1: total=10 lhs=7.5, cum(100)=10 -> qualifies -> 1000
+    # n=2: lhs=15 -> only price 200 (cum 20) -> 2000
+    # n=3: lhs=22.5 -> only price 300 -> 3000
+    # n=4: lhs=30 -> only price 400 -> 4000
+    assert results == [1000, 2000, 3000, 4000]
+
+
+def test_vwap_deletion_restores_previous_result():
+    engine = NaiveEngine(QUERIES["VWAP"].ast, QUERIES["VWAP"].schema_map())
+    events = list(bid_events([(100, 10), (200, 10)]))
+    engine.on_event(events[0])
+    after_one = engine.on_event(events[1])
+    assert after_one == 2000
+    assert engine.on_event(events[1].inverted()) == 1000
+
+
+def test_eq_hand_computed():
+    engine = NaiveEngine(QUERIES["EQ"].ast, QUERIES["EQ"].schema_map())
+    engine.on_event(Event("R", {"A": 1, "B": 2}))
+    # total B=2, lhs=1; rhs(A=1)=2 -> no match
+    assert engine.result() == 0
+    engine.on_event(Event("R", {"A": 2, "B": 2}))
+    # total B=4, lhs=2: rhs(A=1)=2 matches (1*2), rhs(A=2)=2 matches (2*2)
+    assert engine.result() == 6
+
+
+def test_duplicate_rows_counted_with_multiplicity():
+    q = parse_query("SELECT SUM(r.A * r.B) FROM R r")
+    engine = NaiveEngine(q, {"R": schemas.R_AB})
+    row = {"A": 3, "B": 5}
+    engine.on_event(Event("R", row))
+    engine.on_event(Event("R", row))
+    assert engine.result() == 30
+    engine.on_event(Event("R", row, -1))
+    assert engine.result() == 15
+
+
+def test_count_and_avg():
+    q = parse_query("SELECT COUNT(*) + AVG(r.A) FROM R r")
+    engine = NaiveEngine(q, {"R": schemas.R_AB})
+    engine.on_event(Event("R", {"A": 2, "B": 0}))
+    engine.on_event(Event("R", {"A": 4, "B": 0}))
+    assert engine.result() == 2 + 3
+
+
+def test_avg_of_empty_group_is_zero():
+    q = parse_query("SELECT AVG(r.A) FROM R r")
+    engine = NaiveEngine(q, {"R": schemas.R_AB})
+    assert engine.result() == 0
+
+
+def test_min_max():
+    q = parse_query("SELECT MAX(r.A) - MIN(r.B) FROM R r")
+    engine = NaiveEngine(q, {"R": schemas.R_AB})
+    engine.on_event(Event("R", {"A": 2, "B": 7}))
+    engine.on_event(Event("R", {"A": 9, "B": 3}))
+    assert engine.result() == 9 - 3
+
+
+def test_cross_join_sum():
+    q = parse_query("SELECT SUM(a.price - b.price) FROM asks a, bids b")
+    engine = NaiveEngine(q, {"asks": schemas.ASKS, "bids": schemas.BIDS})
+    engine.on_event(Event("asks", make_bid(10, 1)))
+    engine.on_event(Event("bids", make_bid(3, 1)))
+    engine.on_event(Event("bids", make_bid(4, 1)))
+    # pairs: (10-3) + (10-4) = 13
+    assert engine.result() == 13
+
+
+def test_group_by_returns_dict():
+    q = parse_query(
+        "SELECT l.partkey, SUM(l.quantity) FROM lineitem l GROUP BY l.partkey"
+    )
+    engine = NaiveEngine(q, {"lineitem": schemas.LINEITEM})
+    engine.on_event(
+        Event("lineitem", {"orderkey": 1, "partkey": 7, "quantity": 3, "extendedprice": 0})
+    )
+    engine.on_event(
+        Event("lineitem", {"orderkey": 2, "partkey": 7, "quantity": 4, "extendedprice": 0})
+    )
+    engine.on_event(
+        Event("lineitem", {"orderkey": 3, "partkey": 9, "quantity": 5, "extendedprice": 0})
+    )
+    assert engine.result() == {7: 7, 9: 5}
+
+
+def test_having_filters_groups():
+    q = parse_query(
+        "SELECT l.orderkey, SUM(l.quantity) FROM lineitem l "
+        "GROUP BY l.orderkey HAVING SUM(l.quantity) > 5"
+    )
+    engine = NaiveEngine(q, {"lineitem": schemas.LINEITEM})
+    engine.on_event(
+        Event("lineitem", {"orderkey": 1, "partkey": 1, "quantity": 3, "extendedprice": 0})
+    )
+    assert engine.result() == {}
+    engine.on_event(
+        Event("lineitem", {"orderkey": 1, "partkey": 2, "quantity": 4, "extendedprice": 0})
+    )
+    assert engine.result() == {1: 7}
+
+
+def test_q18_tiny():
+    engine = NaiveEngine(QUERIES["Q18"].ast, QUERIES["Q18"].schema_map())
+    engine.on_event(Event("customer", {"custkey": 1, "name": "c"}))
+    engine.on_event(
+        Event("orders", {"orderkey": 5, "custkey": 1, "orderdate": 0, "totalprice": 0})
+    )
+    engine.on_event(
+        Event("lineitem", {"orderkey": 5, "partkey": 1, "quantity": 200, "extendedprice": 0})
+    )
+    assert engine.result() == {}
+    engine.on_event(
+        Event("lineitem", {"orderkey": 5, "partkey": 2, "quantity": 150, "extendedprice": 0})
+    )
+    assert engine.result() == {1: 350}
+
+
+def test_q17_tiny():
+    engine = NaiveEngine(QUERIES["Q17"].ast, QUERIES["Q17"].schema_map())
+    engine.on_event(
+        Event("part", {"partkey": 1, "brand": "Brand#23", "container": "WRAP BOX"})
+    )
+    for quantity in (1, 10, 10, 10):
+        engine.on_event(
+            Event(
+                "lineitem",
+                {"orderkey": 1, "partkey": 1, "quantity": quantity, "extendedprice": quantity * 100},
+            )
+        )
+    # avg quantity = 31/4 = 7.75, threshold 1.55 -> only quantity 1 qualifies
+    assert engine.result() == pytest.approx(100 / 7.0)
+
+
+def test_events_for_unused_relations_ignored():
+    engine = NaiveEngine(QUERIES["VWAP"].ast, QUERIES["VWAP"].schema_map())
+    before = engine.result()
+    engine.on_event(Event("asks", make_bid(1, 1)))
+    assert engine.result() == before
+
+
+def test_missing_schema_raises():
+    with pytest.raises(QueryAnalysisError):
+        NaiveEngine(QUERIES["VWAP"].ast, {})
+
+
+def test_results_trace_length():
+    engine = NaiveEngine(QUERIES["VWAP"].ast, QUERIES["VWAP"].schema_map())
+    stream = bid_events([(1, 1), (2, 1), (3, 1)])
+    assert len(engine.results_trace(stream)) == 3

@@ -1,0 +1,61 @@
+"""Registry and engine-interface contract tests."""
+
+import pytest
+
+from repro.engine.base import IncrementalEngine
+from repro.engine.registry import STRATEGIES, available_strategies, build_engine
+from repro.workloads import query_names
+
+from tests.conftest import random_bid_stream
+
+
+class TestRegistry:
+    def test_strategies_constant(self):
+        assert STRATEGIES == ("recompute", "dbtoaster", "rpai")
+
+    @pytest.mark.parametrize("name", query_names())
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_every_cell_instantiates(self, name, strategy):
+        engine = build_engine(name, strategy)
+        assert isinstance(engine, IncrementalEngine)
+
+    @pytest.mark.parametrize("name", query_names())
+    def test_engine_names_match_strategy(self, name):
+        assert build_engine(name, "recompute").name == "recompute"
+        assert build_engine(name, "dbtoaster").name == "dbtoaster"
+        assert build_engine(name, "rpai").name == "rpai"
+
+    def test_case_insensitive_query_names(self):
+        assert build_engine("vwap", "rpai").name == "rpai"
+
+    def test_available_strategies_full_matrix(self):
+        for name in query_names():
+            assert available_strategies(name) == STRATEGIES
+
+    def test_unknown_rejections(self):
+        with pytest.raises(KeyError):
+            build_engine("UNKNOWN", "rpai")
+        with pytest.raises(KeyError):
+            build_engine("VWAP", "mystery")
+
+
+class TestEngineInterface:
+    def test_process_returns_final_result(self):
+        stream = random_bid_stream(60, seed=3)
+        one = build_engine("VWAP", "rpai")
+        two = build_engine("VWAP", "rpai")
+        final = one.process(stream)
+        trace = two.results_trace(stream)
+        assert len(trace) == 60
+        assert trace[-1] == final
+
+    def test_result_stable_without_events(self):
+        engine = build_engine("VWAP", "rpai")
+        assert engine.result() == engine.result() == 0
+
+    def test_fresh_engines_are_independent(self):
+        stream = random_bid_stream(40, seed=4)
+        first = build_engine("VWAP", "rpai")
+        first.process(stream)
+        second = build_engine("VWAP", "rpai")
+        assert second.result() == 0

@@ -1,0 +1,147 @@
+"""Analysis tests: the paper's Section 4.1 worked examples.
+
+"For example, in the query above free_bids(q1) = ∅,
+free_bids(q3) = {price}, bound_bids(q1) = ∅, and
+bound_bids(q3) = {price}.  ...  extractPredVals(q1) = {q2, q3}."
+"""
+
+import pytest
+
+from repro.errors import QueryAnalysisError
+from repro.query.analysis import (
+    bound_columns,
+    extract_pred_values,
+    free_columns,
+    free_columns_of_alias,
+    is_correlated,
+    is_streamable_query,
+    nesting_depth,
+    validate_query,
+)
+from repro.query.ast import ColumnRef
+from repro.query.parser import parse_query
+from repro.workloads.queries import QUERIES
+
+
+@pytest.fixture
+def vwap():
+    return QUERIES["VWAP"].ast
+
+
+class TestPaperExamples:
+    def test_vwap_outer_query_not_correlated(self, vwap):
+        assert free_columns(vwap) == frozenset()
+        assert not is_correlated(vwap)
+
+    def test_vwap_extract_pred_values_in_order(self, vwap):
+        q2, q3 = extract_pred_values(vwap)
+        # q2 = uncorrelated total-volume subquery
+        assert not is_correlated(q2)
+        # q3 = correlated running-volume subquery
+        assert is_correlated(q3)
+
+    def test_vwap_q3_free_is_outer_price(self, vwap):
+        _, q3 = extract_pred_values(vwap)
+        assert free_columns(q3) == frozenset({ColumnRef("b", "price")})
+        assert free_columns_of_alias(q3, "b") == frozenset(
+            {ColumnRef("b", "price")}
+        )
+        assert free_columns_of_alias(q3, "nobody") == frozenset()
+
+    def test_vwap_q3_bound_is_inner_price(self, vwap):
+        _, q3 = extract_pred_values(vwap)
+        assert bound_columns(q3) == frozenset({ColumnRef("b2", "price")})
+
+    def test_vwap_q2_free_and_bound_empty(self, vwap):
+        q2, _ = extract_pred_values(vwap)
+        assert free_columns(q2) == frozenset()
+        assert bound_columns(q2) == frozenset()
+
+
+class TestCorrelationDetection:
+    def test_eq_query_correlated_on_A(self):
+        q = QUERIES["EQ"].ast
+        _, q3 = extract_pred_values(q)
+        assert free_columns(q3) == frozenset({ColumnRef("r", "A")})
+
+    def test_mst_two_correlated_subqueries(self):
+        subs = extract_pred_values(QUERIES["MST"].ast)
+        correlated = [s for s in subs if is_correlated(s)]
+        assert len(subs) == 4
+        assert len(correlated) == 2
+
+    def test_psp_no_correlated_subqueries(self):
+        subs = extract_pred_values(QUERIES["PSP"].ast)
+        assert len(subs) == 2
+        assert not any(is_correlated(s) for s in subs)
+
+    def test_deep_correlation_to_outermost(self):
+        """NQ2's lowest level references the outermost alias b."""
+        q = QUERIES["NQ2"].ast
+        (sub,) = [s for s in extract_pred_values(q) if is_correlated(s)]
+        # The correlation reaches through two levels.
+        assert ColumnRef("b", "price") in free_columns(sub)
+
+    def test_free_excludes_aliases_bound_at_any_inner_level(self):
+        q = parse_query(
+            "SELECT SUM(b.price) FROM bids b WHERE 1 < "
+            "(SELECT SUM(b2.volume) FROM bids b2 WHERE b2.price <= b.price)"
+        )
+        (sub,) = extract_pred_values(q)
+        # b2 is bound inside the subquery, b is free.
+        refs = {ref.relation for ref in free_columns(sub)}
+        assert refs == {"b"}
+
+
+class TestNestingDepth:
+    @pytest.mark.parametrize(
+        "name,depth",
+        [("VWAP", 1), ("EQ", 1), ("MST", 1), ("NQ1", 2), ("NQ2", 2), ("Q17", 1)],
+    )
+    def test_depth(self, name, depth):
+        assert nesting_depth(QUERIES[name].ast) == depth
+
+    def test_flat_query_depth_zero(self):
+        q = parse_query("SELECT SUM(r.A) FROM R r")
+        assert nesting_depth(q) == 0
+
+
+class TestStreamability:
+    def test_sum_count_avg_streamable(self):
+        q = parse_query(
+            "SELECT SUM(r.A) + COUNT(*) + AVG(r.B) FROM R r"
+        )
+        assert is_streamable_query(q)
+
+    def test_min_not_streamable(self):
+        q = parse_query("SELECT MIN(r.A) FROM R r")
+        assert not is_streamable_query(q)
+
+    def test_max_in_subquery_not_streamable(self):
+        q = parse_query(
+            "SELECT SUM(r.A) FROM R r WHERE r.A < (SELECT MAX(r2.A) FROM R r2)"
+        )
+        assert not is_streamable_query(q)
+
+    @pytest.mark.parametrize("name", sorted(QUERIES))
+    def test_benchmark_queries_streamable(self, name):
+        assert is_streamable_query(QUERIES[name].ast)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("name", sorted(QUERIES))
+    def test_benchmark_queries_validate(self, name):
+        validate_query(QUERIES[name].ast)
+
+    def test_unresolvable_alias_rejected(self):
+        q = parse_query("SELECT SUM(r.A) FROM R r WHERE ghost.B = 1")
+        with pytest.raises(QueryAnalysisError):
+            validate_query(q)
+
+    def test_unresolvable_alias_in_subquery_rejected(self):
+        q = parse_query(
+            "SELECT SUM(r.A) FROM R r WHERE 1 < "
+            "(SELECT SUM(x.B) FROM R r2 WHERE r2.A = ghost.A)"
+        )
+        with pytest.raises(QueryAnalysisError):
+            validate_query(q)

@@ -1,0 +1,145 @@
+"""Direct unit tests for the AST node types and their helpers."""
+
+import pytest
+
+from repro.query.ast import (
+    AggrCall,
+    AggrQuery,
+    And,
+    Arith,
+    ColumnRef,
+    Comparison,
+    Const,
+    Or,
+    RelationRef,
+    SelectItem,
+    SubqueryExpr,
+    walk_expr,
+    walk_predicates,
+)
+
+
+def _simple_query(where=None):
+    return AggrQuery(
+        select=(SelectItem(AggrCall("SUM", ColumnRef("r", "A"))),),
+        relations=(RelationRef("R", "r"),),
+        where=where,
+    )
+
+
+class TestNodes:
+    def test_aggr_call_validates_function(self):
+        with pytest.raises(ValueError):
+            AggrCall("MEDIAN", ColumnRef("r", "A"))
+
+    def test_aggr_call_requires_arg_except_count(self):
+        with pytest.raises(ValueError):
+            AggrCall("SUM", None)
+        assert AggrCall("COUNT", None).arg is None
+
+    def test_streamable_flag(self):
+        assert AggrCall("SUM", ColumnRef("r", "A")).streamable
+        assert AggrCall("AVG", ColumnRef("r", "A")).streamable
+        assert not AggrCall("MIN", ColumnRef("r", "A")).streamable
+
+    def test_comparison_validates_operator(self):
+        with pytest.raises(ValueError):
+            Comparison("!=", Const(1), Const(2))
+
+    @pytest.mark.parametrize(
+        "op,flipped",
+        [("=", "="), ("<>", "<>"), ("<", ">"), ("<=", ">="), (">", "<"), (">=", "<=")],
+    )
+    def test_flipped(self, op, flipped):
+        pred = Comparison(op, Const(1), Const(2))
+        result = pred.flipped()
+        assert result.op == flipped
+        assert result.left == Const(2)
+        assert result.right == Const(1)
+
+    def test_const_str_quotes_strings(self):
+        assert str(Const("x")) == "'x'"
+        assert str(Const(5)) == "5"
+
+    def test_relation_ref_str(self):
+        assert str(RelationRef("bids", "bids")) == "bids"
+        assert str(RelationRef("bids", "b")) == "bids b"
+
+    def test_duplicate_aliases_rejected(self):
+        with pytest.raises(ValueError):
+            AggrQuery(
+                select=(SelectItem(AggrCall("COUNT", None)),),
+                relations=(RelationRef("A", "x"), RelationRef("B", "x")),
+            )
+
+
+class TestQueryHelpers:
+    def test_aliases_and_mapping(self):
+        q = AggrQuery(
+            select=(SelectItem(AggrCall("COUNT", None)),),
+            relations=(RelationRef("bids", "b"), RelationRef("asks", "a")),
+        )
+        assert q.aliases == {"a", "b"}
+        assert q.alias_to_name() == {"b": "bids", "a": "asks"}
+
+    def test_is_scalar(self):
+        assert _simple_query().is_scalar()
+        grouped = AggrQuery(
+            select=(SelectItem(ColumnRef("r", "A")),),
+            relations=(RelationRef("R", "r"),),
+            group_by=(ColumnRef("r", "A"),),
+        )
+        assert not grouped.is_scalar()
+
+    def test_conjuncts_flatten_nested_ands(self):
+        a = Comparison("=", ColumnRef("r", "A"), Const(1))
+        b = Comparison("=", ColumnRef("r", "B"), Const(2))
+        c = Comparison("=", ColumnRef("r", "A"), Const(3))
+        q = _simple_query(where=And(And(a, b), c))
+        assert q.conjuncts() == [a, b, c]
+
+    def test_conjuncts_do_not_flatten_or(self):
+        a = Comparison("=", ColumnRef("r", "A"), Const(1))
+        b = Comparison("=", ColumnRef("r", "B"), Const(2))
+        q = _simple_query(where=Or(a, b))
+        assert q.conjuncts() == [Or(a, b)]
+
+    def test_no_where_means_no_conjuncts(self):
+        assert _simple_query().conjuncts() == []
+
+    def test_subqueries_one_level(self):
+        inner = _simple_query()
+        outer = _simple_query(
+            where=Comparison("<", ColumnRef("r", "A"), SubqueryExpr(inner))
+        )
+        assert list(outer.subqueries()) == [inner]
+
+
+class TestWalkers:
+    def test_walk_expr_covers_arith_and_aggr(self):
+        expr = Arith(
+            "+",
+            AggrCall("SUM", ColumnRef("r", "A")),
+            Arith("*", Const(2), ColumnRef("r", "B")),
+        )
+        nodes = list(walk_expr(expr))
+        assert sum(isinstance(n, ColumnRef) for n in nodes) == 2
+        assert sum(isinstance(n, Const) for n in nodes) == 1
+        assert sum(isinstance(n, AggrCall) for n in nodes) == 1
+
+    def test_walk_expr_does_not_enter_subqueries(self):
+        inner = _simple_query()
+        expr = Arith("*", Const(2), SubqueryExpr(inner))
+        nodes = list(walk_expr(expr))
+        # the SubqueryExpr is a leaf; inner's SUM isn't visited
+        assert sum(isinstance(n, AggrCall) for n in nodes) == 0
+        assert sum(isinstance(n, SubqueryExpr) for n in nodes) == 1
+
+    def test_walk_predicates(self):
+        a = Comparison("=", Const(1), Const(1))
+        b = Comparison("<", Const(1), Const(2))
+        tree = Or(And(a, b), a)
+        kinds = [type(n).__name__ for n in walk_predicates(tree)]
+        assert kinds.count("Comparison") == 3
+        assert kinds.count("And") == 1
+        assert kinds.count("Or") == 1

@@ -1,0 +1,210 @@
+"""Parser tests: the SQL subset of Section 4.1 plus failure modes."""
+
+import pytest
+
+from repro.errors import QueryParseError
+from repro.query.ast import (
+    AggrCall,
+    And,
+    Arith,
+    ColumnRef,
+    Comparison,
+    Const,
+    InSubquery,
+    Or,
+    SubqueryExpr,
+)
+from repro.query.parser import parse_query, tokenize
+from repro.workloads.queries import QUERIES
+
+
+class TestTokenizer:
+    def test_numbers(self):
+        kinds = [(t.kind, t.text) for t in tokenize("1 2.5 .75")]
+        assert kinds[:3] == [("NUMBER", "1"), ("NUMBER", "2.5"), ("NUMBER", ".75")]
+
+    def test_strings_with_escapes(self):
+        tokens = tokenize("'WRAP BOX' 'it''s'")
+        assert tokens[0].kind == "STRING"
+        assert tokens[1].text == "'it''s'"
+
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select Sum FROM")
+        assert [t.text for t in tokens[:3]] == ["SELECT", "SUM", "FROM"]
+
+    def test_operators(self):
+        tokens = tokenize("<= >= <> < > = + - * /")
+        assert [t.text for t in tokens[:-1]] == [
+            "<=", ">=", "<>", "<", ">", "=", "+", "-", "*", "/",
+        ]
+
+    def test_bad_character(self):
+        with pytest.raises(QueryParseError) as info:
+            tokenize("SELECT @")
+        assert info.value.position == 7
+
+
+class TestBasicQueries:
+    def test_simple_aggregate(self):
+        q = parse_query("SELECT SUM(r.A) FROM R r")
+        assert len(q.select) == 1
+        call = q.select[0].expr
+        assert isinstance(call, AggrCall)
+        assert call.func == "SUM"
+        assert call.arg == ColumnRef("r", "A")
+        assert q.relations[0].name == "R"
+        assert q.relations[0].alias == "r"
+
+    def test_default_alias_is_name(self):
+        q = parse_query("SELECT COUNT(*) FROM bids WHERE bids.price > 1")
+        assert q.relations[0].alias == "bids"
+
+    def test_count_star(self):
+        q = parse_query("SELECT COUNT(*) FROM R r")
+        call = q.select[0].expr
+        assert call.func == "COUNT" and call.arg is None
+
+    def test_average_alias(self):
+        q = parse_query("SELECT AVERAGE(r.A) FROM R r")
+        assert q.select[0].expr.func == "AVG"
+
+    def test_select_alias(self):
+        q = parse_query("SELECT SUM(r.A) AS total FROM R r")
+        assert q.select[0].alias == "total"
+
+    def test_multiple_relations(self):
+        q = parse_query("SELECT SUM(a.x) FROM A a, B b WHERE a.k = b.k")
+        assert [r.alias for r in q.relations] == ["a", "b"]
+
+    def test_arithmetic_precedence(self):
+        q = parse_query("SELECT SUM(r.A) FROM R r WHERE r.A + 2 * r.B < 10")
+        pred = q.where
+        assert isinstance(pred, Comparison)
+        left = pred.left
+        assert isinstance(left, Arith) and left.op == "+"
+        assert isinstance(left.right, Arith) and left.right.op == "*"
+
+    def test_unary_minus_folds_constants(self):
+        q = parse_query("SELECT SUM(r.A) FROM R r WHERE r.A > -5")
+        assert q.where.right == Const(-5)
+
+    def test_string_literal(self):
+        q = parse_query("SELECT SUM(p.x) FROM part p WHERE p.brand = 'Brand#23'")
+        assert q.where.right == Const("Brand#23")
+
+    def test_and_or_precedence(self):
+        q = parse_query(
+            "SELECT SUM(r.A) FROM R r WHERE r.A = 1 OR r.A = 2 AND r.B = 3"
+        )
+        assert isinstance(q.where, Or)
+        assert isinstance(q.where.right, And)
+
+    def test_parenthesized_predicate(self):
+        q = parse_query(
+            "SELECT SUM(r.A) FROM R r WHERE (r.A = 1 OR r.A = 2) AND r.B = 3"
+        )
+        assert isinstance(q.where, And)
+        assert isinstance(q.where.left, Or)
+
+    def test_group_by_and_having(self):
+        q = parse_query(
+            "SELECT l.orderkey FROM lineitem l GROUP BY l.orderkey "
+            "HAVING SUM(l.quantity) > 300"
+        )
+        assert q.group_by == (ColumnRef("l", "orderkey"),)
+        assert isinstance(q.having, Comparison)
+
+    def test_in_subquery(self):
+        q = parse_query(
+            "SELECT SUM(o.totalprice) FROM orders o WHERE o.orderkey IN "
+            "(SELECT l.orderkey FROM lineitem l GROUP BY l.orderkey "
+            "HAVING SUM(l.quantity) > 300)"
+        )
+        assert isinstance(q.where, InSubquery)
+
+    def test_nested_scalar_subquery(self):
+        q = parse_query(
+            "SELECT SUM(b.price) FROM bids b WHERE b.price < "
+            "(SELECT AVG(b2.price) FROM bids b2)"
+        )
+        assert isinstance(q.where.right, SubqueryExpr)
+
+    def test_correlated_subquery_roundtrips(self):
+        sql = QUERIES["VWAP"].sql
+        q = parse_query(sql)
+        # str(q) must itself be parseable and equal as an AST
+        assert parse_query(str(q)) == q
+
+
+class TestAllBenchmarkQueriesParse:
+    @pytest.mark.parametrize("name", sorted(QUERIES))
+    def test_parses(self, name):
+        q = QUERIES[name].ast
+        assert q.relations
+
+    @pytest.mark.parametrize("name", sorted(QUERIES))
+    def test_str_roundtrip(self, name):
+        q = QUERIES[name].ast
+        assert parse_query(str(q)) == q
+
+    @pytest.mark.parametrize("name", sorted(QUERIES))
+    def test_aggrq_notation_renders(self, name):
+        text = QUERIES[name].ast.to_aggrq_notation()
+        assert text.startswith("Agg[")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT",  # truncated
+            "SELECT SUM(r.A)",  # no FROM
+            "SELECT SUM(r.A) FROM R r WHERE",  # dangling WHERE
+            "SELECT SUM(r.A) FROM R r WHERE r.A",  # no comparison
+            "SELECT SUM(r.A) FROM R r GROUP BY r.A HAVING",  # dangling HAVING
+            "SELECT bare FROM R r",  # unqualified column
+            "SELECT SUM(r.A FROM R r",  # missing close paren
+            "SELECT MIN() FROM R r",  # empty argument
+            "SELECT SUM(r.A) FROM R r extra garbage tokens",
+        ],
+    )
+    def test_rejects(self, sql):
+        with pytest.raises(QueryParseError):
+            parse_query(sql)
+
+    def test_error_carries_position(self):
+        with pytest.raises(QueryParseError) as info:
+            parse_query("SELECT SUM(r.A) FROM R r WHERE r.A @@ 3")
+        assert info.value.position is not None
+
+    def test_duplicate_alias_rejected(self):
+        with pytest.raises(ValueError):
+            parse_query("SELECT SUM(a.x) FROM A a, B a")
+
+
+class TestBetween:
+    def test_desugars_to_conjunction(self):
+        q = parse_query(
+            "SELECT SUM(b.volume) FROM bids b WHERE b.price BETWEEN 10 AND 20"
+        )
+        assert isinstance(q.where, And)
+        low, high = q.where.left, q.where.right
+        assert isinstance(low, Comparison) and low.op == "<="
+        assert isinstance(high, Comparison) and high.op == "<="
+
+    def test_binds_tighter_than_and(self):
+        q = parse_query(
+            "SELECT SUM(b.volume) FROM bids b "
+            "WHERE b.price BETWEEN 10 AND 20 AND b.volume = 5"
+        )
+        assert len(q.conjuncts()) == 3
+
+    def test_roundtrips_via_desugared_form(self):
+        q = parse_query(
+            "SELECT SUM(b.volume) FROM bids b WHERE b.price BETWEEN 1 AND 2 + 3"
+        )
+        assert parse_query(str(q)) == q
+
+    def test_incomplete_between_rejected(self):
+        with pytest.raises(QueryParseError):
+            parse_query("SELECT SUM(b.volume) FROM bids b WHERE b.price BETWEEN 10")

@@ -1,0 +1,121 @@
+"""Planner tests: the Section 4.3.1 identification matrix (Table 1)."""
+
+import pytest
+
+from repro.errors import UnsupportedQueryError
+from repro.query.parser import parse_query
+from repro.query.planner import Strategy, asymptotic_cost, classify
+from repro.workloads.queries import QUERIES
+
+EXPECTED = {
+    "EQ": Strategy.PAI_EQUALITY,
+    "VWAP": Strategy.RPAI_INEQUALITY,
+    "MST": Strategy.RPAI_CONJUNCTIVE,
+    "PSP": Strategy.UNCORRELATED,
+    "SQ1": Strategy.GENERAL,
+    "SQ2": Strategy.GENERAL,
+    "NQ1": Strategy.GENERAL_NESTED,
+    "NQ2": Strategy.GENERAL_NESTED,
+    "Q17": Strategy.RPAI_GROUPED,
+    "Q18": Strategy.UNCORRELATED,
+}
+
+
+class TestBenchmarkClassification:
+    @pytest.mark.parametrize("name,strategy", sorted(EXPECTED.items()))
+    def test_strategy(self, name, strategy):
+        plan = classify(QUERIES[name].ast)
+        assert plan.strategy is strategy, plan.reason
+
+    def test_costs_reported(self):
+        for name in EXPECTED:
+            plan = classify(QUERIES[name].ast)
+            assert asymptotic_cost(plan).startswith("O(")
+
+    def test_describe_mentions_strategy(self):
+        plan = classify(QUERIES["VWAP"].ast)
+        assert "rpai-inequality" in plan.describe()
+
+
+class TestVWAPPlanDetails:
+    def test_index_spec(self):
+        plan = classify(QUERIES["VWAP"].ast)
+        (spec,) = plan.index_specs
+        assert spec.relation == "bids"
+        assert spec.outer_alias == "b"
+        assert spec.inner_func == "SUM"
+        assert spec.inner_op == "<="
+        assert spec.inner_col.column == "price"
+        assert spec.outer_col.column == "price"
+        assert spec.outer_op == "<"  # 0.75*total < rhs
+
+
+class TestMSTPlanDetails:
+    def test_two_specs_one_per_relation(self):
+        plan = classify(QUERIES["MST"].ast)
+        aliases = sorted(s.outer_alias for s in plan.index_specs)
+        assert aliases == ["a", "b"]
+        for spec in plan.index_specs:
+            assert spec.inner_op == ">"
+            assert spec.outer_op == ">"
+
+
+class TestShapeRejections:
+    def test_subquery_with_arithmetic_wrapper_falls_to_general(self):
+        # The correlated side is scaled: keys would need rescaling.
+        q = parse_query(
+            "SELECT SUM(b.price * b.volume) FROM bids b "
+            "WHERE 0.75 * (SELECT SUM(b1.volume) FROM bids b1) < "
+            "2 * (SELECT SUM(b2.volume) FROM bids b2 WHERE b2.price <= b.price)"
+        )
+        assert classify(q).strategy is Strategy.GENERAL
+
+    def test_min_aggregate_forces_general(self):
+        q = parse_query(
+            "SELECT SUM(b.price) FROM bids b "
+            "WHERE 1 < (SELECT MIN(b2.volume) FROM bids b2 "
+            "WHERE b2.price <= b.price)"
+        )
+        assert classify(q).strategy is Strategy.GENERAL
+
+    def test_asymmetric_inner_predicate_forces_general(self):
+        assert classify(QUERIES["SQ2"].ast).strategy is Strategy.GENERAL
+
+    def test_both_sides_correlated_forces_general(self):
+        assert classify(QUERIES["SQ1"].ast).strategy is Strategy.GENERAL
+
+    def test_multi_level_nesting_detected(self):
+        assert classify(QUERIES["NQ1"].ast).strategy is Strategy.GENERAL_NESTED
+
+    def test_non_aggregate_select_rejected(self):
+        q = parse_query("SELECT r.A FROM R r WHERE r.A > 1")
+        with pytest.raises(UnsupportedQueryError):
+            classify(q)
+
+    def test_inner_group_by_falls_to_general(self):
+        q = parse_query(
+            "SELECT SUM(b.price) FROM bids b "
+            "WHERE 1 < (SELECT SUM(b2.volume) FROM bids b2 "
+            "WHERE b2.price <= b.price GROUP BY b2.broker_id)"
+        )
+        assert classify(q).strategy is Strategy.GENERAL
+
+
+class TestGroupedThresholdShape:
+    def test_q17_spec(self):
+        plan = classify(QUERIES["Q17"].ast)
+        (spec,) = plan.index_specs
+        assert spec.relation == "lineitem"
+        assert spec.inner_func == "AVG"
+        assert spec.inner_op == "="
+        assert spec.inner_col.column == "partkey"
+        assert spec.outer_op == "<"
+
+    def test_two_correlated_conjuncts_reject_grouped_shape(self):
+        q = parse_query(
+            "SELECT SUM(l.price) FROM L l "
+            "WHERE l.q < (SELECT AVG(l2.q) FROM L l2 WHERE l2.k = l.k) "
+            "AND l.p < (SELECT AVG(l3.p) FROM L l3 WHERE l3.k = l.k)"
+        )
+        plan = classify(q)
+        assert plan.strategy is not Strategy.RPAI_GROUPED

@@ -1,0 +1,138 @@
+"""Tests for schemas, multiset relations and update streams."""
+
+import pytest
+
+from repro.errors import EngineStateError, SchemaError
+from repro.storage.relation import Relation
+from repro.storage.schema import BIDS, R_AB, Schema
+from repro.storage.stream import DELETE, INSERT, Event, Stream, interleave, with_deletions
+
+
+class TestSchema:
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema("t", ("a", "a"))
+
+    def test_validate_accepts_conforming_row(self):
+        R_AB.validate({"A": 1, "B": 2})
+
+    def test_validate_missing_column(self):
+        with pytest.raises(SchemaError, match="missing"):
+            R_AB.validate({"A": 1})
+
+    def test_validate_extra_column(self):
+        with pytest.raises(SchemaError, match="unknown"):
+            R_AB.validate({"A": 1, "B": 2, "C": 3})
+
+    def test_validate_type_mismatch(self):
+        with pytest.raises(SchemaError, match="expected int"):
+            R_AB.validate({"A": 1.5, "B": 2})
+
+    def test_project_orders_columns(self):
+        assert R_AB.project({"B": 2, "A": 1}) == (1, 2)
+
+
+class TestRelation:
+    def test_insert_and_len(self):
+        rel = Relation(R_AB)
+        rel.insert({"A": 1, "B": 2})
+        rel.insert({"A": 1, "B": 2})
+        assert len(rel) == 2
+
+    def test_rows_expand_multiplicity(self):
+        rel = Relation(R_AB)
+        rel.insert({"A": 1, "B": 2})
+        rel.insert({"A": 1, "B": 2})
+        assert len(list(rel.rows())) == 2
+        ((row, count),) = rel.distinct_rows()
+        assert count == 2 and row == {"A": 1, "B": 2}
+
+    def test_delete_one_instance(self):
+        rel = Relation(R_AB)
+        rel.insert({"A": 1, "B": 2})
+        rel.insert({"A": 1, "B": 2})
+        rel.delete({"A": 1, "B": 2})
+        assert len(rel) == 1
+        assert {"A": 1, "B": 2} in rel
+
+    def test_delete_missing_raises(self):
+        rel = Relation(R_AB)
+        with pytest.raises(EngineStateError):
+            rel.delete({"A": 1, "B": 2})
+
+    def test_apply_weights(self):
+        rel = Relation(R_AB)
+        rel.apply({"A": 1, "B": 2}, 1)
+        rel.apply({"A": 1, "B": 2}, -1)
+        assert len(rel) == 0
+        with pytest.raises(EngineStateError):
+            rel.apply({"A": 1, "B": 2}, 2)
+
+    def test_contains(self):
+        rel = Relation(R_AB)
+        assert {"A": 1, "B": 2} not in rel
+        rel.insert({"A": 1, "B": 2})
+        assert {"A": 1, "B": 2} in rel
+
+
+class TestEvent:
+    def test_weight_validation(self):
+        with pytest.raises(EngineStateError):
+            Event("R", {}, 0)
+
+    def test_inverted(self):
+        event = Event("R", {"A": 1, "B": 2}, INSERT)
+        assert event.inverted().weight == DELETE
+        assert event.inverted().row == event.row
+
+
+class TestStream:
+    def make(self, n=6):
+        return Stream(Event("R", {"A": i, "B": 1}) for i in range(n))
+
+    def test_len_iter_getitem(self):
+        s = self.make()
+        assert len(s) == 6
+        assert s[0].row["A"] == 0
+        assert [e.row["A"] for e in s] == list(range(6))
+
+    def test_prefix(self):
+        assert len(self.make().prefix(3)) == 3
+
+    def test_for_relation_and_relations(self):
+        s = Stream(
+            [Event("bids", {"x": 1}), Event("asks", {"x": 2}), Event("bids", {"x": 3})]
+        )
+        assert len(s.for_relation("bids")) == 2
+        assert s.relations() == {"bids", "asks"}
+
+    def test_counts(self):
+        s = Stream([Event("R", {"A": 1}, 1), Event("R", {"A": 1}, -1)])
+        assert s.insert_count() == 1
+        assert s.delete_count() == 1
+
+    def test_interleave_round_robin(self):
+        a = [Event("a", {"i": i}) for i in range(3)]
+        b = [Event("b", {"i": i}) for i in range(2)]
+        merged = interleave(a, b)
+        assert [e.relation for e in merged] == ["a", "b", "a", "b", "a"]
+
+    def test_with_deletions_targets_live_rows(self):
+        inserts = [Event("R", {"A": i, "B": 1}) for i in range(20)]
+        stream = with_deletions(inserts, 0.25, choose=lambda live: 0)
+        deletes = [e for e in stream if e.weight == -1]
+        assert deletes, "expected some deletions"
+        # replay: every delete must hit a live row
+        live: list = []
+        for event in stream:
+            if event.weight == 1:
+                live.append(event.row)
+            else:
+                assert event.row in live
+                live.remove(event.row)
+
+    def test_with_deletions_rejects_delete_input(self):
+        with pytest.raises(EngineStateError):
+            with_deletions(
+                [Event("R", {"A": 1}, -1)], 0.5, choose=lambda live: 0
+            )

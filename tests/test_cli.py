@@ -1,0 +1,51 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_list_prints_all_queries(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("EQ", "VWAP", "MST", "PSP", "SQ1", "SQ2", "NQ1", "NQ2", "Q17", "Q18"):
+        assert name in out
+    assert "rpai-inequality" in out
+
+
+def test_classify_inline_sql(capsys):
+    sql = (
+        "SELECT SUM(b.price * b.volume) FROM bids b "
+        "WHERE 0.75 * (SELECT SUM(b1.volume) FROM bids b1) < "
+        "(SELECT SUM(b2.volume) FROM bids b2 WHERE b2.price <= b.price)"
+    )
+    assert main(["classify", sql]) == 0
+    out = capsys.readouterr().out
+    assert "rpai-inequality" in out
+    assert "O(log n)" in out
+
+
+def test_classify_from_file(tmp_path, capsys):
+    path = tmp_path / "q.sql"
+    path.write_text("SELECT SUM(r.A) FROM R r WHERE r.A > 1")
+    assert main(["classify", str(path)]) == 0
+    assert "uncorrelated" in capsys.readouterr().out
+
+
+def test_run_vwap(capsys):
+    assert main(["run", "VWAP", "--engine", "rpai", "--events", "200"]) == 0
+    out = capsys.readouterr().out
+    assert "events   : 200" in out
+    assert "result" in out
+
+
+def test_run_rejects_unknown_query():
+    with pytest.raises(SystemExit):
+        main(["run", "BOGUS"])
+
+
+def test_compare_engines_agree(capsys):
+    assert main(["compare", "VWAP", "--events", "150", "--recompute-cap", "80"]) == 0
+    out = capsys.readouterr().out
+    assert "rpai" in out and "dbtoaster" in out and "recompute" in out
+    assert "WARNING" not in out

@@ -1,0 +1,49 @@
+"""Smoke tests for the example scripts: documentation that executes.
+
+Only the light examples run here (the engine-shootout examples take
+tens of seconds by design); each is executed as a subprocess exactly as
+a user would run it.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 120) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_examples_directory_contents():
+    scripts = sorted(p.name for p in EXAMPLES.glob("*.py"))
+    assert "quickstart.py" in scripts
+    assert len(scripts) >= 3, "README promises at least three examples"
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "get_sum(50)  -> 16" in out
+    assert "O(1)" in out
+
+
+def test_custom_query():
+    out = run_example("custom_query.py")
+    assert "rpai-inequality" in out
+    assert "0 mismatches" in out
+
+
+@pytest.mark.slow
+def test_broker_dashboard():
+    out = run_example("broker_dashboard.py", timeout=240)
+    assert "final leaderboard" in out

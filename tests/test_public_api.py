@@ -1,0 +1,77 @@
+"""Public API surface tests: what the README promises must import and
+work exactly as documented."""
+
+import pytest
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_readme_data_structure_snippet():
+    index = repro.RPAITree()
+    for key, value in [(10, 3), (20, 3), (40, 2), (60, 8)]:
+        index.put(key, value)
+    assert index.get_sum(50) == 8
+    index.shift_keys(15, 100)
+    assert sorted(index.keys()) == [10, 120, 140, 160]
+
+
+def test_readme_engine_snippet():
+    from repro.storage import Event
+
+    engine = repro.build_engine("VWAP", "rpai")
+    result = engine.on_event(
+        Event(
+            "bids",
+            {"timestamp": 1, "id": 1, "broker_id": 1, "volume": 10, "price": 100},
+        )
+    )
+    assert result == 1000
+
+
+def test_readme_custom_sql_snippet():
+    query = repro.parse_query(
+        """
+        SELECT SUM(b.price * b.volume) FROM bids b
+        WHERE 0.9 * (SELECT SUM(b1.volume) FROM bids b1)
+            < (SELECT SUM(b2.volume) FROM bids b2 WHERE b2.price < b.price)
+        """
+    )
+    assert repro.classify(query).strategy is repro.Strategy.RPAI_INEQUALITY
+    engine = repro.build_single_index_engine(query)
+    assert engine.result() == 0
+
+
+def test_error_hierarchy():
+    assert issubclass(repro.QueryParseError, repro.ReproError)
+    assert issubclass(repro.UnsupportedQueryError, repro.ReproError)
+    assert issubclass(repro.SchemaError, repro.ReproError)
+    with pytest.raises(repro.QueryParseError):
+        repro.parse_query("not sql at all !!")
+
+
+def test_strategies_per_query():
+    from repro.workloads import query_names
+
+    for name in query_names():
+        assert repro.available_strategies(name) == (
+            "recompute",
+            "dbtoaster",
+            "rpai",
+        )
+
+
+def test_aggregate_index_protocol():
+    from repro.core.interfaces import AggregateIndex
+
+    assert isinstance(repro.RPAITree(), AggregateIndex)
+    assert isinstance(repro.PAIMap(), AggregateIndex)
+    assert isinstance(repro.TreeMap(), AggregateIndex)

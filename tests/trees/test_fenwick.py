@@ -1,0 +1,85 @@
+"""Tests for the Fenwick tree comparator (Section 6 related work)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trees.fenwick import FenwickTree
+
+
+class TestBasics:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            FenwickTree(0)
+
+    def test_add_and_get(self):
+        bit = FenwickTree(16)
+        bit.add(3, 5)
+        bit.add(3, 2)
+        assert bit.get(3) == 7
+        assert bit.get(4) == 0
+
+    def test_key_out_of_universe(self):
+        bit = FenwickTree(8)
+        with pytest.raises(IndexError):
+            bit.add(8, 1)
+        with pytest.raises(IndexError):
+            bit.add(-1, 1)
+
+    def test_put_sets_absolute_value(self):
+        bit = FenwickTree(8)
+        bit.put(2, 10)
+        bit.put(2, 4)
+        assert bit.get(2) == 4
+        assert bit.total_sum() == 4
+
+    def test_get_sum(self):
+        bit = FenwickTree(10)
+        for key, value in [(1, 1), (3, 2), (7, 4)]:
+            bit.add(key, value)
+        assert bit.get_sum(0) == 0
+        assert bit.get_sum(1) == 1
+        assert bit.get_sum(3) == 3
+        assert bit.get_sum(3, inclusive=False) == 1
+        assert bit.get_sum(9) == 7
+
+    def test_len_counts_nonzero(self):
+        bit = FenwickTree(8)
+        bit.add(1, 1)
+        bit.add(2, 1)
+        bit.add(2, -1)
+        assert len(bit) == 1
+
+
+class TestShiftKeys:
+    def test_shift_rebuilds(self):
+        bit = FenwickTree(32)
+        bit.add(5, 1)
+        bit.add(10, 2)
+        bit.shift_keys(6, 4)
+        assert bit.get(10) == 0
+        assert bit.get(14) == 2
+        assert bit.get(5) == 1
+
+    def test_shift_out_of_universe_raises(self):
+        bit = FenwickTree(8)
+        bit.add(7, 1)
+        with pytest.raises(IndexError):
+            bit.shift_keys(0, 5)
+
+
+@given(
+    entries=st.dictionaries(
+        st.integers(min_value=0, max_value=63),
+        st.integers(min_value=-9, max_value=9),
+        max_size=30,
+    ),
+    probe=st.integers(min_value=0, max_value=63),
+)
+@settings(max_examples=200, deadline=None)
+def test_prefix_sums_match_bruteforce(entries, probe):
+    bit = FenwickTree(64)
+    for key, value in entries.items():
+        bit.add(key, value)
+    expected = sum(v for k, v in entries.items() if k <= probe)
+    assert bit.get_sum(probe) == expected

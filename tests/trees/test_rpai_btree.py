@@ -1,0 +1,165 @@
+"""Tests for the B-tree RPAI variant (Section 3.2.5)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.reference_index import ReferenceIndex
+from repro.trees.rpai_btree import RPAIBTree
+
+
+def build(entries, t=3):
+    tree = RPAIBTree(min_degree=t)
+    for key, value in entries:
+        tree.put(key, value)
+    tree.check_invariants()
+    return tree
+
+
+class TestBasics:
+    def test_min_degree_validation(self):
+        with pytest.raises(ValueError):
+            RPAIBTree(min_degree=1)
+
+    def test_empty(self):
+        tree = RPAIBTree()
+        assert len(tree) == 0
+        assert not tree
+        assert tree.get(1) == 0.0
+        assert list(tree.items()) == []
+        with pytest.raises(KeyError):
+            tree.min_key()
+
+    def test_put_get_across_splits(self):
+        tree = build([(k, k * 2) for k in range(100)], t=2)
+        for key in range(100):
+            assert tree.get(key) == key * 2
+        assert list(tree.keys()) == list(range(100))
+
+    def test_put_overwrites_add_merges(self):
+        tree = RPAIBTree(min_degree=2)
+        tree.put(5, 1)
+        tree.put(5, 9)
+        assert tree.get(5) == 9
+        tree.add(5, 1)
+        assert tree.get(5) == 10
+        assert len(tree) == 1
+
+    def test_delete_all_orders(self):
+        keys = list(range(60))
+        for seed in (1, 2, 3):
+            tree = build([(k, 1) for k in keys], t=2)
+            order = keys[:]
+            random.Random(seed).shuffle(order)
+            for key in order:
+                assert tree.delete(key) == 1
+                tree.check_invariants()
+            assert len(tree) == 0
+
+    def test_delete_missing_raises(self):
+        with pytest.raises(KeyError):
+            build([(1, 1)]).delete(2)
+
+    def test_pop(self):
+        tree = build([(1, 7)])
+        assert tree.pop(1) == 7
+        assert tree.pop(1, default=-1) == -1
+
+
+class TestAggregates:
+    def test_get_sum(self):
+        tree = build([(10, 1), (20, 2), (30, 4), (40, 8)], t=2)
+        assert tree.get_sum(25) == 3
+        assert tree.get_sum(30, inclusive=False) == 3
+        assert tree.get_sum(30) == 7
+        assert tree.total_sum() == 15
+        assert tree.suffix_sum(20) == 12
+
+    def test_min_max(self):
+        tree = build([(5, 1), (1, 1), (9, 1)])
+        assert tree.min_key() == 1
+        assert tree.max_key() == 9
+
+
+class TestShiftKeys:
+    def test_positive_shift_across_levels(self):
+        tree = build([(k * 10, 1) for k in range(50)], t=2)
+        tree.shift_keys(245, 1000)
+        tree.check_invariants()
+        keys = list(tree.keys())
+        assert keys[:25] == [k * 10 for k in range(25)]
+        assert keys[25:] == [k * 10 + 1000 for k in range(25, 50)]
+
+    def test_inclusive_shift(self):
+        tree = build([(10, 1), (20, 1)], t=2)
+        tree.shift_keys(10, 5, inclusive=True)
+        assert list(tree.keys()) == [15, 25]
+
+    def test_order_preserving_negative_shift(self):
+        tree = build([(0, 1), (100, 2), (200, 4)], t=2)
+        tree.shift_keys(50, -40)
+        tree.check_invariants()
+        assert list(tree.keys()) == [0, 60, 160]
+
+    def test_colliding_negative_shift_merges(self):
+        """Order-breaking shift triggers the rebuild-with-merge path:
+        key 20 lands on the unshifted key 15 and the values merge."""
+        tree = build([(10, 3), (15, 5), (20, 7)], t=2)
+        tree.shift_keys(15, -5)
+        tree.check_invariants()
+        assert list(tree.items()) == [(10, 3), (15, 12)]
+
+    def test_deep_colliding_shift(self):
+        tree = build([(k, 1) for k in range(200)], t=2)
+        tree.shift_keys(99, -1)  # 100..199 land on 99..198: 99 merges
+        tree.check_invariants()
+        assert len(tree) == 199
+        assert tree.get(99) == 2
+        assert tree.total_sum() == 200
+
+    def test_prune_zeros_through_rebuild(self):
+        tree = RPAIBTree(min_degree=2, prune_zeros=True)
+        tree.put(10, 5)
+        tree.put(15, -5)
+        tree.shift_keys(12, -5)
+        assert len(tree) == 0
+
+
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["put", "add", "delete", "shift", "shift_inc"]),
+            st.integers(-25, 25),
+            st.integers(-8, 8),
+        ),
+        max_size=60,
+    ),
+    t=st.sampled_from([2, 3, 8]),
+    probe=st.integers(-25, 25),
+)
+@settings(max_examples=250, deadline=None)
+def test_matches_oracle(ops, t, probe):
+    tree = RPAIBTree(min_degree=t)
+    oracle = ReferenceIndex()
+    for kind, key, value in ops:
+        if kind == "put":
+            tree.put(key, value)
+            oracle.put(key, value)
+        elif kind == "add":
+            tree.add(key, value)
+            oracle.add(key, value)
+        elif kind == "delete":
+            if key in oracle:
+                assert tree.delete(key) == oracle.delete(key)
+        elif kind == "shift":
+            tree.shift_keys(key, value)
+            oracle.shift_keys(key, value)
+        else:
+            tree.shift_keys(key, value, inclusive=True)
+            oracle.shift_keys(key, value, inclusive=True)
+        tree.check_invariants()
+        assert list(tree.items()) == list(oracle.items())
+    assert tree.get_sum(probe) == oracle.get_sum(probe)
+    assert tree.total_sum() == oracle.total_sum()

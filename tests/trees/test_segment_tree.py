@@ -1,0 +1,78 @@
+"""Tests for the segment tree comparator (Section 6 related work)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trees.segment_tree import SegmentTree
+
+
+class TestBasics:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            SegmentTree(0)
+
+    def test_add_get(self):
+        seg = SegmentTree(10)
+        seg.add(4, 3)
+        seg.add(4, 1)
+        assert seg.get(4) == 4
+
+    def test_put(self):
+        seg = SegmentTree(10)
+        seg.put(4, 9)
+        seg.put(4, 2)
+        assert seg.get(4) == 2
+
+    def test_out_of_universe(self):
+        seg = SegmentTree(4)
+        with pytest.raises(IndexError):
+            seg.add(4, 1)
+
+    def test_non_power_of_two_capacity(self):
+        seg = SegmentTree(5)
+        seg.add(4, 7)
+        assert seg.range_sum(0, 4) == 7
+
+    def test_range_sum(self):
+        seg = SegmentTree(16)
+        for key in range(16):
+            seg.add(key, key)
+        assert seg.range_sum(0, 15) == sum(range(16))
+        assert seg.range_sum(3, 5) == 12
+        assert seg.range_sum(5, 3) == 0
+        assert seg.range_sum(-10, 100) == sum(range(16))
+
+    def test_get_sum_and_total(self):
+        seg = SegmentTree(8)
+        seg.add(1, 1)
+        seg.add(5, 2)
+        assert seg.get_sum(4) == 1
+        assert seg.get_sum(5) == 3
+        assert seg.get_sum(5, inclusive=False) == 1
+        assert seg.total_sum() == 3
+
+    def test_len(self):
+        seg = SegmentTree(8)
+        seg.add(0, 1)
+        seg.add(1, 2)
+        seg.add(1, -2)
+        assert len(seg) == 1
+
+
+@given(
+    entries=st.dictionaries(
+        st.integers(min_value=0, max_value=63),
+        st.integers(min_value=-9, max_value=9),
+        max_size=30,
+    ),
+    lo=st.integers(min_value=0, max_value=63),
+    hi=st.integers(min_value=0, max_value=63),
+)
+@settings(max_examples=200, deadline=None)
+def test_range_sums_match_bruteforce(entries, lo, hi):
+    seg = SegmentTree(64)
+    for key, value in entries.items():
+        seg.add(key, value)
+    expected = sum(v for k, v in entries.items() if lo <= k <= hi)
+    assert seg.range_sum(lo, hi) == expected

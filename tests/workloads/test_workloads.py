@@ -1,0 +1,135 @@
+"""Tests for the data generators and the benchmark query suite."""
+
+import pytest
+
+from repro.query.planner import Strategy, classify
+from repro.storage.schema import ASKS, BIDS
+from repro.workloads.orderbook import (
+    OrderBookConfig,
+    generate_bids_only,
+    generate_order_book,
+)
+from repro.workloads.queries import QUERIES, get_query, query_names
+from repro.workloads.tpch import TPCHConfig, generate_tpch
+
+
+class TestOrderBook:
+    def test_deterministic_given_seed(self):
+        config = OrderBookConfig(events=200, seed=99)
+        first = [(e.relation, dict(e.row), e.weight) for e in generate_order_book(config)]
+        second = [(e.relation, dict(e.row), e.weight) for e in generate_order_book(config)]
+        assert first == second
+
+    def test_event_count_exact(self):
+        stream = generate_order_book(OrderBookConfig(events=501))
+        assert len(stream) == 501
+
+    def test_both_relations_present(self):
+        stream = generate_order_book(OrderBookConfig(events=200))
+        assert stream.relations() == {"bids", "asks"}
+
+    def test_rows_conform_to_schema(self):
+        stream = generate_order_book(OrderBookConfig(events=100))
+        for event in stream:
+            (BIDS if event.relation == "bids" else ASKS).validate(event.row)
+
+    def test_prices_within_levels(self):
+        config = OrderBookConfig(events=300, price_levels=50)
+        for event in generate_order_book(config):
+            assert 1 <= event.row["price"] <= 50
+
+    def test_deletions_follow_ratio(self):
+        stream = generate_order_book(OrderBookConfig(events=1000, delete_ratio=0.2))
+        deletes = stream.delete_count()
+        assert 100 <= deletes <= 220  # ~1 delete per 5 inserts
+
+    def test_zero_delete_ratio(self):
+        stream = generate_order_book(OrderBookConfig(events=200, delete_ratio=0.0))
+        assert stream.delete_count() == 0
+
+    def test_deletes_target_live_rows(self):
+        stream = generate_bids_only(OrderBookConfig(events=400, delete_ratio=0.3))
+        live: list[dict] = []
+        for event in stream:
+            if event.weight == 1:
+                live.append(dict(event.row))
+            else:
+                assert dict(event.row) in live
+                live.remove(dict(event.row))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            OrderBookConfig(events=0)
+        with pytest.raises(ValueError):
+            OrderBookConfig(delete_ratio=1.0)
+
+
+class TestTPCH:
+    def test_counts_scale(self):
+        config = TPCHConfig(scale_factor=0.1)
+        assert config.lineitems == 6000
+        assert config.parts == 200
+        stream = generate_tpch(config)
+        by_relation = {name: len(stream.for_relation(name)) for name in stream.relations()}
+        assert by_relation["lineitem"] == 6000
+        assert by_relation["part"] == 200
+        assert by_relation["orders"] == config.orders
+        assert by_relation["customer"] == config.customers
+
+    def test_deterministic(self):
+        a = [dict(e.row) for e in generate_tpch(TPCHConfig(scale_factor=0.01, seed=5))]
+        b = [dict(e.row) for e in generate_tpch(TPCHConfig(scale_factor=0.01, seed=5))]
+        assert a == b
+
+    def test_uniform_quantities_bounded(self):
+        stream = generate_tpch(TPCHConfig(scale_factor=0.01))
+        quantities = {e.row["quantity"] for e in stream.for_relation("lineitem")}
+        assert max(quantities) <= 50
+
+    def test_skew_concentrates_partkeys(self):
+        """Zipf skew: the hottest part receives far more lineitems than
+        under the uniform generator, and quantity domains are wide."""
+        from collections import Counter
+
+        uniform = generate_tpch(TPCHConfig(scale_factor=0.05, skew=0.0, seed=1))
+        skewed = generate_tpch(TPCHConfig(scale_factor=0.05, skew=1.0, seed=1))
+
+        def hottest(stream):
+            counts = Counter(e.row["partkey"] for e in stream.for_relation("lineitem"))
+            return counts.most_common(1)[0][1]
+
+        assert hottest(skewed) > 4 * hottest(uniform)
+        max_quantity = max(e.row["quantity"] for e in skewed.for_relation("lineitem"))
+        assert max_quantity > 50
+
+    def test_extendedprice_consistent_with_quantity(self):
+        stream = generate_tpch(TPCHConfig(scale_factor=0.01))
+        for event in stream.for_relation("lineitem"):
+            row = event.row
+            assert row["extendedprice"] % row["quantity"] == 0
+
+
+class TestQuerySuite:
+    def test_ten_queries(self):
+        assert len(query_names()) == 10
+
+    def test_lookup_case_insensitive(self):
+        assert get_query("vwap").name == "VWAP"
+
+    def test_unknown_query(self):
+        with pytest.raises(KeyError):
+            get_query("nope")
+
+    @pytest.mark.parametrize("name", sorted(QUERIES))
+    def test_schema_map_covers_query_relations(self, name):
+        qd = QUERIES[name]
+        schema_names = set(qd.schema_map())
+        query = qd.ast
+        referenced = {r.name for r in query.relations}
+        for sub in query.subqueries():
+            referenced |= {r.name for r in sub.relations}
+        assert referenced <= schema_names
+
+    @pytest.mark.parametrize("name", sorted(QUERIES))
+    def test_every_query_classifies(self, name):
+        assert classify(QUERIES[name].ast).strategy in Strategy
