@@ -24,7 +24,7 @@ from repro.workloads import (
     generate_tpch,
 )
 
-from conftest import scaled
+from conftest import BATCH, scaled
 
 HEADERS = ["query", "engine", "events", "seconds", "us/event"]
 
@@ -101,7 +101,7 @@ def test_figure7(benchmark, report, query, engine):
     base_query = query.rstrip("*")
 
     def run():
-        return run_timed(build_engine(base_query, engine), stream)
+        return run_timed(build_engine(base_query, engine), stream, batch_size=BATCH)
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
     _TIMINGS[(query, engine)] = result.seconds

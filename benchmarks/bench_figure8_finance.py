@@ -24,7 +24,7 @@ from repro.workloads import (
     get_query,
 )
 
-from conftest import scaled
+from conftest import BATCH, scaled
 
 SIZES = [100, 300, 1000, 3000]
 
@@ -79,7 +79,7 @@ def test_figure8_finance(benchmark, report, query, engine, size):
     stream = _stream(query, events)
 
     def run():
-        return run_timed(_build(query, engine), stream)
+        return run_timed(_build(query, engine), stream, batch_size=BATCH)
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
     _SERIES.setdefault((query, engine), []).append((events, result.seconds))

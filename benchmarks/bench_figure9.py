@@ -24,7 +24,7 @@ from repro.workloads import (
     get_query,
 )
 
-from conftest import scaled
+from conftest import BATCH, scaled
 
 #: events per engine: the baselines get the prefix they can afford
 EVENTS = {
@@ -69,7 +69,9 @@ def test_figure9(benchmark, report, query, engine):
     window = max(10, events // 8)
 
     def run():
-        return run_instrumented(_build(query, engine), stream, window=window)
+        return run_instrumented(
+            _build(query, engine), stream, window=window, batch_size=BATCH
+        )
 
     run_result = benchmark.pedantic(run, rounds=1, iterations=1)
     for sample in run_result.samples:

@@ -21,6 +21,10 @@ import pytest
 from repro.bench.reporting import format_table
 
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+#: trigger-batch size for the figure benchmarks: 1 = the paper's
+#: per-event model; > 1 drives the engines' ``on_batch`` path instead
+#: (see docs/benchmark_guide.md, "Batched execution").
+BATCH = max(1, int(os.environ.get("REPRO_BENCH_BATCH", "1")))
 RESULTS_DIR = Path(__file__).parent / "results"
 
 

@@ -30,6 +30,12 @@ implementation        get/put     get_sum     shift_keys
 aggregate-maintenance special case of Section 3.2.4 and
 O(v log n) in general, where ``v`` is the number of BST violations
 repaired (worst case ``v = n``, matching the paper's O(n log n) bound).
+
+All three implementations additionally expose a ``bulk_load`` class
+method that builds an index from key-sorted ``(key, value)`` pairs in
+O(n) — the batched counterpart of n repeated ``put`` calls, used by the
+engines' warm-start path.  It is not part of the protocol because the
+fixed-universe substrates (Fenwick, segment tree) construct differently.
 """
 
 from __future__ import annotations

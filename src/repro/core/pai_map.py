@@ -15,7 +15,7 @@ the O(log n) RPAI tree of Section 3.
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterable, Iterator
 
 __all__ = ["PAIMap"]
 
@@ -41,6 +41,38 @@ class PAIMap:
         self._data: dict[float, float] = {}
         self._total: float = 0
         self.prune_zeros = prune_zeros
+
+    @classmethod
+    def bulk_load(
+        cls,
+        sorted_items: Iterable[tuple[float, float]],
+        *,
+        prune_zeros: bool = False,
+    ) -> "PAIMap":
+        """Build a map from key-sorted ``(key, value)`` pairs in O(n).
+
+        A hash map has no key order, but the sorted-unique-keys contract
+        is shared with :meth:`RPAITree.bulk_load` /
+        :meth:`TreeMap.bulk_load` so the three index implementations
+        stay drop-in interchangeable on the warm-start path.
+
+        Raises:
+            ValueError: when keys are not strictly increasing.
+        """
+        index = cls(prune_zeros=prune_zeros)
+        previous: float | None = None
+        for key, value in sorted_items:
+            if previous is not None and previous >= key:
+                raise ValueError(
+                    f"bulk_load requires strictly increasing keys, got "
+                    f"{previous!r} before {key!r}"
+                )
+            previous = key
+            if prune_zeros and value == 0:
+                continue
+            index._data[key] = value
+            index._total += value
+        return index
 
     # -- basic map operations -------------------------------------------------
 

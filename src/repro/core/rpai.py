@@ -42,7 +42,7 @@ Complexities (n = number of entries):
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterable, Iterator
 
 __all__ = ["RPAITree", "RPAINode"]
 
@@ -211,6 +211,23 @@ def _max_entry(node: RPAINode) -> tuple[float, float]:
     return rel, node.value
 
 
+def _build_relative(
+    items: list[tuple[float, float]], lo: int, hi: int, parent_actual: float
+) -> RPAINode | None:
+    """Midpoint-recursive build of a relative-key subtree over
+    ``items[lo:hi]``; ``parent_actual`` is the actual key of the frame
+    the subtree root's stored key must be expressed in."""
+    if lo >= hi:
+        return None
+    mid = (lo + hi) // 2
+    key, value = items[mid]
+    node = RPAINode(key - parent_actual, value)
+    node.left = _build_relative(items, lo, mid, key)
+    node.right = _build_relative(items, mid + 1, hi, key)
+    _update(node)
+    return node
+
+
 class RPAITree:
     """Relative Partial Aggregate Index (paper Section 3).
 
@@ -240,6 +257,38 @@ class RPAITree:
         self._root: RPAINode | None = None
         self._size = 0
         self.prune_zeros = prune_zeros
+
+    @classmethod
+    def bulk_load(
+        cls,
+        sorted_items: Iterable[tuple[float, float]],
+        *,
+        prune_zeros: bool = False,
+    ) -> "RPAITree":
+        """Build a tree from ``(key, value)`` pairs sorted by key, in O(n).
+
+        The midpoint-recursive construction yields a height-balanced
+        tree (sibling heights differ by at most one, so it is a valid
+        AVL tree) and every node's key is stored directly in its
+        parent's frame — no shifting or rebalancing ever runs, versus
+        the O(n log n) of n repeated :meth:`put` calls.  Zero values are
+        skipped when ``prune_zeros`` is set, mirroring what the
+        per-entry path would have pruned.
+
+        Raises:
+            ValueError: when keys are not strictly increasing.
+        """
+        tree = cls(prune_zeros=prune_zeros)
+        items = [(k, v) for k, v in sorted_items if not (prune_zeros and v == 0)]
+        for i in range(1, len(items)):
+            if items[i - 1][0] >= items[i][0]:
+                raise ValueError(
+                    f"bulk_load requires strictly increasing keys, got "
+                    f"{items[i - 1][0]!r} before {items[i][0]!r}"
+                )
+        tree._root = _build_relative(items, 0, len(items), 0)
+        tree._size = len(items)
+        return tree
 
     # -- basic map operations -------------------------------------------------
 

@@ -35,7 +35,7 @@ from repro.core.pai_map import PAIMap
 from repro.core.rpai import RPAITree
 from repro.engine.base import IncrementalEngine, Result
 from repro.engine.general import _compile_row_expr, _peel_constant_scale
-from repro.errors import UnsupportedQueryError
+from repro.errors import EngineStateError, UnsupportedQueryError
 from repro.query.analysis import is_correlated
 from repro.query.ast import AggrCall, AggrQuery, SubqueryExpr, walk_expr
 from repro.query.planner import IndexSpec, QueryPlan, Strategy, classify
@@ -223,34 +223,94 @@ class PointIndexEngine(IncrementalEngine):
     def __setstate__(self, state: dict) -> None:
         _restore_index_engine(self, state)
 
+    def _event_deltas(self, row: Row, x: int) -> tuple[Any, float, float]:
+        """(group key, inner-aggregate delta, result delta) of one tuple."""
+        group = (
+            row[self._group_cols[0]]
+            if len(self._group_cols) == 1
+            else tuple(row[c] for c in self._group_cols)
+        )
+        inner_delta = (self._inner_arg(row) if self._inner_arg is not None else 1) * x
+        res_delta = self._result_agg.contribution(row) * x
+        return group, inner_delta, res_delta
+
+    def _apply_group(self, group: Any, inner_delta: float, res_delta: float) -> None:
+        """Move one group's result value from its old aggregate key to
+        its new one (Figure 1c lines 16-18)."""
+        old_rhs = self.bound_map.get(group, 0)
+        old_res = self.res_map.get(group, 0)
+        new_rhs = old_rhs + inner_delta
+        new_res = old_res + res_delta
+        if old_res != 0:
+            self.aggr_index.add(old_rhs, -old_res)
+        if new_res != 0:
+            self.aggr_index.add(new_rhs, new_res)
+        self.bound_map.add(group, inner_delta)
+        self.res_map.add(group, res_delta)
+
     def on_event(self, event: Event) -> Result:
         self._fixed.on_event(event)
         if event.relation == self.relation:
-            row, x = event.row, event.weight
-            group = (
-                row[self._group_cols[0]]
-                if len(self._group_cols) == 1
-                else tuple(row[c] for c in self._group_cols)
-            )
-            inner_delta = (
-                self._inner_arg(row) if self._inner_arg is not None else 1
-            ) * x
-            res_delta = self._result_agg.contribution(row) * x
+            group, inner_delta, res_delta = self._event_deltas(event.row, event.weight)
+            self._apply_group(group, inner_delta, res_delta)
+        return self.result()
 
-            old_rhs = self.bound_map.get(group, 0)
-            old_res = self.res_map.get(group, 0)
-            new_rhs = old_rhs + inner_delta
-            new_res = old_res + res_delta
+    def on_batch(self, events) -> Result:
+        """Batched trigger: per-group updates telescope (old key → new
+        key moves compose), so deltas are coalesced per group key and
+        each live group is touched once per chunk.  Groups whose net
+        deltas cancel (an insert retracted within the chunk) never
+        touch the index at all."""
+        net: dict[Any, list[float]] = {}
+        for event in events:
+            self._fixed.on_event(event)
+            if event.relation != self.relation:
+                continue
+            group, inner_delta, res_delta = self._event_deltas(event.row, event.weight)
+            entry = net.get(group)
+            if entry is None:
+                net[group] = [inner_delta, res_delta]
+            else:
+                entry[0] += inner_delta
+                entry[1] += res_delta
+        for group, (inner_delta, res_delta) in net.items():
+            if inner_delta == 0 and res_delta == 0:
+                continue
+            self._apply_group(group, inner_delta, res_delta)
+        return self.result()
 
-            # Move the group's value from the old key to the new key
-            # (Figure 1c lines 16-18).
-            if old_res != 0:
-                self.aggr_index.add(old_rhs, -old_res)
-            if new_res != 0:
-                self.aggr_index.add(new_rhs, new_res)
-
-            self.bound_map.add(group, inner_delta)
-            self.res_map.add(group, res_delta)
+    def warm_start(self, stream) -> Result:
+        """Initial load via ``bulk_load``: aggregate the whole stream
+        per group offline, then build all three indexes directly."""
+        if len(self.bound_map) or len(self.res_map) or len(self.aggr_index):
+            raise EngineStateError("warm_start requires a fresh engine")
+        net: dict[Any, list[float]] = {}
+        for event in stream:
+            self._fixed.on_event(event)
+            if event.relation != self.relation:
+                continue
+            group, inner_delta, res_delta = self._event_deltas(event.row, event.weight)
+            entry = net.get(group)
+            if entry is None:
+                net[group] = [inner_delta, res_delta]
+            else:
+                entry[0] += inner_delta
+                entry[1] += res_delta
+        groups = sorted(net)
+        self.bound_map = PAIMap.bulk_load(
+            ((g, net[g][0]) for g in groups), prune_zeros=True
+        )
+        self.res_map = PAIMap.bulk_load(
+            ((g, net[g][1]) for g in groups), prune_zeros=True
+        )
+        by_rhs: dict[float, float] = {}
+        for g in groups:
+            rhs, res = net[g]
+            if res != 0:
+                by_rhs[rhs] = by_rhs.get(rhs, 0) + res
+        self.aggr_index = self._index_cls.bulk_load(
+            sorted(by_rhs.items()), prune_zeros=True
+        )
         return self.result()
 
     def result(self) -> Result:
@@ -334,14 +394,19 @@ class RangeIndexEngine(IncrementalEngine):
     def on_event(self, event: Event) -> Result:
         self._fixed.on_event(event)
         if event.relation == self.relation:
-            self._on_outer(event.row, event.weight)
+            key, volume, res_delta = self._event_deltas(event.row, event.weight)
+            self._apply_outer(key, volume, res_delta)
         return self.result()
 
-    def _on_outer(self, row: Row, x: int) -> None:
+    def _event_deltas(self, row: Row, x: int) -> tuple[float, float, float]:
+        """(stored key, inner-aggregate delta, result delta) of one tuple."""
         key = self._key_sign * row[self._key_col]
         volume = (self._inner_arg(row) if self._inner_arg is not None else 1) * x
         res_delta = self._result_agg.contribution(row) * x
+        return key, volume, res_delta
 
+    def _apply_outer(self, key: float, volume: float, res_delta: float) -> None:
+        """Figure 2c trigger for a (possibly coalesced) delta at ``key``."""
         old_vol_at_key = self.bound_map.get(key, 0)
         prefix_excl = self.bound_map.get_sum(key, inclusive=False)
 
@@ -369,6 +434,71 @@ class RangeIndexEngine(IncrementalEngine):
         #    (post-shift) aggregate key.
         if res_delta != 0:
             self.aggr_index.add(group_new_rhs, res_delta)
+
+    def on_batch(self, events) -> Result:
+        """Batched Figure 2c: events at the same stored key telescope —
+        the shift boundary (the prefix sum of *strictly lower* keys) is
+        unchanged by updates at the key itself, and result entries
+        placed by earlier same-key events ride along later same-key
+        shifts — so one net (volume, result) application per distinct
+        key reproduces the per-event sequence exactly.  Keys whose net
+        deltas cancel are skipped, and the O(log n) result probe runs
+        once per chunk instead of once per event.
+        """
+        net: dict[float, list[float]] = {}
+        for event in events:
+            self._fixed.on_event(event)
+            if event.relation != self.relation:
+                continue
+            key, volume, res_delta = self._event_deltas(event.row, event.weight)
+            entry = net.get(key)
+            if entry is None:
+                net[key] = [volume, res_delta]
+            else:
+                entry[0] += volume
+                entry[1] += res_delta
+        for key, (volume, res_delta) in net.items():
+            if volume == 0 and res_delta == 0:
+                continue
+            self._apply_outer(key, volume, res_delta)
+        return self.result()
+
+    def warm_start(self, stream) -> Result:
+        """Initial load via ``bulk_load``: one offline pass aggregates
+        volumes and result contributions per key; a running prefix sum
+        then yields every group's aggregate key (its subquery value), so
+        both the bound map and the aggregate index build in O(n) after a
+        single sort — no shifts ever run."""
+        if len(self.bound_map) or len(self.aggr_index):
+            raise EngineStateError("warm_start requires a fresh engine")
+        net: dict[float, list[float]] = {}
+        for event in stream:
+            self._fixed.on_event(event)
+            if event.relation != self.relation:
+                continue
+            key, volume, res_delta = self._event_deltas(event.row, event.weight)
+            entry = net.get(key)
+            if entry is None:
+                net[key] = [volume, res_delta]
+            else:
+                entry[0] += volume
+                entry[1] += res_delta
+        keys = sorted(net)
+        self.bound_map = TreeMap.bulk_load(
+            ((k, net[k][0]) for k in keys), prune_zeros=True
+        )
+        by_rhs: dict[float, float] = {}
+        prefix = 0.0
+        for k in keys:
+            volume, res = net[k]
+            rhs = prefix + volume if self._inclusive_inner else prefix
+            if res != 0:
+                by_rhs[rhs] = by_rhs.get(rhs, 0) + res
+            prefix += volume
+        self.aggr_index = self._index_cls.bulk_load(
+            sorted(by_rhs.items()), prune_zeros=True
+        )
+        return self.result()
 
     def result(self) -> Result:
         probe = self._fixed.value()
@@ -460,15 +590,21 @@ class GroupedRangeIndexEngine(IncrementalEngine):
     def __setstate__(self, state: dict) -> None:
         _restore_index_engine(self, state)
 
-    def on_event(self, event: Event) -> Result:
-        self._fixed.on_event(event)
-        if event.relation != self.relation:
-            return self.result()
-        row, x = event.row, event.weight
+    def _event_deltas(self, row: Row, x: int) -> tuple[float, float, float, Any]:
         key = self._key_sign * row[self._key_col]
         volume = (self._inner_arg(row) if self._inner_arg is not None else 1) * x
         res_delta = (self._result_arg(row) if self._result_arg is not None else 1) * x
+        gkey = (
+            row[self._group_columns[0]]
+            if len(self._group_columns) == 1
+            else tuple(row[c] for c in self._group_columns)
+        )
+        return key, volume, res_delta, gkey
 
+    def _apply_key(self, key: float, volume: float, per_group: Mapping[Any, float]) -> None:
+        """One (possibly coalesced) delta at ``key``: the same range
+        shift is applied to every group's index, then each group's net
+        result contribution lands at the (post-shift) aggregate key."""
         old_at_key = self.bound_map.get(key, 0)
         prefix_excl = self.bound_map.get_sum(key, inclusive=False)
         if self._inclusive_inner:
@@ -482,18 +618,44 @@ class GroupedRangeIndexEngine(IncrementalEngine):
             index.shift_keys(boundary, volume, inclusive=inclusive)
         self.bound_map.add(key, volume)
 
-        gkey = (
-            row[self._group_columns[0]]
-            if len(self._group_columns) == 1
-            else tuple(row[c] for c in self._group_columns)
-        )
-        index = self.group_indexes.get(gkey)
-        if index is None:
-            index = self.group_indexes[gkey] = self._index_cls(prune_zeros=True)
-        if res_delta != 0:
+        for gkey, res_delta in per_group.items():
+            if res_delta == 0:
+                continue
+            index = self.group_indexes.get(gkey)
+            if index is None:
+                index = self.group_indexes[gkey] = self._index_cls(prune_zeros=True)
             index.add(group_new, res_delta)
-        if not len(index):
-            del self.group_indexes[gkey]
+            if not len(index):
+                del self.group_indexes[gkey]
+
+    def on_event(self, event: Event) -> Result:
+        self._fixed.on_event(event)
+        if event.relation != self.relation:
+            return self.result()
+        key, volume, res_delta, gkey = self._event_deltas(event.row, event.weight)
+        self._apply_key(key, volume, {gkey: res_delta})
+        return self.result()
+
+    def on_batch(self, events) -> Result:
+        """Batched trigger: volumes coalesce per correlation key (every
+        group index sees the identical shift sequence, so net shifts are
+        exact) and result contributions coalesce per (key, group)."""
+        net: dict[float, tuple[list[float], dict[Any, float]]] = {}
+        for event in events:
+            self._fixed.on_event(event)
+            if event.relation != self.relation:
+                continue
+            key, volume, res_delta, gkey = self._event_deltas(event.row, event.weight)
+            entry = net.get(key)
+            if entry is None:
+                entry = net[key] = ([0.0], {})
+            entry[0][0] += volume
+            entry[1][gkey] = entry[1].get(gkey, 0) + res_delta
+        for key, (volume_box, per_group) in net.items():
+            volume = volume_box[0]
+            if volume == 0 and all(res == 0 for res in per_group.values()):
+                continue
+            self._apply_key(key, volume, per_group)
         return self.result()
 
     def result(self) -> Result:

@@ -272,6 +272,13 @@ class _CorrelatedSubquery:
         lines 14–17 free-map pass."""
         key = self.inner_key(row)
         value = (self.inner_arg(row) if self.inner_arg is not None else 1) * weight
+        self.on_delta(key, value, weight)
+
+    def on_delta(self, key: Any, value: float, weight: float) -> None:
+        """Apply a (possibly coalesced) inner delta at ``key``: ``value``
+        is the net aggregate-argument contribution, ``weight`` the net
+        multiplicity.  Both maps and the free-map pass are additive, so
+        net deltas reproduce the per-row sequence exactly."""
         self.bound_sum.add(key, value)
         self.bound_count.add(key, weight)
         if self.func in {"MIN", "MAX"}:
@@ -503,21 +510,92 @@ class GeneralAlgorithmEngine(IncrementalEngine):
         if event.relation == self.relation:
             key = tuple(row[c] for c in self._group_columns)
             value = self._result_arg(row) if self._result_arg is not None else 1
-            new_count = self._res_count.get(key, 0) + weight
-            self._res_sum[key] = self._res_sum.get(key, 0) + value * weight
-            if new_count == 0:
-                del self._res_sum[key]
-                del self._res_count[key]
-                representative = self._res_repr.pop(key)
+            self._apply_outer_group(key, value * weight, weight)
+        self._result = self._recompute()
+        return self._result
+
+    def _apply_outer_group(self, key: tuple, sum_delta: float, count_delta: int) -> None:
+        """Apply a (possibly coalesced) result-map delta for one outer
+        group key, with the acquire/release bookkeeping of Algorithm 3
+        lines 19–24."""
+        new_count = self._res_count.get(key, 0) + count_delta
+        self._res_sum[key] = self._res_sum.get(key, 0) + sum_delta
+        if new_count == 0:
+            del self._res_sum[key]
+            del self._res_count[key]
+            representative = self._res_repr.pop(key)
+            for correlated in self._correlated.values():
+                correlated.release(correlated.outer_key(representative))
+        else:
+            self._res_count[key] = new_count
+            if key not in self._res_repr:
+                representative = dict(zip(self._group_columns, key))
+                self._res_repr[key] = representative
                 for correlated in self._correlated.values():
-                    correlated.release(correlated.outer_key(representative))
-            else:
-                self._res_count[key] = new_count
-                if key not in self._res_repr:
-                    representative = dict(zip(self._group_columns, key))
-                    self._res_repr[key] = representative
-                    for correlated in self._correlated.values():
-                        correlated.acquire(correlated.outer_key(representative))
+                    correlated.acquire(correlated.outer_key(representative))
+
+    def on_batch(self, events) -> Result:
+        """Batched Algorithm 3 in two phases plus a single result pass.
+
+        Phase 1 routes every event to the inner side: scalars stream per
+        event, correlated contributions coalesce per inner key so the
+        O(live groups) free-map pass runs once per *distinct* key.
+        Phase 2 applies the outer result-map deltas coalesced per group
+        key; a group acquired here initializes its free-map entry from
+        the bound maps, which phase 1 has already brought to the
+        batch-final state — the same value per-event interleaving would
+        have reached, since bound/free maps are additive.  The O(groups)
+        result recomputation then runs once per chunk instead of once
+        per event.
+        """
+        corr_net: dict[int, dict[Any, list[float]]] = {}
+        correlated_list = list(self._correlated.values())
+        outer_net: dict[tuple, list[float]] = {}
+        outer_order: list[tuple] = []
+        for event in events:
+            row, weight = event.row, event.weight
+            for sub_query, scalar in self._scalars.items():
+                if sub_query.relations[0].name == event.relation:
+                    scalar.on_row(row, weight)
+            for position, correlated in enumerate(correlated_list):
+                if correlated.relation != event.relation:
+                    continue
+                key = correlated.inner_key(row)
+                value = (
+                    correlated.inner_arg(row) if correlated.inner_arg is not None else 1
+                ) * weight
+                net = corr_net.setdefault(position, {})
+                entry = net.get(key)
+                if entry is None:
+                    net[key] = [value, weight]
+                else:
+                    entry[0] += value
+                    entry[1] += weight
+            if event.relation == self.relation:
+                key = tuple(row[c] for c in self._group_columns)
+                value = self._result_arg(row) if self._result_arg is not None else 1
+                entry = outer_net.get(key)
+                if entry is None:
+                    outer_net[key] = [value * weight, weight]
+                    outer_order.append(key)
+                else:
+                    entry[0] += value * weight
+                    entry[1] += weight
+        for position, net in corr_net.items():
+            correlated = correlated_list[position]
+            for key, (value, weight) in net.items():
+                if value == 0 and weight == 0:
+                    continue
+                correlated.on_delta(key, value, weight)
+        for key in outer_order:
+            sum_delta, count_delta = outer_net[key]
+            if count_delta == 0 and key not in self._res_count:
+                # The group was created and fully retracted within the
+                # chunk: acquire followed by release is a net no-op.
+                continue
+            if sum_delta == 0 and count_delta == 0:
+                continue
+            self._apply_outer_group(key, sum_delta, int(count_delta))
         self._result = self._recompute()
         return self._result
 

@@ -61,6 +61,17 @@ class Stream:
         """First ``n`` events — used by the Figure 8 trace-size sweep."""
         return Stream(self._events[:n])
 
+    def batches(self, size: int) -> Iterator[list[Event]]:
+        """Yield the events in consecutive chunks of ``size`` (the last
+        chunk may be shorter).  This is the input unit of the engines'
+        batched fast path (``on_batch``); ``size <= 1`` degenerates to
+        one event per chunk, i.e. the per-event execution model.
+        """
+        if size < 1:
+            raise EngineStateError(f"batch size must be >= 1, got {size}")
+        for start in range(0, len(self._events), size):
+            yield self._events[start : start + size]
+
     def for_relation(self, name: str) -> "Stream":
         return Stream(e for e in self._events if e.relation == name)
 
@@ -98,6 +109,10 @@ def with_deletions(
     live prefix — is retracted.  This reproduces the paper's
     insert+retraction update model without needing the original trace.
 
+    Deletions are woven in deterministically — one after every
+    ``round(1/delete_ratio)``-th insert — so stream length is exact and
+    reproducible; only *which* live row dies is up to ``choose``.
+
     Args:
         events: insert-only events.
         delete_ratio: expected deletions per insertion (0 disables).
@@ -112,21 +127,15 @@ def with_deletions(
             raise EngineStateError("with_deletions expects an insert-only stream")
         out.append(event)
         live.append(event)
-        if delete_ratio > 0 and live and _chance(len(out), delete_ratio, choose, live):
+        if delete_ratio > 0 and live and _deletion_due(len(out), delete_ratio):
             index = choose(live)
             victim = live.pop(index)
             out.append(victim.inverted())
     return Stream(out)
 
 
-def _chance(
-    position: int,
-    ratio: float,
-    choose: Callable[[Sequence[Event]], int],
-    live: Sequence[Event],
-) -> bool:
-    # Deterministic thinning: emit a deletion every round(1/ratio)
-    # inserts.  Randomising *which* row dies (via `choose`) is enough
-    # variability for the benchmarks while keeping stream length exact.
+def _deletion_due(position: int, ratio: float) -> bool:
+    """Purely periodic thinning: a deletion is due every
+    ``round(1/ratio)``-th emitted event."""
     period = max(1, round(1.0 / ratio))
     return position % period == 0

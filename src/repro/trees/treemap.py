@@ -15,7 +15,7 @@ relative keys versus from tree-based prefix sums.
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterable, Iterator
 
 __all__ = ["TreeMap"]
 
@@ -65,6 +65,19 @@ def _rotate_right(h: _Node) -> _Node:
     return x
 
 
+def _build_balanced(items: list[tuple[float, float]], lo: int, hi: int) -> _Node | None:
+    """Midpoint-recursive build over ``items[lo:hi]``: height-balanced
+    (valid AVL) with sums/heights computed bottom-up."""
+    if lo >= hi:
+        return None
+    mid = (lo + hi) // 2
+    node = _Node(*items[mid])
+    node.left = _build_balanced(items, lo, mid)
+    node.right = _build_balanced(items, mid + 1, hi)
+    _update(node)
+    return node
+
+
 def _rebalance(node: _Node) -> _Node:
     _update(node)
     balance = _height(node.left) - _height(node.right)
@@ -96,6 +109,31 @@ class TreeMap:
         self._root: _Node | None = None
         self._size = 0
         self.prune_zeros = prune_zeros
+
+    @classmethod
+    def bulk_load(
+        cls,
+        sorted_items: Iterable[tuple[float, float]],
+        *,
+        prune_zeros: bool = False,
+    ) -> "TreeMap":
+        """Build a balanced map from key-sorted ``(key, value)`` pairs in
+        O(n) — the batched counterpart of n O(log n) :meth:`put` calls.
+
+        Raises:
+            ValueError: when keys are not strictly increasing.
+        """
+        tree = cls(prune_zeros=prune_zeros)
+        items = [(k, v) for k, v in sorted_items if not (prune_zeros and v == 0)]
+        for i in range(1, len(items)):
+            if items[i - 1][0] >= items[i][0]:
+                raise ValueError(
+                    f"bulk_load requires strictly increasing keys, got "
+                    f"{items[i - 1][0]!r} before {items[i][0]!r}"
+                )
+        tree._root = _build_balanced(items, 0, len(items))
+        tree._size = len(items)
+        return tree
 
     # -- basic map operations -------------------------------------------------
 

@@ -1,0 +1,106 @@
+"""Bulk-load construction: the O(n) sorted build must be observably
+identical to repeated ``put`` while keeping every structural invariant.
+
+Hypothesis generates random (key, value) maps; ``bulk_load(sorted(...))``
+is checked against the incrementally built tree for items, size, totals
+and ``get_sum`` prefix probes, and the invariant walker validates the
+relative-key/AVL/subtree-sum structure of the freshly built tree.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pai_map import PAIMap
+from repro.core.rpai import RPAITree
+from repro.trees.treemap import TreeMap
+
+STRUCTURES = [RPAITree, TreeMap, PAIMap]
+
+KEY_VALUE_MAPS = st.dictionaries(
+    keys=st.integers(min_value=-40, max_value=40),
+    values=st.integers(min_value=-9, max_value=9),
+    max_size=50,
+)
+
+
+def _put_built(cls, items):
+    index = cls()
+    for key, value in items:
+        index.put(key, value)
+    return index
+
+
+class TestBulkLoadEquivalence:
+    @given(data=KEY_VALUE_MAPS)
+    @settings(max_examples=150, deadline=None)
+    @pytest.mark.parametrize("cls", STRUCTURES)
+    def test_matches_repeated_put(self, cls, data):
+        items = sorted(data.items())
+        bulk = cls.bulk_load(items)
+        incremental = _put_built(cls, items)
+        if hasattr(bulk, "check_invariants"):
+            bulk.check_invariants()
+        assert list(bulk.items()) == list(incremental.items())
+        assert len(bulk) == len(incremental)
+        assert bulk.total_sum() == incremental.total_sum()
+
+    @given(data=KEY_VALUE_MAPS, probe=st.integers(min_value=-45, max_value=45))
+    @settings(max_examples=150, deadline=None)
+    @pytest.mark.parametrize("cls", STRUCTURES)
+    def test_get_sum_prefixes_match(self, cls, data, probe):
+        items = sorted(data.items())
+        bulk = cls.bulk_load(items)
+        incremental = _put_built(cls, items)
+        assert bulk.get_sum(probe) == incremental.get_sum(probe)
+        assert bulk.get_sum(probe, inclusive=False) == incremental.get_sum(
+            probe, inclusive=False
+        )
+
+    @given(data=KEY_VALUE_MAPS)
+    @settings(max_examples=100, deadline=None)
+    @pytest.mark.parametrize("cls", STRUCTURES)
+    def test_prune_zeros_drops_zero_values(self, cls, data):
+        items = sorted(data.items())
+        bulk = cls.bulk_load(items, prune_zeros=True)
+        expected = [(k, v) for k, v in items if v != 0]
+        assert list(bulk.items()) == expected
+        if hasattr(bulk, "check_invariants"):
+            bulk.check_invariants()
+
+    @given(data=KEY_VALUE_MAPS)
+    @settings(max_examples=60, deadline=None)
+    @pytest.mark.parametrize("cls", [RPAITree, TreeMap])
+    def test_loaded_tree_stays_mutable(self, cls, data):
+        """A bulk-loaded tree must accept further incremental updates."""
+        items = sorted(data.items())
+        bulk = cls.bulk_load(items)
+        incremental = _put_built(cls, items)
+        for key, value in [(-3, 7), (0, -2), (41, 5)]:
+            bulk.add(key, value)
+            incremental.add(key, value)
+        bulk.shift_keys(0, 2)
+        incremental.shift_keys(0, 2)
+        if hasattr(bulk, "check_invariants"):
+            bulk.check_invariants()
+        assert list(bulk.items()) == list(incremental.items())
+
+
+class TestBulkLoadValidation:
+    @pytest.mark.parametrize("cls", STRUCTURES)
+    def test_rejects_unsorted_input(self, cls):
+        with pytest.raises(ValueError):
+            cls.bulk_load([(2, 1.0), (1, 1.0)])
+
+    @pytest.mark.parametrize("cls", STRUCTURES)
+    def test_rejects_duplicate_keys(self, cls):
+        with pytest.raises(ValueError):
+            cls.bulk_load([(1, 1.0), (1, 2.0)])
+
+    @pytest.mark.parametrize("cls", STRUCTURES)
+    def test_empty_load(self, cls):
+        index = cls.bulk_load([])
+        assert len(index) == 0
+        assert list(index.items()) == []
