@@ -7,7 +7,12 @@ trigger-per-update model, larger sizes drive the delta-coalesced
 differential suite in ``tests/engine/test_batched.py`` checks exactly
 that).  A second section times cold engine construction: replaying an
 insert-only prefix through the trigger vs ``warm_start`` (sort once +
-O(n) ``bulk_load``).
+O(n) ``bulk_load``).  A final ``ops`` section re-runs EQ and VWAP with
+the :mod:`repro.obs` counters enabled — *after* all timed sections, so
+the timings above always measure the instrumentation-disabled path —
+and records the derived structure metrics (rotations per update vs
+log2(n), violations per negative shift vs the Section 3.2.4 bound of
+1).
 
 Usage::
 
@@ -23,6 +28,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import os
 import random
 import sys
@@ -32,6 +38,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro import obs  # noqa: E402
 from repro.bench.runner import run_timed  # noqa: E402
 from repro.engine.registry import build_engine  # noqa: E402
 from repro.storage.stream import Event, Stream  # noqa: E402
@@ -129,6 +136,38 @@ def bench_warm_start(query: str, stream: Stream, repeats: int) -> dict:
     }
 
 
+def bench_ops(query: str, stream: Stream) -> dict:
+    """One counter-instrumented pass (untimed; obs enabled only here).
+
+    Emits the raw counter snapshot plus the derived bound checks:
+    ``rotations_per_update`` against ``c * log2(n)`` and the Section
+    3.2.4 ``violations_per_negative_shift <= 1`` bound (``max_...``
+    is per-shift, so the bound holds iff it is <= 1).
+    """
+    obs.enable()
+    obs.reset()
+    try:
+        run = run_timed(build_engine(query, "rpai"), stream)
+    finally:
+        obs.disable()
+    snap = run.ops or {"counters": {}, "stats": {}}
+    derived = obs.derived_metrics(snap, events=run.events)
+    log2_n = math.log2(max(run.events, 2))
+    entry = {
+        "engine": "rpai",
+        "events": run.events,
+        "counters": snap.get("counters", {}),
+        "derived": derived,
+        "log2_n": round(log2_n, 3),
+    }
+    rotations = derived.get("rotations_per_update")
+    if rotations is not None:
+        entry["rotations_per_update_over_log2_n"] = round(rotations / log2_n, 4)
+    if "max_violations_single_shift" in derived:
+        entry["violation_bound_holds"] = derived["max_violations_single_shift"] <= 1
+    return entry
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -181,7 +220,28 @@ def main(argv: list[str] | None = None) -> int:
             f"bulk_load {entry['bulk_load_seconds']}s ({entry['speedup']}x)"
         )
 
-    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    # Counters last: every timed section above ran with the obs sink
+    # disabled, so enabling it here cannot perturb the numbers.
+    report["ops"] = {}
+    for query in ("EQ", "VWAP"):
+        report["ops"][query] = bench_ops(query, workload_streams[query])
+        entry = report["ops"][query]
+        derived = entry["derived"]
+        pieces = []
+        if "rotations_per_update" in derived:
+            pieces.append(
+                f"rotations/update {derived['rotations_per_update']:.3f}"
+                f" (log2 n = {entry['log2_n']})"
+            )
+        if "violations_per_negative_shift" in derived:
+            pieces.append(
+                f"violations/neg-shift {derived['violations_per_negative_shift']:.3f}"
+                f" (max {derived['max_violations_single_shift']},"
+                f" bound holds: {entry['violation_bound_holds']})"
+            )
+        print(f"[ops] {query}: " + ("; ".join(pieces) or "no structure counters"))
+
+    args.out.write_text(json.dumps(report, indent=2, allow_nan=False) + "\n")
     print(f"[batching] wrote {args.out}")
     return 0
 

@@ -12,15 +12,24 @@ Commands:
     wall time and throughput.
 ``compare <query> [--events N]``
     Run every strategy on the same stream and print a comparison table.
+``stats <query> [--engine E] [--events N] [--seed S] [--selfcheck] [--json]``
+    Run with the observability sink enabled and print the operation
+    counters (tree rotations, shift_keys calls, fixTree violations, ...)
+    plus the derived metrics — e.g. the Section 3.2.4 per-negative-shift
+    violation bound.  ``--selfcheck`` additionally runs the structure
+    invariant checks after every mutation.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import math
 import sys
 import time
 from pathlib import Path
 
+from repro import obs
 from repro.bench.reporting import format_table
 from repro.bench.runner import run_timed
 from repro.engine.registry import STRATEGIES, build_engine
@@ -106,6 +115,71 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stats(args: argparse.Namespace) -> int:
+    stream = _default_stream(args.query, args.events, args.seed)
+    engine = build_engine(args.query, args.engine)
+    obs.enable()
+    obs.reset()
+    if args.selfcheck:
+        obs.enable_selfcheck()
+    try:
+        run = run_timed(engine, stream, batch_size=args.batch_size)
+    finally:
+        obs.disable()
+        obs.disable_selfcheck()
+    snap = run.ops or {"counters": {}, "stats": {}}
+    derived = obs.derived_metrics(snap, events=run.events)
+    if args.json:
+        payload = {
+            "query": args.query.upper(),
+            "engine": args.engine,
+            "events": run.events,
+            "seconds": round(run.seconds, 6),
+            "ops": snap,
+            "derived": derived,
+        }
+        print(json.dumps(payload, indent=2, allow_nan=False))
+        return 0
+    print(f"query    : {args.query.upper()}")
+    print(f"engine   : {args.engine}")
+    print(f"events   : {run.events}  (batch_size={max(1, args.batch_size)})")
+    print(f"time     : {run.seconds:.4f}s")
+    print(f"result   : {run.final_result}")
+    print()
+    counters = snap.get("counters", {})
+    if counters:
+        print(format_table(
+            ["counter", "count"],
+            [[name, counters[name]] for name in sorted(counters)],
+        ))
+    else:
+        print("(no counters fired — engine uses no instrumented structures)")
+    stats = snap.get("stats", {})
+    if stats:
+        print()
+        print(format_table(
+            ["distribution", "count", "mean", "min", "max"],
+            [
+                [
+                    name,
+                    entry["count"],
+                    round(entry["mean"], 3),
+                    entry.get("min", entry.get("running_min")),
+                    entry.get("max", entry.get("running_max")),
+                ]
+                for name, entry in sorted(stats.items())
+            ],
+        ))
+    if derived:
+        print()
+        rows = [[name, value] for name, value in sorted(derived.items())]
+        rotations = derived.get("rotations_per_update")
+        if rotations is not None and run.events > 0:
+            rows.append(["log2(events)", round(math.log2(max(run.events, 2)), 2)])
+        print(format_table(["derived metric", "value"], rows))
+    return 0
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
     stream = _default_stream(args.query, args.events, args.seed)
     rows = []
@@ -146,6 +220,21 @@ def main(argv: list[str] | None = None) -> int:
     p_run.add_argument("--events", type=int, default=2000)
     p_run.add_argument("--seed", type=int, default=42)
 
+    p_stats = sub.add_parser(
+        "stats", help="run one engine with operation counters enabled"
+    )
+    p_stats.add_argument("query", choices=[n for n in query_names()] + [n.lower() for n in query_names()])
+    p_stats.add_argument("--engine", default="rpai", choices=STRATEGIES)
+    p_stats.add_argument("--events", type=int, default=2000)
+    p_stats.add_argument("--seed", type=int, default=42)
+    p_stats.add_argument("--batch-size", type=int, default=1)
+    p_stats.add_argument(
+        "--selfcheck",
+        action="store_true",
+        help="run structure invariant checks after every mutation (slow)",
+    )
+    p_stats.add_argument("--json", action="store_true", help="machine-readable output")
+
     p_compare = sub.add_parser("compare", help="run all engines on one stream")
     p_compare.add_argument("query", choices=[n for n in query_names()] + [n.lower() for n in query_names()])
     p_compare.add_argument("--events", type=int, default=1000)
@@ -162,6 +251,7 @@ def main(argv: list[str] | None = None) -> int:
         "list": cmd_list,
         "classify": cmd_classify,
         "run": cmd_run,
+        "stats": cmd_stats,
         "compare": cmd_compare,
     }[args.command]
     return handler(args)

@@ -48,8 +48,15 @@ def loglog_plot(
     ys = [p[1] for p in points]
     x_lo, x_hi = min(xs), max(xs)
     y_lo, y_hi = min(ys), max(ys)
-    x_span = (x_hi - x_lo) or 1.0
-    y_span = (y_hi - y_lo) or 1.0
+    # Degenerate axes (all points share an x or a y) would divide by a
+    # zero span; substitute a unit span so the points land on one
+    # column/row instead of raising.
+    x_span = x_hi - x_lo
+    if x_span <= 0:
+        x_span = 1.0
+    y_span = y_hi - y_lo
+    if y_span <= 0:
+        y_span = 1.0
 
     grid = [[" "] * width for _ in range(height)]
     for x, y, marker in points:

@@ -30,6 +30,8 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> st
 
 
 def _render(cell: object) -> str:
+    if cell is None:
+        return "-"
     if isinstance(cell, float):
         if cell == 0:
             return "0"
@@ -42,15 +44,25 @@ def _render(cell: object) -> str:
 def format_series(
     name: str, xs: Sequence[float], ys: Sequence[float], unit: str = "s"
 ) -> str:
-    """One Figure-8-style series: `name: x1=y1 x2=y2 ...`."""
-    points = " ".join(f"{int(x)}={y:.4g}{unit}" for x, y in zip(xs, ys))
+    """One Figure-8-style series: `name: x1=y1 x2=y2 ...`.
+
+    X-values render with ``%g`` so fractional positions (e.g. selectivity
+    0.25) survive instead of being truncated to integers.
+    """
+    points = " ".join(f"{x:g}={y:.4g}{unit}" for x, y in zip(xs, ys))
     return f"{name}: {points}"
 
 
 def scaling_exponent(sizes: Sequence[float], times: Sequence[float]) -> float:
     """Least-squares slope of log(time) vs log(size): the measured
     exponent of a power-law cost model (1.0 ≈ linear total work ≈
-    constant per-update, 2.0 ≈ linear per-update, ...)."""
+    constant per-update, 2.0 ≈ linear per-update, ...).
+
+    Raises:
+        ValueError: with fewer than two positive points, or when all
+            sizes are equal (the slope is undefined — previously this
+            surfaced as a ZeroDivisionError).
+    """
     pairs = [
         (math.log(s), math.log(t))
         for s, t in zip(sizes, times)
@@ -63,11 +75,20 @@ def scaling_exponent(sizes: Sequence[float], times: Sequence[float]) -> float:
     mean_y = sum(y for _, y in pairs) / n
     num = sum((x - mean_x) * (y - mean_y) for x, y in pairs)
     den = sum((x - mean_x) ** 2 for x, _ in pairs)
+    if den == 0:
+        raise ValueError("need at least two distinct sizes")
     return num / den
 
 
-def speedup(baseline_seconds: float, ours_seconds: float) -> float:
-    """Relative speedup (Figure 7's y-axis)."""
+def speedup(baseline_seconds: float, ours_seconds: float) -> float | None:
+    """Relative speedup (Figure 7's y-axis).
+
+    Returns ``None`` when ``ours_seconds`` is not positive: the ratio is
+    undefined, and returning ``float("inf")`` serialized as the
+    non-standard ``Infinity`` token in the BENCH_*.json artifacts,
+    breaking strict JSON consumers.  ``format_table`` renders ``None``
+    as ``-``; JSON writers should omit or null the entry.
+    """
     if ours_seconds <= 0:
-        return float("inf")
+        return None
     return baseline_seconds / ours_seconds

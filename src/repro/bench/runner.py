@@ -12,6 +12,13 @@ Both runners accept ``batch_size``: with the default of 1 they drive
 the per-event trigger (the paper's execution model); with a larger
 value events are fed through ``engine.on_batch`` in chunks, measuring
 the delta-coalesced batched path instead.
+
+When the :mod:`repro.obs` sink is enabled, both runners additionally
+fold operation-counter snapshots into their results: ``run_timed``
+attaches the whole-run counter delta, ``run_instrumented`` attaches a
+per-window delta to each :class:`Sample`.  With the sink disabled (the
+default) the ``ops`` fields stay ``None`` and the timed loops are
+untouched.
 """
 
 from __future__ import annotations
@@ -20,6 +27,7 @@ import time
 import tracemalloc
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.engine.base import IncrementalEngine
 from repro.storage.stream import Stream
 
@@ -35,6 +43,9 @@ class TimedRun:
     seconds: float
     final_result: object
     batch_size: int = 1
+    #: counter delta over the run (``obs.diff_snapshots`` shape), or
+    #: ``None`` when the obs sink was disabled
+    ops: dict | None = None
 
     @property
     def events_per_second(self) -> float:
@@ -54,6 +65,7 @@ class Sample:
     cumulative_seconds: float
     rate: float  # records/second over the last window
     memory_bytes: int  # live traced heap
+    ops: dict | None = None  # per-window counter delta (obs enabled only)
 
 
 @dataclass
@@ -78,6 +90,7 @@ def run_timed(
     instead of one trigger per event.
     """
     events = list(stream)
+    before = obs.snapshot() if obs.enabled() else None
     start = time.perf_counter()
     if batch_size > 1:
         for index in range(0, len(events), batch_size):
@@ -86,12 +99,14 @@ def run_timed(
         for event in events:
             engine.on_event(event)
     elapsed = time.perf_counter() - start
+    ops = obs.diff_snapshots(before, obs.snapshot()) if before is not None else None
     return TimedRun(
         engine=engine.name,
         events=len(events),
         seconds=elapsed,
         final_result=engine.result(),
         batch_size=max(1, batch_size),
+        ops=ops,
     )
 
 
@@ -119,6 +134,7 @@ def run_instrumented(
         processed = 0
         for start_index in range(0, len(events), window):
             chunk = events[start_index : start_index + window]
+            before = obs.snapshot() if obs.enabled() else None
             t0 = time.perf_counter()
             if batch_size > 1:
                 for index in range(0, len(chunk), batch_size):
@@ -130,12 +146,18 @@ def run_instrumented(
             cumulative += dt
             processed += len(chunk)
             current, _peak = tracemalloc.get_traced_memory()
+            ops = (
+                obs.diff_snapshots(before, obs.snapshot())
+                if before is not None
+                else None
+            )
             run.samples.append(
                 Sample(
                     records=processed,
                     cumulative_seconds=cumulative,
                     rate=len(chunk) / dt if dt > 0 else 0.0,
                     memory_bytes=current,
+                    ops=ops,
                 )
             )
         run.final_result = engine.result()

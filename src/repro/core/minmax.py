@@ -45,8 +45,12 @@ class OrderedMultiset:
         """Remove ``count`` occurrences.
 
         Raises:
+            ValueError: when ``count`` is not positive (a non-positive
+                count would silently corrupt ``_size``).
             EngineStateError: when fewer than ``count`` are present.
         """
+        if count <= 0:
+            raise ValueError("count must be positive")
         present = self._counts.get(value, 0)
         if present < count:
             raise EngineStateError(

@@ -15,7 +15,11 @@ the O(log n) RPAI tree of Section 3.
 
 from __future__ import annotations
 
+import math
 from typing import Iterable, Iterator
+
+from repro.obs import SELFCHECK as _SELF
+from repro.obs import SINK as _SINK
 
 __all__ = ["PAIMap"]
 
@@ -72,6 +76,8 @@ class PAIMap:
                 continue
             index._data[key] = value
             index._total += value
+        if _SELF.enabled:
+            index.check_invariants()
         return index
 
     # -- basic map operations -------------------------------------------------
@@ -84,6 +90,8 @@ class PAIMap:
         self._data[key] = value
         if self.prune_zeros and value == 0:
             del self._data[key]
+        if _SELF.enabled:
+            self.check_invariants()
 
     def add(self, key: float, delta: float) -> None:
         new = self._data.get(key, 0) + delta
@@ -92,18 +100,25 @@ class PAIMap:
             self._data.pop(key, None)
         else:
             self._data[key] = new
+        if _SELF.enabled:
+            self.check_invariants()
 
     def delete(self, key: float) -> float:
         if key not in self._data:
             raise KeyError(key)
         value = self._data.pop(key)
         self._total -= value
+        if _SELF.enabled:
+            self.check_invariants()
         return value
 
     # -- aggregate operations -------------------------------------------------
 
     def get_sum(self, key: float, *, inclusive: bool = True) -> float:
         """O(n) scan over all keys (the paper's ``getSum`` for hash maps)."""
+        if _SINK.enabled:
+            _SINK.inc("paimap.get_sum")
+            _SINK.observe("paimap.get_sum_scanned", len(self._data))
         if inclusive:
             return sum(v for k, v in self._data.items() if k <= key)
         return sum(v for k, v in self._data.items() if k < key)
@@ -115,6 +130,9 @@ class PAIMap:
         """O(n) rebuild shifting qualifying keys; collisions merge by +."""
         if delta == 0:
             return
+        if _SINK.enabled:
+            _SINK.inc("paimap.shift_keys")
+            _SINK.observe("paimap.shift_scanned", len(self._data))
         shifted: dict[float, float] = {}
         for k, v in self._data.items():
             qualifies = k >= key if inclusive else k > key
@@ -124,6 +142,8 @@ class PAIMap:
             shifted = {k: v for k, v in shifted.items() if v != 0}
         self._data = shifted
         self._total = sum(shifted.values())
+        if _SELF.enabled:
+            self.check_invariants()
 
     # -- order / search helpers (all O(n) or O(n log n)) ----------------------
 
@@ -186,3 +206,28 @@ class PAIMap:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         entries = ", ".join(f"{k}: {v}" for k, v in self.items())
         return f"PAIMap({{{entries}}})"
+
+    # -- validation (tests / self-check mode) -----------------------------------
+
+    def validate(self) -> None:
+        """Public invariant self-check (alias of :meth:`check_invariants`);
+        runs automatically per mutation under ``REPRO_SELFCHECK=1``."""
+        self.check_invariants()
+
+    def check_invariants(self) -> None:
+        """Verify the maintained total against the stored entries and the
+        ``prune_zeros`` discipline (no dead zero-valued keys).
+
+        The total is maintained incrementally (O(1) per update), so a
+        drift here means a missed or double-applied delta; the tolerance
+        absorbs ordinary float round-off on float-valued workloads.
+        """
+        if _SINK.enabled:
+            _SINK.inc("selfcheck.validations")
+        actual = sum(self._data.values())
+        assert math.isclose(
+            self._total, actual, rel_tol=1e-9, abs_tol=1e-6
+        ), f"total drift: maintained {self._total}, actual {actual}"
+        if self.prune_zeros:
+            dead = [k for k, v in self._data.items() if v == 0]
+            assert not dead, f"prune_zeros map holds zero-valued keys {dead}"

@@ -44,6 +44,9 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator
 
+from repro.obs import SELFCHECK as _SELF
+from repro.obs import SINK as _SINK
+
 __all__ = ["RPAITree", "RPAINode"]
 
 
@@ -105,6 +108,8 @@ def _rotate_left(h: RPAINode) -> RPAINode:
     """Left rotation carrying relative keys: ``x = h.right`` becomes the
     subtree root.  Key adjustments re-express every moved node's key in
     its *new* parent's frame (see docs/rpai_internals.md for the derivation)."""
+    if _SINK.enabled:
+        _SINK.inc("rpai.rotations")
     x = h.right
     assert x is not None
     xk = x.key
@@ -121,6 +126,8 @@ def _rotate_left(h: RPAINode) -> RPAINode:
 
 def _rotate_right(h: RPAINode) -> RPAINode:
     """Mirror image of :func:`_rotate_left` with ``x = h.left``."""
+    if _SINK.enabled:
+        _SINK.inc("rpai.rotations")
     x = h.left
     assert x is not None
     xk = x.key
@@ -288,6 +295,8 @@ class RPAITree:
                 )
         tree._root = _build_relative(items, 0, len(items), 0)
         tree._size = len(items)
+        if _SELF.enabled:
+            tree.check_invariants()
         return tree
 
     # -- basic map operations -------------------------------------------------
@@ -305,14 +314,20 @@ class RPAITree:
 
     def put(self, key: float, value: float) -> None:
         """Insert ``key`` with ``value``, overwriting any existing entry."""
+        if _SINK.enabled:
+            _SINK.inc("rpai.put")
         if self.prune_zeros and value == 0:
             if key in self:
                 self.delete(key)
             return
         self._root = self._put(self._root, key, value, replace=True)
+        if _SELF.enabled:
+            self.check_invariants()
 
     def add(self, key: float, delta: float) -> None:
         """Add ``delta`` to the value at ``key`` (inserting if absent)."""
+        if _SINK.enabled:
+            _SINK.inc("rpai.add")
         if self.prune_zeros:
             current = self.get(key, None)
             if current is None:
@@ -322,10 +337,16 @@ class RPAITree:
                 self.delete(key)
                 return
         self._root = self._put(self._root, key, delta, replace=False)
+        if _SELF.enabled:
+            self.check_invariants()
 
     def delete(self, key: float) -> float:
         """Remove ``key`` and return its value; raises KeyError if absent."""
+        if _SINK.enabled:
+            _SINK.inc("rpai.delete")
         self._root, value = self._delete(self._root, key)
+        if _SELF.enabled:
+            self.check_invariants()
         return value
 
     def pop(self, key: float, default: float | None = None) -> float | None:
@@ -343,6 +364,8 @@ class RPAITree:
         absorb whole left subtrees (via their stored sums) whenever the
         current node qualifies.
         """
+        if _SINK.enabled:
+            _SINK.inc("rpai.get_sum")
         total: float = 0
         node = self._root
         remaining = key
@@ -379,7 +402,25 @@ class RPAITree:
         """
         if delta == 0:
             return
+        if _SINK.enabled:
+            _SINK.inc("rpai.shift_keys.pos" if delta > 0 else "rpai.shift_keys.neg")
+            _SINK.observe("rpai.shift_magnitude", abs(delta))
+            if delta < 0:
+                # Violators-per-negative-shift is the paper's ``v``
+                # (Section 3.2.4, expected <= 1 in aggregate usage):
+                # delta the global violators counter across this shift.
+                before = _SINK.counters.get("rpai.violations", 0)
+                self._root = self._shift(self._root, key, delta, inclusive)
+                _SINK.observe(
+                    "rpai.neg_shift_violations",
+                    _SINK.counters.get("rpai.violations", 0) - before,
+                )
+                if _SELF.enabled:
+                    self.check_invariants()
+                return
         self._root = self._shift(self._root, key, delta, inclusive)
+        if _SELF.enabled:
+            self.check_invariants()
 
     # -- order / search helpers ------------------------------------------------
 
@@ -617,6 +658,9 @@ class RPAITree:
             rel, value = _max_entry(node.left)  # rel is in node's frame, >= 0
             node.left, _ = self._delete(node.left, rel)
             violators.append((rel + node.key, value))  # parent-frame key
+        if _SINK.enabled:
+            _SINK.inc("rpai.fix_tree")
+            _SINK.inc("rpai.violations", len(violators))
         _update(node)
         result = _balance_any(node)
         for key, value in violators:
@@ -631,6 +675,9 @@ class RPAITree:
             rel, value = _min_entry(node.right)  # rel is in node's frame, <= 0
             node.right, _ = self._delete(node.right, rel)
             violators.append((rel + node.key, value))  # parent-frame key
+        if _SINK.enabled:
+            _SINK.inc("rpai.fix_tree")
+            _SINK.inc("rpai.violations", len(violators))
         _update(node)
         result = _balance_any(node)
         for key, value in violators:
@@ -689,7 +736,15 @@ class RPAITree:
         if below_hi:
             yield from self._range(node.right, actual, lo, hi, lo_inclusive, hi_inclusive)
 
-    # -- validation (tests only) -------------------------------------------------
+    # -- validation (tests / self-check mode) -----------------------------------
+
+    def validate(self) -> None:
+        """Public invariant self-check (alias of :meth:`check_invariants`).
+
+        With ``REPRO_SELFCHECK=1`` (see :mod:`repro.obs`) this runs
+        automatically after every public mutating operation.
+        """
+        self.check_invariants()
 
     def check_invariants(self) -> None:
         """Walk the whole tree verifying every structural invariant.
@@ -698,6 +753,8 @@ class RPAITree:
         stale heights, AVL imbalance, wrong subtree sums, or wrong
         min/max offsets.  O(n); used heavily by the property tests.
         """
+        if _SINK.enabled:
+            _SINK.inc("selfcheck.validations")
         size = self._validate(self._root, 0, None, None)
         assert size == self._size, f"size mismatch: counted {size}, stored {self._size}"
 

@@ -33,6 +33,7 @@ from typing import Any, Callable, Mapping, Type
 
 from repro.core.pai_map import PAIMap
 from repro.core.rpai import RPAITree
+from repro.obs import SINK as _SINK
 from repro.engine.base import IncrementalEngine, Result
 from repro.engine.general import _compile_row_expr, _peel_constant_scale
 from repro.errors import EngineStateError, UnsupportedQueryError
@@ -147,6 +148,8 @@ def _restore_index_engine(engine, state: dict) -> None:
 
 def _probe(index, op: str, probe: float) -> float:
     """Sum of index values over keys ``k`` with ``probe op k``."""
+    if _SINK.enabled:
+        _SINK.inc("engine.result_probes")
     if op == "=":
         return index.get(probe, 0)
     if op == "<":
@@ -237,6 +240,8 @@ class PointIndexEngine(IncrementalEngine):
     def _apply_group(self, group: Any, inner_delta: float, res_delta: float) -> None:
         """Move one group's result value from its old aggregate key to
         its new one (Figure 1c lines 16-18)."""
+        if _SINK.enabled:
+            _SINK.inc("engine.point_applies")
         old_rhs = self.bound_map.get(group, 0)
         old_res = self.res_map.get(group, 0)
         new_rhs = old_rhs + inner_delta
@@ -407,6 +412,8 @@ class RangeIndexEngine(IncrementalEngine):
 
     def _apply_outer(self, key: float, volume: float, res_delta: float) -> None:
         """Figure 2c trigger for a (possibly coalesced) delta at ``key``."""
+        if _SINK.enabled:
+            _SINK.inc("engine.range_applies")
         old_vol_at_key = self.bound_map.get(key, 0)
         prefix_excl = self.bound_map.get_sum(key, inclusive=False)
 
@@ -605,6 +612,9 @@ class GroupedRangeIndexEngine(IncrementalEngine):
         """One (possibly coalesced) delta at ``key``: the same range
         shift is applied to every group's index, then each group's net
         result contribution lands at the (post-shift) aggregate key."""
+        if _SINK.enabled:
+            _SINK.inc("engine.grouped_applies")
+            _SINK.observe("engine.grouped_fanout", len(self.group_indexes))
         old_at_key = self.bound_map.get(key, 0)
         prefix_excl = self.bound_map.get_sum(key, inclusive=False)
         if self._inclusive_inner:

@@ -20,13 +20,65 @@ value}`` dicts for grouped queries (TPC-H Q18).
 from __future__ import annotations
 
 import abc
+import functools
 from typing import Sequence, Union
 
+from repro.obs import SINK as _SINK
 from repro.storage.stream import Event, Stream
 
 __all__ = ["IncrementalEngine", "Result"]
 
 Result = Union[float, dict]
+
+
+def _count_events(fn):
+    """Wrap a concrete ``on_event`` with the ``engine.events`` counter.
+
+    The disabled path is one attribute check; applied once per class at
+    definition time (see ``IncrementalEngine.__init_subclass__``)."""
+
+    @functools.wraps(fn)
+    def wrapper(self, event):
+        if _SINK.enabled:
+            _SINK.inc("engine.events")
+        return fn(self, event)
+
+    wrapper.__obs_instrumented__ = True
+    return wrapper
+
+
+def _count_batches(fn):
+    """Wrap a concrete ``on_batch`` with batch count/size counters."""
+
+    @functools.wraps(fn)
+    def wrapper(self, events):
+        if _SINK.enabled:
+            _SINK.inc("engine.batches")
+            _SINK.observe("engine.batch_size", len(events))
+        return fn(self, events)
+
+    wrapper.__obs_instrumented__ = True
+    return wrapper
+
+
+def _count_results(fn):
+    """Wrap a concrete ``result`` with the result-refresh counter."""
+
+    @functools.wraps(fn)
+    def wrapper(self):
+        if _SINK.enabled:
+            _SINK.inc("engine.results")
+        return fn(self)
+
+    wrapper.__obs_instrumented__ = True
+    return wrapper
+
+
+_INSTRUMENTERS = {
+    "on_event": _count_events,
+    "on_batch": _count_batches,
+    "result": _count_results,
+}
 
 
 class IncrementalEngine(abc.ABC):
@@ -43,6 +95,22 @@ class IncrementalEngine(abc.ABC):
 
     #: human-readable strategy name used in benchmark output
     name: str = "engine"
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        """Instrument every concrete engine with the :mod:`repro.obs`
+        trigger counters (``engine.events``/``engine.batches``/
+        ``engine.results``).
+
+        Wrapping happens once, at class-definition time, and only for
+        methods the class defines itself — inherited (already wrapped)
+        implementations are left alone, so subclassing an engine (e.g.
+        Q18DbtEngine over Q18RpaiEngine) never double-counts.
+        """
+        super().__init_subclass__(**kwargs)
+        for method, instrument in _INSTRUMENTERS.items():
+            fn = cls.__dict__.get(method)
+            if fn is not None and not getattr(fn, "__obs_instrumented__", False):
+                setattr(cls, method, instrument(fn))
 
     @abc.abstractmethod
     def on_event(self, event: Event) -> Result:
@@ -61,6 +129,11 @@ class IncrementalEngine(abc.ABC):
         with a batched trigger; intermediate per-event results are not
         observable through this path, only the boundary result is.
         """
+        if _SINK.enabled:
+            # Inherited default: not routed through __init_subclass__
+            # wrapping (that only sees methods a class defines itself).
+            _SINK.inc("engine.batches")
+            _SINK.observe("engine.batch_size", len(events))
         output: Result = self.result()
         for event in events:
             output = self.on_event(event)

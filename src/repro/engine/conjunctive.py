@@ -38,6 +38,7 @@ from repro.engine.general import (
 )
 from repro.engine.queries.common import ShiftedSide
 from repro.errors import UnsupportedQueryError
+from repro.obs import SINK as _SINK
 from repro.query.analysis import is_correlated
 from repro.query.ast import (
     AggrCall,
@@ -277,6 +278,11 @@ class ConjunctiveIndexEngine(IncrementalEngine):
                     entry[0][0] += weight
                     for i, delta in enumerate(deltas):
                         entry[1][i] += delta
+        if _SINK.enabled and events:
+            _SINK.observe(
+                "engine.batch_coalesced_keys",
+                sum(len(per_attr) for per_attr in net.values()),
+            )
         for alias, per_attr in net.items():
             side = self._sides[alias]
             for attr, (weight_box, deltas) in per_attr.items():

@@ -36,6 +36,7 @@ from typing import Any, Callable, Mapping
 
 from repro.errors import UnsupportedQueryError
 from repro.engine.base import IncrementalEngine, Result
+from repro.obs import SINK as _SINK
 from repro.query.analysis import free_columns, is_correlated
 from repro.query.ast import (
     AggrCall,
@@ -581,6 +582,11 @@ class GeneralAlgorithmEngine(IncrementalEngine):
                 else:
                     entry[0] += value * weight
                     entry[1] += weight
+        if _SINK.enabled and events:
+            _SINK.observe(
+                "engine.batch_coalesced_keys",
+                sum(len(net) for net in corr_net.values()) + len(outer_net),
+            )
         for position, net in corr_net.items():
             correlated = correlated_list[position]
             for key, (value, weight) in net.items():
@@ -634,6 +640,9 @@ class GeneralAlgorithmEngine(IncrementalEngine):
     def _recompute(self) -> float:
         """Section 4.2.4: iterate the result map, re-evaluating the
         predicates per group against the free maps."""
+        if _SINK.enabled:
+            _SINK.inc("engine.result_recomputes")
+            _SINK.observe("engine.result_map_size", len(self._res_sum))
         total: float = 0
         count: int = 0
         predicates = self._predicates

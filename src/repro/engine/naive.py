@@ -24,6 +24,7 @@ from typing import Any, Iterator, Mapping
 
 from repro.errors import QueryAnalysisError
 from repro.engine.base import IncrementalEngine, Result
+from repro.obs import SINK as _SINK
 from repro.query.ast import (
     AggrCall,
     AggrQuery,
@@ -72,6 +73,8 @@ class NaiveEngine(IncrementalEngine):
         if relation is None:
             return self._result  # event for a relation this query ignores
         relation.apply(event.row, event.weight)
+        if _SINK.enabled:
+            _SINK.inc("engine.full_reevals")
         self._result = evaluate_query(self.query, self.relations, {})
         return self._result
 

@@ -17,6 +17,9 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator
 
+from repro.obs import SELFCHECK as _SELF
+from repro.obs import SINK as _SINK
+
 __all__ = ["TreeMap"]
 
 
@@ -46,6 +49,8 @@ def _update(node: _Node) -> None:
 
 
 def _rotate_left(h: _Node) -> _Node:
+    if _SINK.enabled:
+        _SINK.inc("treemap.rotations")
     x = h.right
     assert x is not None
     h.right = x.left
@@ -56,6 +61,8 @@ def _rotate_left(h: _Node) -> _Node:
 
 
 def _rotate_right(h: _Node) -> _Node:
+    if _SINK.enabled:
+        _SINK.inc("treemap.rotations")
     x = h.left
     assert x is not None
     h.left = x.right
@@ -133,6 +140,8 @@ class TreeMap:
                 )
         tree._root = _build_balanced(items, 0, len(items))
         tree._size = len(items)
+        if _SELF.enabled:
+            tree.check_invariants()
         return tree
 
     # -- basic map operations -------------------------------------------------
@@ -146,13 +155,19 @@ class TreeMap:
         return default
 
     def put(self, key: float, value: float) -> None:
+        if _SINK.enabled:
+            _SINK.inc("treemap.put")
         if self.prune_zeros and value == 0:
             if key in self:
                 self.delete(key)
             return
         self._root = self._put(self._root, key, value, replace=True)
+        if _SELF.enabled:
+            self.check_invariants()
 
     def add(self, key: float, delta: float) -> None:
+        if _SINK.enabled:
+            _SINK.inc("treemap.add")
         if self.prune_zeros:
             current = self.get(key, None)
             if current is None:
@@ -162,9 +177,15 @@ class TreeMap:
                 self.delete(key)
                 return
         self._root = self._put(self._root, key, delta, replace=False)
+        if _SELF.enabled:
+            self.check_invariants()
 
     def delete(self, key: float) -> float:
+        if _SINK.enabled:
+            _SINK.inc("treemap.delete")
         self._root, value = self._delete(self._root, key)
+        if _SELF.enabled:
+            self.check_invariants()
         return value
 
     def pop(self, key: float, default: float | None = None) -> float | None:
@@ -175,6 +196,8 @@ class TreeMap:
     # -- aggregate operations -------------------------------------------------
 
     def get_sum(self, key: float, *, inclusive: bool = True) -> float:
+        if _SINK.enabled:
+            _SINK.inc("treemap.get_sum")
         total: float = 0
         node = self._root
         while node is not None:
@@ -203,11 +226,16 @@ class TreeMap:
         for k, v in self.items():
             qualifies = k >= key if inclusive else k > key
             (moved if qualifies else kept).append((k, v))
+        if _SINK.enabled:
+            _SINK.inc("treemap.shift_keys")
+            _SINK.observe("treemap.shift_moved", len(moved))
         self.clear()
         for k, v in kept:
             self.add(k, v)
         for k, v in moved:
             self.add(k + delta, v)
+        if _SELF.enabled:
+            self.check_invariants()
 
     # -- order / search helpers ------------------------------------------------
 
@@ -375,10 +403,17 @@ class TreeMap:
         if below_hi:
             yield from self._range(node.right, lo, hi, lo_inclusive, hi_inclusive)
 
-    # -- validation (tests only) -------------------------------------------------
+    # -- validation (tests / self-check mode) -----------------------------------
+
+    def validate(self) -> None:
+        """Public invariant self-check (alias of :meth:`check_invariants`);
+        runs automatically per mutation under ``REPRO_SELFCHECK=1``."""
+        self.check_invariants()
 
     def check_invariants(self) -> None:
         """Verify BST order, AVL balance, heights and subtree sums."""
+        if _SINK.enabled:
+            _SINK.inc("selfcheck.validations")
         size = self._validate(self._root, None, None)
         assert size == self._size, "size mismatch"
 

@@ -46,3 +46,21 @@ def test_marker_collision_disambiguated():
 def test_single_point_series():
     text = loglog_plot({"x": [(5, 5)]}, width=16, height=4)
     assert "X" in text
+
+
+def test_zero_x_span_all_points_same_x():
+    """All points at one x (e.g. a single trace size benchmarked for
+    several engines) must render, not divide by a zero span."""
+    text = loglog_plot({"a": [(100, 1.0), (100, 2.0), (100, 4.0)]}, width=20, height=6)
+    assert "A" in text
+
+
+def test_zero_y_span_all_points_same_y():
+    text = loglog_plot({"a": [(10, 1.0), (100, 1.0), (1000, 1.0)]}, width=20, height=6)
+    assert "A" in text
+
+
+def test_zero_span_both_axes():
+    """Repeated identical points: both spans degenerate simultaneously."""
+    text = loglog_plot({"a": [(10, 1.0), (10, 1.0)]}, width=20, height=6)
+    assert "A" in text

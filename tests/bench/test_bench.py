@@ -122,6 +122,28 @@ class TestReporting:
         with pytest.raises(ValueError):
             scaling_exponent([100], [1.0])
 
+    def test_scaling_exponent_all_equal_sizes(self):
+        """All-equal sizes leave the log-log slope undefined; the
+        documented ValueError must surface, not a ZeroDivisionError."""
+        with pytest.raises(ValueError):
+            scaling_exponent([100, 100, 100], [1.0, 1.1, 0.9])
+
     def test_speedup(self):
         assert speedup(10.0, 2.0) == 5.0
-        assert speedup(1.0, 0.0) == float("inf")
+
+    def test_speedup_zero_denominator_is_none(self):
+        """A zero/negative denominator must not produce float('inf'),
+        which serializes as non-standard ``Infinity`` in JSON."""
+        assert speedup(1.0, 0.0) is None
+        assert speedup(1.0, -1.0) is None
+
+    def test_format_table_renders_none(self):
+        text = format_table(["x", "speedup"], [["a", None]])
+        assert "-" in text.splitlines()[-1]
+
+    def test_format_series_fractional_xs(self):
+        """Fractional x-values (selectivities, skew params) must not be
+        truncated to integers."""
+        text = format_series("sel", [0.25, 0.5], [1.0, 2.0])
+        assert "0.25=1" in text
+        assert "0.5=2" in text

@@ -40,6 +40,18 @@ class TestOrderedMultiset:
         with pytest.raises(ValueError):
             OrderedMultiset().add(1, 0)
 
+    def test_remove_nonpositive_count_raises(self):
+        """remove(count<=0) used to be accepted silently, corrupting
+        the tracked size (remove(x, -1) *added* an occurrence)."""
+        ms = OrderedMultiset()
+        ms.add(1)
+        with pytest.raises(ValueError):
+            ms.remove(1, 0)
+        with pytest.raises(ValueError):
+            ms.remove(1, -1)
+        assert len(ms) == 1
+        assert ms.count(1) == 1
+
     def test_min_max(self):
         ms = OrderedMultiset()
         for value in (7, 2, 9, 2):

@@ -1,0 +1,91 @@
+"""Property tests for the invariant self-check mode.
+
+Random interleaved ``put``/``add``/``delete``/``shift_keys`` sequences
+run against :class:`RPAITree` and :class:`TreeMap` with
+``validate()`` asserted after every operation — exactly what
+``REPRO_SELFCHECK=1`` does implicitly, exercised here explicitly so the
+self-checks themselves are covered even in a default test run.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.core.pai_map import PAIMap
+from repro.core.rpai import RPAITree
+from repro.trees.treemap import TreeMap
+
+KEYS = st.integers(min_value=-25, max_value=25)
+VALUES = st.integers(min_value=-8, max_value=8)
+DELTAS = st.integers(min_value=-10, max_value=10)
+
+OPERATIONS = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), KEYS, VALUES),
+        st.tuples(st.just("add"), KEYS, VALUES),
+        st.tuples(st.just("delete"), KEYS, st.just(0)),
+        st.tuples(st.just("shift"), KEYS, DELTAS),
+        st.tuples(st.just("shift_inclusive"), KEYS, DELTAS),
+    ),
+    min_size=1,
+    max_size=50,
+)
+
+
+def apply_op(index, op: tuple) -> None:
+    kind, key, value = op
+    if kind == "put":
+        index.put(key, value)
+    elif kind == "add":
+        index.add(key, value)
+    elif kind == "delete":
+        if key in index:
+            index.delete(key)
+    elif kind == "shift":
+        index.shift_keys(key, value)
+    elif kind == "shift_inclusive":
+        index.shift_keys(key, value, inclusive=True)
+
+
+class TestValidateUnderRandomOps:
+    @given(ops=OPERATIONS, prune=st.booleans())
+    @settings(max_examples=200, deadline=None)
+    def test_rpai_validate_after_every_op(self, ops, prune):
+        tree = RPAITree(prune_zeros=prune)
+        for op in ops:
+            apply_op(tree, op)
+            tree.validate()
+
+    @given(ops=OPERATIONS, prune=st.booleans())
+    @settings(max_examples=200, deadline=None)
+    def test_treemap_validate_after_every_op(self, ops, prune):
+        tree = TreeMap(prune_zeros=prune)
+        for op in ops:
+            apply_op(tree, op)
+            tree.validate()
+
+    @given(ops=OPERATIONS, prune=st.booleans())
+    @settings(max_examples=200, deadline=None)
+    def test_paimap_validate_after_every_op(self, ops, prune):
+        index = PAIMap(prune_zeros=prune)
+        for op in ops:
+            apply_op(index, op)
+            index.validate()
+
+
+class TestSelfcheckFlagPath:
+    @given(ops=OPERATIONS)
+    @settings(max_examples=50, deadline=None)
+    def test_mutations_validate_implicitly_under_flag(self, ops):
+        """With SELFCHECK enabled the structures validate themselves on
+        every mutation; a sequence that corrupted an invariant would
+        raise from inside the mutating call."""
+        obs.enable_selfcheck()
+        try:
+            tree = RPAITree()
+            for op in ops:
+                apply_op(tree, op)
+        finally:
+            obs.disable_selfcheck()
