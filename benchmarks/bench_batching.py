@@ -148,9 +148,12 @@ def bench_ops(query: str, stream: Stream) -> dict:
     obs.reset()
     try:
         run = run_timed(build_engine(query, "rpai"), stream)
+        # Full snapshot rather than run.ops: the run delta starts after
+        # engine construction, which is exactly when the adaptive
+        # backend records its ``backend.*`` selection counters.
+        snap = obs.snapshot()
     finally:
         obs.disable()
-    snap = run.ops or {"counters": {}, "stats": {}}
     derived = obs.derived_metrics(snap, events=run.events)
     log2_n = math.log2(max(run.events, 2))
     entry = {

@@ -1,0 +1,95 @@
+"""Regenerate the batching benchmark and diff it against the committed
+artifact — the one-command form of the CI perf-regression gate.
+
+Runs ``benchmarks/bench_batching.py`` (at smoke scale by default, full
+scale with ``--full``) into a scratch file, then compares the fresh
+report against the committed ``BENCH_batching.json`` with
+:mod:`repro.bench.diffing` and exits non-zero on regression.
+
+Because the committed artifact is produced at full scale and the CI run
+at smoke scale, only scale-independent ratios (batching speedups,
+warm-start speedup, the Section 3.2.4 violation bound) gate by default;
+absolute events/second gates too when the scales match (``--full`` on
+the same class of machine).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_compare.py [--full]
+        [--baseline PATH] [--out PATH] [--tolerance T] [--rescue R]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from bench_batching import main as run_batching  # noqa: E402
+
+from repro.bench.diffing import compare_reports, format_diff, load_report  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run at full scale (default: smoke scale for CI)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=REPO_ROOT / "BENCH_batching.json",
+        help="committed report to gate against",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=REPO_ROOT / "BENCH_batching.candidate.json",
+        help="where to write the fresh report",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.5,
+        help="allowed fractional slack below each baseline value "
+        "(generous by default: CI machines are noisy)",
+    )
+    parser.add_argument(
+        "--rescue",
+        type=float,
+        default=1.0,
+        help="absolute speedup floor that rescues a noisy ratio check",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.baseline.exists():
+        print(f"[bench-compare] no baseline at {args.baseline}; nothing to gate")
+        return 0
+
+    bench_args = ["--out", str(args.out)]
+    if not args.full:
+        bench_args.append("--smoke")
+    status = run_batching(bench_args)
+    if status != 0:
+        print("[bench-compare] benchmark run failed")
+        return status
+
+    report = compare_reports(
+        load_report(args.baseline),
+        load_report(args.out),
+        tolerance=args.tolerance,
+        rescue=args.rescue,
+    )
+    print()
+    print(f"[bench-compare] {args.baseline.name} (baseline) vs {args.out.name}:")
+    print(format_diff(report))
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

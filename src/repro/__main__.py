@@ -18,6 +18,11 @@ Commands:
     plus the derived metrics — e.g. the Section 3.2.4 per-negative-shift
     violation bound.  ``--selfcheck`` additionally runs the structure
     invariant checks after every mutation.
+``bench-diff <baseline.json> <candidate.json> [--tolerance T] [--json]``
+    Compare two ``bench_batching`` reports and exit non-zero on
+    regression — the CI perf gate.  Scale-independent speedup ratios
+    are always compared; absolute events/second only when both reports
+    were produced at the same scale.
 """
 
 from __future__ import annotations
@@ -117,17 +122,19 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 def cmd_stats(args: argparse.Namespace) -> int:
     stream = _default_stream(args.query, args.events, args.seed)
-    engine = build_engine(args.query, args.engine)
     obs.enable()
     obs.reset()
     if args.selfcheck:
         obs.enable_selfcheck()
     try:
+        # Build under the enabled sink: backend selection counters
+        # (``backend.*``) fire at engine construction time.
+        engine = build_engine(args.query, args.engine)
         run = run_timed(engine, stream, batch_size=args.batch_size)
+        snap = obs.snapshot()
     finally:
         obs.disable()
         obs.disable_selfcheck()
-    snap = run.ops or {"counters": {}, "stats": {}}
     derived = obs.derived_metrics(snap, events=run.events)
     if args.json:
         payload = {
@@ -178,6 +185,21 @@ def cmd_stats(args: argparse.Namespace) -> int:
             rows.append(["log2(events)", round(math.log2(max(run.events, 2)), 2)])
         print(format_table(["derived metric", "value"], rows))
     return 0
+
+
+def cmd_bench_diff(args: argparse.Namespace) -> int:
+    from repro.bench.diffing import compare_reports, format_diff, load_report
+
+    baseline = load_report(args.baseline)
+    candidate = load_report(args.candidate)
+    report = compare_reports(
+        baseline, candidate, tolerance=args.tolerance, rescue=args.rescue
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, allow_nan=False))
+    else:
+        print(format_diff(report))
+    return 0 if report.ok else 1
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
@@ -235,6 +257,25 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_stats.add_argument("--json", action="store_true", help="machine-readable output")
 
+    p_diff = sub.add_parser(
+        "bench-diff", help="diff two benchmark reports (perf-regression gate)"
+    )
+    p_diff.add_argument("baseline", help="committed benchmark report JSON")
+    p_diff.add_argument("candidate", help="freshly generated report JSON")
+    p_diff.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional slack below each baseline value",
+    )
+    p_diff.add_argument(
+        "--rescue",
+        type=float,
+        default=1.0,
+        help="absolute speedup floor that rescues a noisy ratio check",
+    )
+    p_diff.add_argument("--json", action="store_true", help="machine-readable output")
+
     p_compare = sub.add_parser("compare", help="run all engines on one stream")
     p_compare.add_argument("query", choices=[n for n in query_names()] + [n.lower() for n in query_names()])
     p_compare.add_argument("--events", type=int, default=1000)
@@ -252,6 +293,7 @@ def main(argv: list[str] | None = None) -> int:
         "classify": cmd_classify,
         "run": cmd_run,
         "stats": cmd_stats,
+        "bench-diff": cmd_bench_diff,
         "compare": cmd_compare,
     }[args.command]
     return handler(args)

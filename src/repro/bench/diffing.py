@@ -1,0 +1,272 @@
+"""Benchmark-report diffing: the CI perf-regression gate.
+
+Compares a freshly generated ``BENCH_batching.json``-style report (the
+*candidate*) against a committed one (the *baseline*) and decides
+whether the hot paths regressed.  The comparison is deliberately
+two-tiered, because CI runs the benchmark at smoke scale while the
+committed artifact is produced at full scale:
+
+* **Scale-independent ratios are always compared.**  The batching
+  speedups (``speedup_vs_per_event`` per batch size) and the
+  warm-start speedup (``bulk_load`` vs trigger replay) measure *shape*,
+  not machine speed, so they are meaningful across scales and hosts.
+  A ratio check passes when the candidate is within ``tolerance`` of
+  the baseline ratio — or clears the ``rescue`` floor (default 1.0:
+  "the optimized path is at least not slower than the naive one"),
+  which keeps tiny smoke runs from flapping on noise while still
+  catching a batched path that became *slower* than per-event.
+* **Absolute throughput is compared only on equal footing.**
+  ``events_per_second`` cells are checked (within ``tolerance``) only
+  when both reports carry the same ``scale``; otherwise those rows are
+  reported as skipped, never failed.
+
+Two things fail unconditionally regardless of scale: a workload present
+in the baseline but missing from the candidate (a benchmark that
+silently stopped running is the easiest regression to ship), and the
+Section 3.2.4 ``violation_bound_holds`` flag flipping from true to
+false (that is a complexity-class regression, not noise).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.bench.reporting import format_table
+
+__all__ = ["Check", "DiffReport", "compare_reports", "format_diff", "load_report"]
+
+
+@dataclass
+class Check:
+    """One baseline-vs-candidate comparison row."""
+
+    workload: str
+    metric: str
+    baseline: object
+    candidate: object
+    status: str  # "pass" | "fail" | "skip"
+    note: str = ""
+
+
+@dataclass
+class DiffReport:
+    """All checks from one comparison, plus the knobs that produced them."""
+
+    tolerance: float
+    rescue: float
+    scales_match: bool
+    checks: list[Check] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def failures(self) -> list[Check]:
+        return [c for c in self.checks if c.status == "fail"]
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "tolerance": self.tolerance,
+            "rescue": self.rescue,
+            "scales_match": self.scales_match,
+            "checks": [
+                {
+                    "workload": c.workload,
+                    "metric": c.metric,
+                    "baseline": c.baseline,
+                    "candidate": c.candidate,
+                    "status": c.status,
+                    "note": c.note,
+                }
+                for c in self.checks
+            ],
+        }
+
+
+def load_report(path: str | Path) -> dict:
+    """Read a benchmark report JSON file."""
+    return json.loads(Path(path).read_text())
+
+
+def _runs_by_batch(entry: dict) -> dict[int, dict]:
+    return {run["batch_size"]: run for run in entry.get("runs", [])}
+
+
+def _ratio_check(
+    report: DiffReport, workload: str, metric: str, base: float, cand: float
+) -> None:
+    """Scale-independent ratio: tolerance band with a rescue floor."""
+    floor = base * (1.0 - report.tolerance)
+    if cand >= floor:
+        status, note = "pass", ""
+    elif cand >= report.rescue:
+        status = "pass"
+        note = f"below baseline band but >= rescue floor {report.rescue}"
+    else:
+        status = "fail"
+        note = f"needs >= {floor:.2f} (or rescue {report.rescue})"
+    report.checks.append(Check(workload, metric, base, cand, status, note))
+
+
+def _throughput_check(
+    report: DiffReport, workload: str, metric: str, base: float, cand: float
+) -> None:
+    """Absolute events/second — only called when scales match."""
+    floor = base * (1.0 - report.tolerance)
+    if cand >= floor:
+        report.checks.append(Check(workload, metric, base, cand, "pass"))
+    else:
+        report.checks.append(
+            Check(workload, metric, base, cand, "fail", f"needs >= {floor:.1f}")
+        )
+
+
+def compare_reports(
+    baseline: dict,
+    candidate: dict,
+    *,
+    tolerance: float = 0.25,
+    rescue: float = 1.0,
+) -> DiffReport:
+    """Diff two ``bench_batching`` reports; see the module docstring for
+    the pass/fail rules.
+
+    Args:
+        baseline: the committed report (the bar to clear).
+        candidate: the freshly generated report.
+        tolerance: allowed fractional slack below the baseline value
+            (0.25 == "within 25% is fine").
+        rescue: absolute speedup floor that rescues a ratio check from
+            failing even outside the tolerance band.
+    """
+    scales_match = baseline.get("scale") == candidate.get("scale")
+    report = DiffReport(tolerance=tolerance, rescue=rescue, scales_match=scales_match)
+
+    cand_workloads = candidate.get("workloads", {})
+    for name, base_entry in baseline.get("workloads", {}).items():
+        cand_entry = cand_workloads.get(name)
+        if cand_entry is None:
+            report.checks.append(
+                Check(name, "present", True, False, "fail", "workload missing")
+            )
+            continue
+        base_runs = _runs_by_batch(base_entry)
+        cand_runs = _runs_by_batch(cand_entry)
+        for batch_size, base_run in sorted(base_runs.items()):
+            cand_run = cand_runs.get(batch_size)
+            if cand_run is None:
+                report.checks.append(
+                    Check(
+                        name,
+                        f"runs[b={batch_size}]",
+                        True,
+                        False,
+                        "fail",
+                        "batch size missing",
+                    )
+                )
+                continue
+            if batch_size > min(base_runs):
+                _ratio_check(
+                    report,
+                    name,
+                    f"speedup[b={batch_size}]",
+                    base_run["speedup_vs_per_event"],
+                    cand_run["speedup_vs_per_event"],
+                )
+            if scales_match:
+                _throughput_check(
+                    report,
+                    name,
+                    f"events_per_second[b={batch_size}]",
+                    base_run["events_per_second"],
+                    cand_run["events_per_second"],
+                )
+        if not scales_match:
+            report.checks.append(
+                Check(
+                    name,
+                    "events_per_second",
+                    baseline.get("scale"),
+                    candidate.get("scale"),
+                    "skip",
+                    "scale mismatch — absolute throughput not comparable",
+                )
+            )
+
+    cand_warm = candidate.get("warm_start", {})
+    for name, base_entry in baseline.get("warm_start", {}).items():
+        cand_entry = cand_warm.get(name)
+        if cand_entry is None:
+            report.checks.append(
+                Check(
+                    name, "warm_start", True, False, "fail", "warm-start entry missing"
+                )
+            )
+            continue
+        _ratio_check(
+            report,
+            name,
+            "warm_start.speedup",
+            base_entry["speedup"],
+            cand_entry["speedup"],
+        )
+
+    cand_ops = candidate.get("ops", {})
+    for name, base_entry in baseline.get("ops", {}).items():
+        if not base_entry.get("violation_bound_holds", False):
+            continue
+        cand_entry = cand_ops.get(name)
+        if cand_entry is None or "violation_bound_holds" not in cand_entry:
+            # No negative shifts at the candidate's scale — nothing to
+            # judge; the flag only regresses if it is present and false.
+            report.checks.append(
+                Check(
+                    name,
+                    "violation_bound_holds",
+                    True,
+                    None,
+                    "skip",
+                    "no negative shifts observed in candidate",
+                )
+            )
+            continue
+        held = bool(cand_entry["violation_bound_holds"])
+        report.checks.append(
+            Check(
+                name,
+                "violation_bound_holds",
+                True,
+                held,
+                "pass" if held else "fail",
+                "" if held else "Section 3.2.4 v <= 1 bound no longer holds",
+            )
+        )
+
+    return report
+
+
+def format_diff(report: DiffReport) -> str:
+    """Render a :class:`DiffReport` as the usual ASCII table plus a
+    one-line verdict."""
+    rows = [
+        [c.workload, c.metric, c.baseline, c.candidate, c.status.upper(), c.note]
+        for c in report.checks
+    ]
+    table = format_table(
+        ["workload", "metric", "baseline", "candidate", "status", "note"], rows
+    )
+    failures = report.failures
+    if failures:
+        verdict = f"FAIL: {len(failures)} regression(s) out of {len(report.checks)} checks"
+    else:
+        skipped = sum(1 for c in report.checks if c.status == "skip")
+        verdict = (
+            f"PASS: {len(report.checks) - skipped} checks passed"
+            + (f", {skipped} skipped (scale mismatch)" if skipped else "")
+        )
+    return table + "\n" + verdict

@@ -1,0 +1,268 @@
+"""Adaptive aggregate-index backend selection.
+
+The engines pick an index *statically* from the query plan (PAI map for
+equality-θ, RPAI tree for inequality-θ), but within a role there is
+still a data-dependent choice: when every key that actually arrives is
+a small non-negative integer and the role never shifts keys, a flat
+Fenwick array (:class:`~repro.trees.fenwick.FenwickTree`) beats a
+pointer tree on every constant factor.  Whether that holds is a runtime
+property of the data, not the query — so :class:`AdaptiveIndex` starts
+on the Fenwick backend and **migrates** to an
+:class:`~repro.core.rpai.RPAITree` the first time the optimistic
+assumption breaks:
+
+* a mutation arrives with a non-integer, negative, or
+  too-large (>= ``2**17``) key;
+* anything calls ``shift_keys`` (the one operation a BIT cannot do).
+
+Migration is a single O(n) ``bulk_load`` of the live entries (Fenwick
+iterates them in key order already) and happens at most once per index.
+Reads with non-dense keys never migrate: a non-integral ``get`` probe
+cannot match a stored key (→ default) and a non-integral ``get_sum``
+bound floors (keys ``<= 3.7`` are exactly keys ``<= 3``) — this matters
+because equality-θ engines probe with fixed-side values like
+``0.5 * SUM(...)`` that are routinely fractional.
+
+Everything is observable through :mod:`repro.obs` counters:
+``backend.fenwick_selected`` / ``backend.rpai_selected`` at
+construction, ``backend.migrations`` plus a per-reason
+``backend.migration.<reason>`` when the fallback fires, and
+``backend.fenwick_grows`` when the dense universe doubles.
+
+The Fenwick backend is only selected for ``prune_zeros`` roles: a BIT
+cannot distinguish an explicit zero entry from an absent key, and under
+prune-zeros semantics it never has to.  All engine aggregate indexes
+run pruned, so in practice only ad-hoc unpruned uses skip straight to
+the RPAI backend.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, Iterator
+
+from repro.core.rpai import RPAITree
+from repro.obs import SINK as _SINK
+from repro.trees.fenwick import FenwickTree
+
+__all__ = ["AdaptiveIndex"]
+
+#: Initial dense universe; grows by doubling up to the cap below.
+_INITIAL_CAPACITY = 1024
+#: Keys at or beyond this trigger migration instead of further growth —
+#: a 2**17-slot float list (~1 MiB) is the point where the flat array
+#: stops being obviously cheaper than a tree over the live keys.
+_MAX_UNIVERSE = 1 << 17
+
+
+def _as_dense(key: Any) -> int | None:
+    """``key`` as a dense-universe int, or None if it cannot be one."""
+    if isinstance(key, int):
+        ikey = key
+    elif isinstance(key, float) and key.is_integer():
+        ikey = int(key)
+    else:
+        return None
+    if 0 <= ikey < _MAX_UNIVERSE:
+        return ikey
+    return None
+
+
+class AdaptiveIndex:
+    """Fenwick-first aggregate index with a one-way RPAI-tree fallback.
+
+    Implements the full :class:`~repro.core.interfaces.AggregateIndex`
+    protocol plus the order/search helpers, so it is a drop-in
+    ``index_cls`` for the engines.  Which backend is live is an
+    implementation detail; results are identical either way (the
+    differential tests drive both paths).
+    """
+
+    __slots__ = ("_backend", "_dense", "prune_zeros")
+
+    def __init__(self, *, prune_zeros: bool = False) -> None:
+        self.prune_zeros = prune_zeros
+        if prune_zeros:
+            self._backend: Any = FenwickTree(_INITIAL_CAPACITY, prune_zeros=True)
+            self._dense = True
+            if _SINK.enabled:
+                _SINK.inc("backend.fenwick_selected")
+        else:
+            self._backend = RPAITree(prune_zeros=False)
+            self._dense = False
+            if _SINK.enabled:
+                _SINK.inc("backend.rpai_selected")
+
+    @classmethod
+    def bulk_load(
+        cls,
+        sorted_items: Iterable[tuple[float, float]],
+        *,
+        prune_zeros: bool = False,
+    ) -> "AdaptiveIndex":
+        """Build from key-sorted pairs in O(n), inspecting the keys to
+        pick the backend up front (all dense → Fenwick, else RPAI)."""
+        index = cls.__new__(cls)
+        index.prune_zeros = prune_zeros
+        items = list(sorted_items)
+        if prune_zeros and all(_as_dense(k) is not None for k, _ in items):
+            capacity = _INITIAL_CAPACITY
+            if items:
+                top = int(items[-1][0])
+                while capacity <= top:
+                    capacity *= 2
+            index._backend = FenwickTree.bulk_load(
+                ((int(k), v) for k, v in items),
+                prune_zeros=True,
+                capacity=capacity,
+            )
+            index._dense = True
+            if _SINK.enabled:
+                _SINK.inc("backend.fenwick_selected")
+        else:
+            index._backend = RPAITree.bulk_load(items, prune_zeros=prune_zeros)
+            index._dense = False
+            if _SINK.enabled:
+                _SINK.inc("backend.rpai_selected")
+        return index
+
+    @property
+    def backend_name(self) -> str:
+        """``"fenwick"`` or ``"rpai"`` — for tests and diagnostics."""
+        return "fenwick" if self._dense else "rpai"
+
+    def _migrate(self, reason: str) -> None:
+        """One-way Fenwick → RPAI migration: O(n) bulk load of the live
+        entries (already iterated in key order)."""
+        self._backend = RPAITree.bulk_load(
+            self._backend.items(), prune_zeros=self.prune_zeros
+        )
+        self._dense = False
+        if _SINK.enabled:
+            _SINK.inc("backend.migrations")
+            _SINK.inc(f"backend.migration.{reason}")
+
+    # -- basic map operations -------------------------------------------------
+
+    def get(self, key: float, default: float = 0.0) -> float:
+        if self._dense:
+            dense = _as_dense(key)
+            if dense is None:
+                return default  # cannot match a stored dense key
+            return self._backend.get(dense, default)
+        return self._backend.get(key, default)
+
+    def put(self, key: float, value: float) -> None:
+        if self._dense:
+            dense = _as_dense(key)
+            if dense is not None:
+                backend = self._backend
+                if dense >= backend.capacity:
+                    self._ensure_capacity(dense)
+                backend.put(dense, value)
+                return
+            self._migrate("non_dense_key")
+        self._backend.put(key, value)
+
+    def add(self, key: float, delta: float) -> None:
+        if self._dense:
+            dense = _as_dense(key)
+            if dense is not None:
+                backend = self._backend
+                if dense >= backend.capacity:
+                    self._ensure_capacity(dense)
+                backend.add(dense, delta)
+                return
+            self._migrate("non_dense_key")
+        self._backend.add(key, delta)
+
+    def delete(self, key: float) -> float:
+        if self._dense:
+            dense = _as_dense(key)
+            if dense is None:
+                raise KeyError(key)
+            return self._backend.delete(dense)
+        return self._backend.delete(key)
+
+    def pop(self, key: float, default: float | None = None) -> float | None:
+        if key in self:
+            return self.delete(key)
+        return default
+
+    def _ensure_capacity(self, dense: int) -> None:
+        """Grow the dense universe to cover ``dense`` (callers check the
+        capacity inline first — this is off the hot path)."""
+        self._backend.grow(dense + 1)
+        if _SINK.enabled:
+            _SINK.inc("backend.fenwick_grows")
+
+    # -- aggregate operations -------------------------------------------------
+
+    def get_sum(self, key: float, *, inclusive: bool = True) -> float:
+        if self._dense:
+            floor = math.floor(key)
+            if floor != key:
+                # Non-integral bound: both < and <= reduce to <= floor.
+                return self._backend.get_sum(floor, inclusive=True)
+            return self._backend.get_sum(int(key), inclusive=inclusive)
+        return self._backend.get_sum(key, inclusive=inclusive)
+
+    def total_sum(self) -> float:
+        return self._backend.total_sum()
+
+    def suffix_sum(self, key: float, *, inclusive: bool = False) -> float:
+        return self.total_sum() - self.get_sum(key, inclusive=not inclusive)
+
+    def shift_keys(self, key: float, delta: float, *, inclusive: bool = False) -> None:
+        if self._dense:
+            self._migrate("shift_keys")
+        self._backend.shift_keys(key, delta, inclusive=inclusive)
+
+    # -- order / search helpers ------------------------------------------------
+
+    def min_key(self) -> float:
+        return self._backend.min_key()
+
+    def max_key(self) -> float:
+        return self._backend.max_key()
+
+    def successor(self, key: float) -> float | None:
+        return self._backend.successor(key)
+
+    def predecessor(self, key: float) -> float | None:
+        return self._backend.predecessor(key)
+
+    def first_key_with_prefix_above(self, threshold: float) -> float | None:
+        return self._backend.first_key_with_prefix_above(threshold)
+
+    # -- iteration / dunder ----------------------------------------------------
+
+    def items(self) -> Iterator[tuple[float, float]]:
+        return self._backend.items()
+
+    def keys(self) -> Iterator[float]:
+        for k, _ in self.items():
+            yield k
+
+    def values(self) -> Iterator[float]:
+        for _, v in self.items():
+            yield v
+
+    def clear(self) -> None:
+        self._backend.clear()
+
+    def __len__(self) -> int:
+        return len(self._backend)
+
+    def __bool__(self) -> bool:
+        return len(self._backend) > 0
+
+    def __contains__(self, key: float) -> bool:
+        if self._dense:
+            dense = _as_dense(key)
+            return dense is not None and dense in self._backend
+        return key in self._backend
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        entries = ", ".join(f"{k}: {v}" for k, v in self.items())
+        return f"AdaptiveIndex[{self.backend_name}]({{{entries}}})"

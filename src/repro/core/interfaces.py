@@ -15,21 +15,31 @@ to fully incrementalize correlated nested aggregate queries:
     aggregate values at once — e.g. inserting a bid moves the
     ``rhs_sum`` of every outer bid with a higher price.
 
-The three implementations in this package trade these operations off
-exactly as the paper's Sections 2–3 narrate:
+The implementations in this package trade these operations off exactly
+as the paper's Sections 2–3 narrate (U = dense integer key universe):
 
-====================  ==========  ==========  ============
-implementation        get/put     get_sum     shift_keys
-====================  ==========  ==========  ============
-:class:`PAIMap`       O(1)        O(n)        O(n)
-:class:`TreeMap`      O(log n)    O(log n)    O(n)
-:class:`RPAITree`     O(log n)    O(log n)    O(log n) [*]
-====================  ==========  ==========  ============
+=======================  ==========  ==========  ============
+implementation           get/put     get_sum     shift_keys
+=======================  ==========  ==========  ============
+:class:`PAIMap`          O(1)        O(n)        O(n)
+:class:`TreeMap`         O(log n)    O(log n)    O(n)
+:class:`RPAITree`        O(log n)    O(log n)    O(log n) [*]
+:class:`FenwickTree`     O(1) am.    O(log U)    O(U)
+:class:`AdaptiveIndex`   delegates   delegates   migrates [†]
+=======================  ==========  ==========  ============
 
 [*] positive offsets always; negative offsets are O(log n) in the
 aggregate-maintenance special case of Section 3.2.4 and
 O(v log n) in general, where ``v`` is the number of BST violations
 repaired (worst case ``v = n``, matching the paper's O(n log n) bound).
+Fenwick point updates are amortized O(1) because BIT maintenance is
+deferred to the next prefix read (lazy pending queue); an interleaved
+add/get_sum pattern pays the usual O(log U) per update at drain time.
+
+[†] :class:`~repro.core.adaptive.AdaptiveIndex` starts on the Fenwick
+backend for prune-zeros roles and migrates once (O(n) bulk load) to an
+RPAI tree on the first non-dense key or ``shift_keys`` call, after
+which every operation has the RPAITree cost.
 
 All three implementations additionally expose a ``bulk_load`` class
 method that builds an index from key-sorted ``(key, value)`` pairs in

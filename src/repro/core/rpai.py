@@ -28,6 +28,19 @@ min/max offsets through exactly as Section 3.2.5 requires, and AVL's
 delete is easier to verify exhaustively.  Heights, and therefore every
 complexity bound in the paper, are identical up to constants.
 
+Hot-path engineering (see docs/rpai_internals.md): every public
+mutation runs as an iterative loop over an explicit parent stack —
+no per-level Python frames or tuple returns.  ``put``/``add`` on an
+existing key take an in-place fast path (adjust the value and bump
+subtree sums along the stack; structure, heights and offsets are
+untouched); inserts stop full rebalancing at the first level whose
+height stabilizes and finish with O(1)-per-level sum/offset patches;
+``shift_keys`` walks its single root-to-frontier path iteratively and,
+for positive offsets, patches only the affected-side offsets on the way
+back up.  Spliced-out nodes are pooled in a bounded free list.  The
+recursive subtree helpers (``_put``/``_delete``) survive only for the
+rare Algorithm 2 violation repairs, which operate on detached subtrees.
+
 Complexities (n = number of entries):
 
 * ``get`` / ``put`` / ``add`` / ``delete`` — O(log n)
@@ -46,6 +59,8 @@ from typing import Iterable, Iterator
 
 from repro.obs import SELFCHECK as _SELF
 from repro.obs import SINK as _SINK
+from repro.trees._avl import height as _height
+from repro.trees._avl import make_avl_ops
 
 __all__ = ["RPAITree", "RPAINode"]
 
@@ -76,10 +91,6 @@ class RPAINode:
         self.right: RPAINode | None = None
 
 
-def _height(node: RPAINode | None) -> int:
-    return node.height if node is not None else 0
-
-
 def _update(node: RPAINode) -> None:
     """Recompute the derived fields of ``node`` from its children.
 
@@ -104,61 +115,36 @@ def _update(node: RPAINode) -> None:
     node.max_off = right.key + right.max_off if right is not None else 0
 
 
-def _rotate_left(h: RPAINode) -> RPAINode:
-    """Left rotation carrying relative keys: ``x = h.right`` becomes the
-    subtree root.  Key adjustments re-express every moved node's key in
-    its *new* parent's frame (see docs/rpai_internals.md for the derivation)."""
-    if _SINK.enabled:
-        _SINK.inc("rpai.rotations")
-    x = h.right
-    assert x is not None
-    xk = x.key
-    h.right = x.left
-    if h.right is not None:
-        h.right.key += xk
-    x.key += h.key
-    h.key = -xk
-    x.left = h
-    _update(h)
-    _update(x)
-    return x
+_rotate_left, _rotate_right, _rebalance = make_avl_ops(
+    _update, relative=True, rotation_counter="rpai.rotations"
+)
+
+# Bounded pool of spliced-out nodes, shared by every RPAITree in the
+# process.  Order-book workloads delete and reinsert price levels
+# constantly; recycling node objects avoids an allocator round-trip
+# (and slot re-zeroing) per churned entry.
+_POOL: list[RPAINode] = []
+_POOL_MAX = 4096
 
 
-def _rotate_right(h: RPAINode) -> RPAINode:
-    """Mirror image of :func:`_rotate_left` with ``x = h.left``."""
-    if _SINK.enabled:
-        _SINK.inc("rpai.rotations")
-    x = h.left
-    assert x is not None
-    xk = x.key
-    h.left = x.right
-    if h.left is not None:
-        h.left.key += xk
-    x.key += h.key
-    h.key = -xk
-    x.right = h
-    _update(h)
-    _update(x)
-    return x
+def _new_node(key: float, value: float) -> RPAINode:
+    if _POOL:
+        node = _POOL.pop()
+        node.key = key
+        node.value = value
+        node.sum = value
+        node.min_off = 0
+        node.max_off = 0
+        node.height = 1
+        return node
+    return RPAINode(key, value)
 
 
-def _rebalance(node: RPAINode) -> RPAINode:
-    """Standard AVL rebalancing step; also refreshes derived fields."""
-    _update(node)
-    balance = _height(node.left) - _height(node.right)
-    if balance > 1:
-        left = node.left
-        assert left is not None
-        if _height(left.left) < _height(left.right):
-            node.left = _rotate_left(left)
-        return _rotate_right(node)
-    if balance < -1:
-        right = node.right
-        assert right is not None
-        if _height(right.right) < _height(right.left):
-            node.right = _rotate_right(right)
-        return _rotate_left(node)
-    return node
+def _free_node(node: RPAINode) -> None:
+    if len(_POOL) < _POOL_MAX:
+        node.left = None
+        node.right = None
+        _POOL.append(node)
 
 
 def _balance_any(node: RPAINode | None) -> RPAINode | None:
@@ -167,7 +153,7 @@ def _balance_any(node: RPAINode | None) -> RPAINode | None:
 
     Negative ``shift_keys`` repairs (Algorithm 2's ``fixTree``) can
     change a subtree's height by more than one, so the single-step
-    :func:`_rebalance` used by put/delete is not sufficient on the way
+    rebalance used by put/delete is not sufficient on the way
     back up.  This is the classical AVL concatenation repair: rotate the
     heavy side up and recursively re-balance the demoted child; the
     height gap shrinks at every level, so the cost is
@@ -316,11 +302,7 @@ class RPAITree:
         """Insert ``key`` with ``value``, overwriting any existing entry."""
         if _SINK.enabled:
             _SINK.inc("rpai.put")
-        if self.prune_zeros and value == 0:
-            if key in self:
-                self.delete(key)
-            return
-        self._root = self._put(self._root, key, value, replace=True)
+        self._put_root(key, value, replace=True)
         if _SELF.enabled:
             self.check_invariants()
 
@@ -328,15 +310,7 @@ class RPAITree:
         """Add ``delta`` to the value at ``key`` (inserting if absent)."""
         if _SINK.enabled:
             _SINK.inc("rpai.add")
-        if self.prune_zeros:
-            current = self.get(key, None)
-            if current is None:
-                if delta == 0:
-                    return
-            elif current + delta == 0:
-                self.delete(key)
-                return
-        self._root = self._put(self._root, key, delta, replace=False)
+        self._put_root(key, delta, replace=False)
         if _SELF.enabled:
             self.check_invariants()
 
@@ -344,7 +318,22 @@ class RPAITree:
         """Remove ``key`` and return its value; raises KeyError if absent."""
         if _SINK.enabled:
             _SINK.inc("rpai.delete")
-        self._root, value = self._delete(self._root, key)
+        node = self._root
+        stack: list[RPAINode] = []
+        dirs: list[bool] = []
+        remaining = key
+        while node is not None and remaining != node.key:
+            stack.append(node)
+            remaining -= node.key
+            if remaining < 0:
+                dirs.append(False)
+                node = node.left
+            else:
+                dirs.append(True)
+                node = node.right
+        if node is None:
+            raise KeyError(key)
+        value = self._splice(stack, dirs, node)
         if _SELF.enabled:
             self.check_invariants()
         return value
@@ -410,7 +399,7 @@ class RPAITree:
                 # (Section 3.2.4, expected <= 1 in aggregate usage):
                 # delta the global violators counter across this shift.
                 before = _SINK.counters.get("rpai.violations", 0)
-                self._root = self._shift(self._root, key, delta, inclusive)
+                self._shift_root(key, delta, inclusive)
                 _SINK.observe(
                     "rpai.neg_shift_violations",
                     _SINK.counters.get("rpai.violations", 0) - before,
@@ -418,7 +407,7 @@ class RPAITree:
                 if _SELF.enabled:
                     self.check_invariants()
                 return
-        self._root = self._shift(self._root, key, delta, inclusive)
+        self._shift_root(key, delta, inclusive)
         if _SELF.enabled:
             self.check_invariants()
 
@@ -515,7 +504,18 @@ class RPAITree:
 
     def items(self) -> Iterator[tuple[float, float]]:
         """All ``(actual_key, value)`` pairs in increasing key order."""
-        yield from self._items(self._root, 0)
+        stack: list[tuple[RPAINode, float]] = []
+        node = self._root
+        acc: float = 0
+        while stack or node is not None:
+            while node is not None:
+                acc = acc + node.key
+                stack.append((node, acc))
+                node = node.left
+            node, actual = stack.pop()
+            yield (actual, node.value)
+            acc = actual
+            node = node.right
 
     def keys(self) -> Iterator[float]:
         for k, _ in self.items():
@@ -555,14 +555,248 @@ class RPAITree:
 
     # -- internals --------------------------------------------------------------
 
+    def _attach(
+        self, stack: list[RPAINode], dirs: list[bool], i: int, node: RPAINode | None
+    ) -> None:
+        """Reattach the (possibly new) root of the subtree at stack
+        level ``i`` to its parent (or as the tree root for i == 0).
+        Stored keys are frame-relative, so a rotation at level ``i``
+        never changes what the parent pointer must carry."""
+        if i == 0:
+            self._root = node
+        else:
+            parent = stack[i - 1]
+            if dirs[i - 1]:
+                parent.right = node
+            else:
+                parent.left = node
+
+    def _put_root(self, key: float, value: float, *, replace: bool) -> None:
+        """Iterative insert/merge of ``(key, value)``, prune-aware.
+
+        Existing keys take the fast path: set/merge the value in place
+        and bump the subtree sums along the parent stack.  The structure
+        — and with it every height and min/max offset — is unchanged, so
+        no rebalancing or offset work happens at all.  A value landing
+        on exactly 0 under ``prune_zeros`` splices the node out via the
+        already-built stack instead.
+
+        New keys attach a leaf and unwind with full rebalancing only
+        until the subtree height stabilizes (AVL insert performs at most
+        one rotation, which restores the pre-insert height); the
+        remaining ancestors need just a sum increment plus a refresh of
+        the one offset facing the descent side.
+        """
+        node = self._root
+        prune = self.prune_zeros
+        if node is None:
+            if prune and value == 0:
+                return
+            self._root = _new_node(key, value)
+            self._size = 1
+            return
+        stack: list[RPAINode] = []
+        dirs: list[bool] = []
+        remaining = key
+        while True:
+            if remaining == node.key:
+                new = value if replace else node.value + value
+                if prune and new == 0:
+                    self._splice(stack, dirs, node)
+                    return
+                delta = new - node.value
+                node.value = new
+                if delta:
+                    node.sum += delta
+                    for ancestor in stack:
+                        ancestor.sum += delta
+                return
+            remaining -= node.key
+            stack.append(node)
+            if remaining < 0:
+                dirs.append(False)
+                child = node.left
+            else:
+                dirs.append(True)
+                child = node.right
+            if child is None:
+                break
+            node = child
+        if prune and value == 0:
+            return
+        leaf = _new_node(remaining, value)
+        self._size += 1
+        if dirs[-1]:
+            node.right = leaf
+        else:
+            node.left = leaf
+        i = len(stack) - 1
+        while i >= 0:
+            current = stack[i]
+            old_height = current.height
+            balanced = _rebalance(current)
+            if balanced is not current:
+                self._attach(stack, dirs, i, balanced)
+                i -= 1
+                break
+            if balanced.height == old_height:
+                i -= 1
+                break
+            i -= 1
+        # Light phase: heights are stable above, but subtree sums grow by
+        # the inserted value and the offset facing the descent side must
+        # track the (possibly rotated) child's new stored key.
+        while i >= 0:
+            current = stack[i]
+            current.sum += value
+            if dirs[i]:
+                child = current.right
+                current.max_off = child.key + child.max_off
+            else:
+                child = current.left
+                current.min_off = child.key + child.min_off
+            i -= 1
+
+    def _splice(self, stack: list[RPAINode], dirs: list[bool], node: RPAINode) -> float:
+        """Remove ``node`` (found at the bottom of ``stack``) and
+        rebalance the path; returns the removed value.
+
+        The two-children case walks on to the in-order successor,
+        splices it out, and moves its entry into ``node`` — which shifts
+        ``node``'s stored key by the successor's relative offset, so
+        both children are re-based to keep their actual keys fixed
+        before that level rebalances.
+        """
+        value = node.value
+        if node.left is not None and node.right is not None:
+            target_index = len(stack)
+            stack.append(node)
+            dirs.append(True)
+            successor = node.right
+            rel = successor.key  # successor's actual key, in node's frame
+            while successor.left is not None:
+                stack.append(successor)
+                dirs.append(False)
+                successor = successor.left
+                rel += successor.key
+            replacement = successor.right
+            if replacement is not None:
+                replacement.key += successor.key
+            parent = stack[-1]
+            if dirs[-1]:
+                parent.right = replacement
+            else:
+                parent.left = replacement
+            node.value = successor.value
+            _free_node(successor)
+            self._size -= 1
+            for i in range(len(stack) - 1, -1, -1):
+                current = stack[i]
+                if i == target_index:
+                    current.key += rel
+                    if current.left is not None:
+                        current.left.key -= rel
+                    if current.right is not None:
+                        current.right.key -= rel
+                balanced = _rebalance(current)
+                if balanced is not current:
+                    self._attach(stack, dirs, i, balanced)
+        else:
+            replacement = node.right if node.left is None else node.left
+            if replacement is not None:
+                replacement.key += node.key
+            if stack:
+                parent = stack[-1]
+                if dirs[-1]:
+                    parent.right = replacement
+                else:
+                    parent.left = replacement
+            else:
+                self._root = replacement
+            _free_node(node)
+            self._size -= 1
+            for i in range(len(stack) - 1, -1, -1):
+                current = stack[i]
+                balanced = _rebalance(current)
+                if balanced is not current:
+                    self._attach(stack, dirs, i, balanced)
+        return value
+
+    def _shift_root(self, key: float, delta: float, inclusive: bool) -> None:
+        """Algorithm 1 / 2 as one iterative pass.
+
+        The descent is single-path: a qualifying node shifts (itself and
+        implicitly its whole right subtree) and recurses only into its
+        left subtree; a non-qualifying node recurses only right.  For
+        ``delta > 0`` (Algorithm 1) the structure, sums and heights are
+        untouched, so the unwind just patches stored keys and the one
+        offset facing the visited child.  For ``delta < 0`` (Algorithm
+        2) the unwind re-derives each level's fields, checks the min/max
+        offsets for BST violations, and runs the fixTree extraction +
+        height repair where needed.
+        """
+        node = self._root
+        if node is None:
+            return
+        stack: list[RPAINode] = []
+        quals: list[bool] = []
+        dirs: list[bool] = []
+        remaining = key
+        while node is not None:
+            qualifies = node.key >= remaining if inclusive else node.key > remaining
+            remaining -= node.key
+            stack.append(node)
+            quals.append(qualifies)
+            dirs.append(not qualifies)
+            node = node.left if qualifies else node.right
+        if delta > 0:
+            for i in range(len(stack) - 1, -1, -1):
+                current = stack[i]
+                if quals[i]:
+                    current.key += delta
+                    left = current.left
+                    if left is not None:
+                        left.key -= delta
+                        current.min_off = left.key + left.min_off
+                else:
+                    right = current.right
+                    if right is not None:
+                        current.max_off = right.key + right.max_off
+            return
+        for i in range(len(stack) - 1, -1, -1):
+            current = stack[i]
+            if quals[i]:
+                current.key += delta
+                if current.left is not None:
+                    current.left.key -= delta
+                _update(current)
+                if (
+                    current.left is not None
+                    and current.left.key + current.left.max_off >= 0
+                ):
+                    fixed = self._fix_from_left(current)
+                else:
+                    fixed = current
+            else:
+                _update(current)
+                if (
+                    current.right is not None
+                    and current.right.key + current.right.min_off <= 0
+                ):
+                    fixed = self._fix_from_right(current)
+                else:
+                    fixed = current
+            self._attach(stack, dirs, i, _balance_any(fixed))
+
     def _put(
         self, node: RPAINode | None, key: float, value: float, *, replace: bool
     ) -> RPAINode:
-        """Insert/merge ``(key, value)`` into the subtree; ``key`` is
-        expressed in the subtree root's parent frame."""
+        """Recursive insert/merge into a *detached* subtree; ``key`` is
+        expressed in the subtree root's parent frame.  Used only by the
+        fixTree repair path — the public mutations are iterative."""
         if node is None:
             self._size += 1
-            return RPAINode(key, value)
+            return _new_node(key, value)
         if key == node.key:
             node.value = value if replace else node.value + value
             _update(node)
@@ -574,8 +808,9 @@ class RPAITree:
         return _rebalance(node)
 
     def _delete(self, node: RPAINode | None, key: float) -> tuple[RPAINode | None, float]:
-        """Remove ``key`` (parent-frame) from the subtree; returns the
-        new subtree root and the removed value."""
+        """Recursive removal from a *detached* subtree (parent-frame
+        ``key``); returns the new subtree root and the removed value.
+        Used only by the fixTree repair path."""
         if node is None:
             raise KeyError(key)
         if key < node.key:
@@ -589,11 +824,13 @@ class RPAITree:
                 replacement = node.right
                 if replacement is not None:
                     replacement.key += node.key
+                _free_node(node)
                 return replacement, value
             if node.right is None:
                 self._size -= 1
                 replacement = node.left
                 replacement.key += node.key
+                _free_node(node)
                 return replacement, value
             # Two children: replace with the in-order successor.  The
             # node's stored key moves by the successor's offset, so both
@@ -607,41 +844,6 @@ class RPAITree:
             if node.right is not None:
                 node.right.key -= successor_rel
         return _rebalance(node), value
-
-    def _shift(
-        self, node: RPAINode | None, key: float, delta: float, inclusive: bool
-    ) -> RPAINode | None:
-        """Algorithm 1 / 2: shift qualifying keys in the subtree.
-
-        ``key`` is in the subtree root's parent frame.  Structure (and
-        therefore AVL balance) is unchanged except for violation fixes,
-        which rebalance internally.
-        """
-        if node is None:
-            return None
-        qualifies = node.key >= key if inclusive else node.key > key
-        if qualifies:
-            # Node and its whole right subtree shift implicitly with
-            # node.key; the left subtree is first shifted recursively
-            # (only its qualifying part moves) and then compensated so
-            # the +delta on node.key does not drag it along.
-            node.left = self._shift(node.left, key - node.key, delta, inclusive)
-            node.key += delta
-            if node.left is not None:
-                node.left.key -= delta
-            _update(node)
-            if delta >= 0:
-                return node
-            if node.left is not None and node.left.key + node.left.max_off >= 0:
-                node = self._fix_from_left(node)
-            return _balance_any(node)
-        node.right = self._shift(node.right, key - node.key, delta, inclusive)
-        _update(node)
-        if delta >= 0:
-            return node
-        if node.right is not None and node.right.key + node.right.min_off <= 0:
-            node = self._fix_from_right(node)
-        return _balance_any(node)
 
     def _fix_from_left(self, node: RPAINode) -> "RPAINode | None":
         """Restore the BST property when the left subtree contains keys
@@ -706,14 +908,6 @@ class RPAITree:
             remaining -= node.key
             node = node.left if remaining < 0 else node.right
         return None
-
-    def _items(self, node: RPAINode | None, acc: float) -> Iterator[tuple[float, float]]:
-        if node is None:
-            return
-        actual = acc + node.key
-        yield from self._items(node.left, actual)
-        yield (actual, node.value)
-        yield from self._items(node.right, actual)
 
     def _range(
         self,

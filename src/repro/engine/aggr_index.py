@@ -18,7 +18,11 @@ Section 2→3 progression and powers the ablation benchmark:
 * :class:`~repro.trees.treemap.TreeMap` — O(log n) ``get_sum`` but O(n)
   ``shift_keys`` (the Section 3.1 intermediate);
 * :class:`~repro.core.rpai.RPAITree` — O(log n) everything (the full
-  RPAI engine).
+  RPAI engine);
+* :class:`~repro.core.adaptive.AdaptiveIndex` — Fenwick-array fast path
+  for dense-integer-key equality-θ roles with a runtime RPAI-tree
+  fallback; the planner's :func:`~repro.query.planner.preferred_backend`
+  selects it for PAI_EQUALITY plans, where ``shift_keys`` never runs.
 
 Precondition inherited from the paper's setting: the inner aggregate's
 per-tuple contributions are strictly positive (volumes, quantities,
@@ -31,6 +35,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Mapping, Type
 
+from repro.core.adaptive import AdaptiveIndex
 from repro.core.pai_map import PAIMap
 from repro.core.rpai import RPAITree
 from repro.obs import SINK as _SINK
@@ -39,7 +44,13 @@ from repro.engine.general import _compile_row_expr, _peel_constant_scale
 from repro.errors import EngineStateError, UnsupportedQueryError
 from repro.query.analysis import is_correlated
 from repro.query.ast import AggrCall, AggrQuery, SubqueryExpr, walk_expr
-from repro.query.planner import IndexSpec, QueryPlan, Strategy, classify
+from repro.query.planner import (
+    IndexSpec,
+    QueryPlan,
+    Strategy,
+    classify,
+    preferred_backend,
+)
 from repro.storage.stream import Event
 from repro.trees.treemap import TreeMap
 
@@ -692,7 +703,13 @@ def build_single_index_engine(
     """
     plan = classify(query)
     if plan.strategy is Strategy.PAI_EQUALITY:
-        return PointIndexEngine(plan, index_cls or PAIMap, name=name)
+        if index_cls is None:
+            # Equality-θ plans never shift aggregate-index keys, so the
+            # adaptive (Fenwick-first) backend applies.
+            index_cls = (
+                AdaptiveIndex if preferred_backend(plan) == "adaptive" else PAIMap
+            )
+        return PointIndexEngine(plan, index_cls, name=name)
     if plan.strategy is Strategy.RPAI_INEQUALITY:
         if query.group_by:
             return GroupedRangeIndexEngine(plan, index_cls or RPAITree, name=name)

@@ -49,6 +49,7 @@ from repro.query.ast import (
     SubqueryExpr,
     walk_expr,
 )
+from repro.core.adaptive import AdaptiveIndex
 from repro.storage.stream import Event
 from repro.trees.treemap import TreeMap
 
@@ -237,8 +238,16 @@ class _CorrelatedSubquery:
             )
 
         # Bound maps: f-value -> accumulated (sum, count) of inner arg.
-        self.bound_sum = TreeMap(prune_zeros=True)
-        self.bound_count = TreeMap(prune_zeros=True)
+        # SUM/COUNT/AVG only ever probe them with get/get_sum/suffix_sum
+        # (never shift_keys), so the adaptive Fenwick-first backend
+        # applies; MIN/MAX walk key order (min_key/successor/...) on
+        # every probe, which the ordered TreeMap serves in O(log n).
+        if self.func in {"MIN", "MAX"}:
+            self.bound_sum: Any = TreeMap(prune_zeros=True)
+            self.bound_count: Any = TreeMap(prune_zeros=True)
+        else:
+            self.bound_sum = AdaptiveIndex(prune_zeros=True)
+            self.bound_count = AdaptiveIndex(prune_zeros=True)
         # Free maps: g-value -> current subquery aggregate components,
         # plus a refcount of live outer groups using each g-value.
         self.free_sum: dict[Any, float] = {}
@@ -351,7 +360,7 @@ class _CorrelatedSubquery:
             return 0
         return lo if self.func == "MIN" else hi
 
-    def _range_aggregate(self, index: TreeMap, key: float) -> float:
+    def _range_aggregate(self, index: Any, key: float) -> float:
         theta = self.theta
         if theta == "=":
             return index.get(key, 0)

@@ -46,6 +46,12 @@ Counter naming convention (``<structure or layer>.<operation>``):
 ``treemap.rotations``                   TreeMap AVL rotations
 ``treemap.shift_keys``                  O(n) collect-and-rebuild shifts
 ``paimap.shift_keys``                   O(n) hash rebuild shifts
+``backend.fenwick_selected``            adaptive indexes starting on Fenwick
+``backend.rpai_selected``               adaptive indexes starting on RPAI
+``backend.migrations``                  Fenwick → RPAI runtime migrations
+``backend.migration.<reason>``          migrations by cause (``non_dense_key``
+                                        or ``shift_keys``)
+``backend.fenwick_grows``               dense-universe doubling events
 ``engine.events/.batches/.results``     trigger calls / batch calls / refreshes
 ``selfcheck.validations``               invariant walks performed
 ======================================  =======================================

@@ -57,6 +57,7 @@ __all__ = [
     "IndexSpec",
     "classify",
     "asymptotic_cost",
+    "preferred_backend",
 ]
 
 
@@ -451,3 +452,21 @@ _COSTS = {
 def asymptotic_cost(plan: QueryPlan) -> str:
     """Human-readable per-update complexity of the chosen strategy."""
     return _COSTS[plan.strategy]
+
+
+def preferred_backend(plan: QueryPlan) -> str:
+    """Which aggregate-index backend the plan's shape permits.
+
+    ``"adaptive"`` — the plan never shifts aggregate-index keys
+    (equality-θ correlation: every update is a point move), so the
+    engine can start on the dense Fenwick backend and fall back to an
+    RPAI tree only if the data forces it
+    (:class:`~repro.core.adaptive.AdaptiveIndex`).
+
+    ``"rpai"`` — ``shift_keys`` is on the hot path (inequality-θ), or
+    the strategy manages its own structures; the relative-key tree is
+    the only backend that shifts in O(log n).
+    """
+    if plan.strategy is Strategy.PAI_EQUALITY:
+        return "adaptive"
+    return "rpai"

@@ -1,0 +1,136 @@
+"""Shared AVL machinery for the augmented trees.
+
+:class:`~repro.core.rpai.RPAITree` (parent-relative keys, Section 3.2)
+and :class:`~repro.trees.treemap.TreeMap` (absolute keys, Section 3.1)
+balance identically — same height bookkeeping, same single/double
+rotation cases — and differ only in what a rotation must do to the
+*keys* of the moved nodes.  This module holds that logic once:
+
+* :func:`height` — the null-safe AVL height accessor;
+* :func:`make_avl_ops` — a factory that specializes ``rotate_left`` /
+  ``rotate_right`` / ``rebalance`` closures for one node family, given
+  its ``update`` function (recompute derived fields from children) and
+  whether its keys are parent-relative.
+
+Specializing via closures (rather than flags checked per call) keeps
+the per-rotation cost identical to the previously duplicated
+hand-written versions; both tree modules bind the returned functions at
+import time.
+
+The node classes themselves stay per-module (their ``__slots__``
+differ: RPAI nodes carry ``min_off``/``max_off``), but every node
+family used here must expose ``key``, ``height``, ``left`` and
+``right`` attributes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.obs import SINK as _SINK
+
+__all__ = ["height", "make_avl_ops"]
+
+
+def height(node: Any) -> int:
+    """AVL height of ``node`` (0 for None, leaves are 1)."""
+    return node.height if node is not None else 0
+
+
+def make_avl_ops(
+    update: Callable[[Any], None],
+    *,
+    relative: bool,
+    rotation_counter: str,
+) -> tuple[Callable, Callable, Callable]:
+    """Build ``(rotate_left, rotate_right, rebalance)`` for one tree type.
+
+    Args:
+        update: recompute a node's derived fields (height, subtree sum,
+            offsets) from its children; children must be up to date.
+        relative: True for parent-relative keys (RPAI trees) — rotations
+            then re-express every moved node's key in its *new* parent's
+            frame (see docs/rpai_internals.md for the derivation); False
+            for absolute keys (TreeMap), where rotations move pointers
+            only.
+        rotation_counter: :mod:`repro.obs` counter incremented per
+            rotation (e.g. ``"rpai.rotations"``).
+
+    Returns:
+        The three closures.  ``rebalance`` performs the standard AVL
+        single-step repair (children's heights differ from the node's
+        cached height by at most one more than allowed) and refreshes
+        the node's derived fields; it returns the possibly-new subtree
+        root, which the caller must reattach.
+    """
+    if relative:
+
+        def rotate_left(h: Any) -> Any:
+            if _SINK.enabled:
+                _SINK.inc(rotation_counter)
+            x = h.right
+            xk = x.key
+            h.right = x.left
+            if h.right is not None:
+                h.right.key += xk
+            x.key += h.key
+            h.key = -xk
+            x.left = h
+            update(h)
+            update(x)
+            return x
+
+        def rotate_right(h: Any) -> Any:
+            if _SINK.enabled:
+                _SINK.inc(rotation_counter)
+            x = h.left
+            xk = x.key
+            h.left = x.right
+            if h.left is not None:
+                h.left.key += xk
+            x.key += h.key
+            h.key = -xk
+            x.right = h
+            update(h)
+            update(x)
+            return x
+
+    else:
+
+        def rotate_left(h: Any) -> Any:
+            if _SINK.enabled:
+                _SINK.inc(rotation_counter)
+            x = h.right
+            h.right = x.left
+            x.left = h
+            update(h)
+            update(x)
+            return x
+
+        def rotate_right(h: Any) -> Any:
+            if _SINK.enabled:
+                _SINK.inc(rotation_counter)
+            x = h.left
+            h.left = x.right
+            x.right = h
+            update(h)
+            update(x)
+            return x
+
+    def rebalance(node: Any) -> Any:
+        update(node)
+        left, right = node.left, node.right
+        balance = (left.height if left is not None else 0) - (
+            right.height if right is not None else 0
+        )
+        if balance > 1:
+            if height(left.left) < height(left.right):
+                node.left = rotate_left(left)
+            return rotate_right(node)
+        if balance < -1:
+            if height(right.right) < height(right.left):
+                node.right = rotate_right(right)
+            return rotate_left(node)
+        return node
+
+    return rotate_left, rotate_right, rebalance

@@ -11,6 +11,16 @@ keys never shift (column-keyed indexes such as ``price -> sum(volume)``
 in PSP or ``quantity -> sum(extendedprice)`` in Q17), and the ablation
 benchmark uses it to isolate exactly how much of RPAI's win comes from
 relative keys versus from tree-based prefix sums.
+
+Hot-path engineering (see docs/rpai_internals.md): all mutations run as
+iterative loops over an explicit parent stack instead of recursive
+descent; ``put``/``add`` on an existing key take an in-place fast path
+that adjusts the value and the subtree sums along the stack without any
+rebalancing; inserts stop rebalancing at the first level whose height
+stabilizes (one-rotation AVL guarantee) and finish with O(1)-per-level
+sum increments; spliced-out nodes are pooled in a bounded free list.
+The AVL rotation/rebalance machinery itself is shared with the RPAI
+tree via :mod:`repro.trees._avl`.
 """
 
 from __future__ import annotations
@@ -19,6 +29,8 @@ from typing import Iterable, Iterator
 
 from repro.obs import SELFCHECK as _SELF
 from repro.obs import SINK as _SINK
+from repro.trees._avl import height as _height
+from repro.trees._avl import make_avl_ops
 
 __all__ = ["TreeMap"]
 
@@ -35,41 +47,49 @@ class _Node:
         self.right: _Node | None = None
 
 
-def _height(node: _Node | None) -> int:
-    return node.height if node is not None else 0
-
-
 def _update(node: _Node) -> None:
-    node.height = 1 + max(_height(node.left), _height(node.right))
-    node.sum = node.value
-    if node.left is not None:
-        node.sum += node.left.sum
-    if node.right is not None:
-        node.sum += node.right.sum
+    left, right = node.left, node.right
+    height = 1
+    total = node.value
+    if left is not None:
+        if left.height >= height:
+            height = left.height + 1
+        total += left.sum
+    if right is not None:
+        if right.height >= height:
+            height = right.height + 1
+        total += right.sum
+    node.height = height
+    node.sum = total
 
 
-def _rotate_left(h: _Node) -> _Node:
-    if _SINK.enabled:
-        _SINK.inc("treemap.rotations")
-    x = h.right
-    assert x is not None
-    h.right = x.left
-    x.left = h
-    _update(h)
-    _update(x)
-    return x
+_rotate_left, _rotate_right, _rebalance = make_avl_ops(
+    _update, relative=False, rotation_counter="treemap.rotations"
+)
+
+# Bounded pool of spliced-out nodes, shared by every TreeMap in the
+# process: delete-heavy workloads (order-book churn) otherwise allocate
+# a fresh node object for every reinserted key.
+_POOL: list[_Node] = []
+_POOL_MAX = 4096
 
 
-def _rotate_right(h: _Node) -> _Node:
-    if _SINK.enabled:
-        _SINK.inc("treemap.rotations")
-    x = h.left
-    assert x is not None
-    h.left = x.right
-    x.right = h
-    _update(h)
-    _update(x)
-    return x
+def _new_node(key: float, value: float) -> _Node:
+    if _POOL:
+        node = _POOL.pop()
+        node.key = key
+        node.value = value
+        node.sum = value
+        node.height = 1
+        return node
+    return _Node(key, value)
+
+
+def _free_node(node: _Node) -> None:
+    if len(_POOL) < _POOL_MAX:
+        node.left = None
+        node.right = None
+        _POOL.append(node)
 
 
 def _build_balanced(items: list[tuple[float, float]], lo: int, hi: int) -> _Node | None:
@@ -82,22 +102,6 @@ def _build_balanced(items: list[tuple[float, float]], lo: int, hi: int) -> _Node
     node.left = _build_balanced(items, lo, mid)
     node.right = _build_balanced(items, mid + 1, hi)
     _update(node)
-    return node
-
-
-def _rebalance(node: _Node) -> _Node:
-    _update(node)
-    balance = _height(node.left) - _height(node.right)
-    if balance > 1:
-        assert node.left is not None
-        if _height(node.left.left) < _height(node.left.right):
-            node.left = _rotate_left(node.left)
-        return _rotate_right(node)
-    if balance < -1:
-        assert node.right is not None
-        if _height(node.right.right) < _height(node.right.left):
-            node.right = _rotate_right(node.right)
-        return _rotate_left(node)
     return node
 
 
@@ -157,33 +161,34 @@ class TreeMap:
     def put(self, key: float, value: float) -> None:
         if _SINK.enabled:
             _SINK.inc("treemap.put")
-        if self.prune_zeros and value == 0:
-            if key in self:
-                self.delete(key)
-            return
-        self._root = self._put(self._root, key, value, replace=True)
+        self._put_root(key, value, replace=True)
         if _SELF.enabled:
             self.check_invariants()
 
     def add(self, key: float, delta: float) -> None:
         if _SINK.enabled:
             _SINK.inc("treemap.add")
-        if self.prune_zeros:
-            current = self.get(key, None)
-            if current is None:
-                if delta == 0:
-                    return
-            elif current + delta == 0:
-                self.delete(key)
-                return
-        self._root = self._put(self._root, key, delta, replace=False)
+        self._put_root(key, delta, replace=False)
         if _SELF.enabled:
             self.check_invariants()
 
     def delete(self, key: float) -> float:
         if _SINK.enabled:
             _SINK.inc("treemap.delete")
-        self._root, value = self._delete(self._root, key)
+        node = self._root
+        stack: list[_Node] = []
+        dirs: list[bool] = []
+        while node is not None and key != node.key:
+            stack.append(node)
+            if key < node.key:
+                dirs.append(False)
+                node = node.left
+            else:
+                dirs.append(True)
+                node = node.right
+        if node is None:
+            raise KeyError(key)
+        value = self._splice(stack, dirs, node)
         if _SELF.enabled:
             self.check_invariants()
         return value
@@ -218,8 +223,16 @@ class TreeMap:
         return self.total_sum() - self.get_sum(key, inclusive=not inclusive)
 
     def shift_keys(self, key: float, delta: float, *, inclusive: bool = False) -> None:
-        """O(n): extract qualifying entries, rebuild with shifted keys."""
-        if delta == 0:
+        """O(n): collect entries, shift the qualifying keys, rebuild.
+
+        The rebuild merges the kept and shifted runs (both key-sorted)
+        directly into a balanced tree, so the whole operation is one
+        O(n) pass rather than n O(log n) re-insertions.  Keys that
+        collide after the shift merge by addition (the Section 3.2.4
+        aggregate special case); merges to zero are pruned under
+        ``prune_zeros``.
+        """
+        if delta == 0 or self._root is None:
             return
         moved: list[tuple[float, float]] = []
         kept: list[tuple[float, float]] = []
@@ -229,11 +242,26 @@ class TreeMap:
         if _SINK.enabled:
             _SINK.inc("treemap.shift_keys")
             _SINK.observe("treemap.shift_moved", len(moved))
-        self.clear()
-        for k, v in kept:
-            self.add(k, v)
-        for k, v in moved:
-            self.add(k + delta, v)
+        shifted = [(k + delta, v) for k, v in moved]
+        merged: list[tuple[float, float]] = []
+        i = j = 0
+        prune = self.prune_zeros
+        while i < len(kept) or j < len(shifted):
+            if j >= len(shifted) or (i < len(kept) and kept[i][0] < shifted[j][0]):
+                entry = kept[i]
+                i += 1
+            elif i >= len(kept) or shifted[j][0] < kept[i][0]:
+                entry = shifted[j]
+                j += 1
+            else:  # equal keys collide: merge by addition
+                entry = (kept[i][0], kept[i][1] + shifted[j][1])
+                i += 1
+                j += 1
+            if prune and entry[1] == 0:
+                continue
+            merged.append(entry)
+        self._root = _build_balanced(merged, 0, len(merged))
+        self._size = len(merged)
         if _SELF.enabled:
             self.check_invariants()
 
@@ -306,7 +334,15 @@ class TreeMap:
     # -- iteration / dunder ----------------------------------------------------
 
     def items(self) -> Iterator[tuple[float, float]]:
-        yield from self._items(self._root)
+        node = self._root
+        stack: list[_Node] = []
+        while stack or node is not None:
+            while node is not None:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            yield (node.key, node.value)
+            node = node.right
 
     def keys(self) -> Iterator[float]:
         for k, _ in self.items():
@@ -340,49 +376,130 @@ class TreeMap:
 
     # -- internals --------------------------------------------------------------
 
-    def _put(self, node: _Node | None, key: float, value: float, *, replace: bool) -> _Node:
-        if node is None:
-            self._size += 1
-            return _Node(key, value)
-        if key == node.key:
-            node.value = value if replace else node.value + value
-            _update(node)
-            return node
-        if key < node.key:
-            node.left = self._put(node.left, key, value, replace=replace)
+    def _attach(self, stack: list[_Node], dirs: list[bool], i: int, node: _Node | None) -> None:
+        """Reattach the (possibly new) root of the subtree at stack
+        level ``i`` to its parent (or as the tree root for i == 0)."""
+        if i == 0:
+            self._root = node
         else:
-            node.right = self._put(node.right, key, value, replace=replace)
-        return _rebalance(node)
+            parent = stack[i - 1]
+            if dirs[i - 1]:
+                parent.right = node
+            else:
+                parent.left = node
 
-    def _delete(self, node: _Node | None, key: float) -> tuple[_Node | None, float]:
+    def _put_root(self, key: float, value: float, *, replace: bool) -> None:
+        """Iterative insert/merge of ``(key, value)``, prune-aware.
+
+        Existing keys take the fast path: set/merge the value in place
+        and bump the subtree sums along the parent stack — no height or
+        balance work, since the structure is unchanged.  A value that
+        lands on exactly 0 under ``prune_zeros`` splices the node out
+        via the already-built stack instead.
+        """
+        node = self._root
+        prune = self.prune_zeros
         if node is None:
-            raise KeyError(key)
-        if key < node.key:
-            node.left, value = self._delete(node.left, key)
-        elif key > node.key:
-            node.right, value = self._delete(node.right, key)
+            if prune and value == 0:
+                return
+            self._root = _new_node(key, value)
+            self._size = 1
+            return
+        stack: list[_Node] = []
+        dirs: list[bool] = []
+        while True:
+            if key == node.key:
+                new = value if replace else node.value + value
+                if prune and new == 0:
+                    self._splice(stack, dirs, node)
+                    return
+                delta = new - node.value
+                node.value = new
+                if delta:
+                    node.sum += delta
+                    for ancestor in stack:
+                        ancestor.sum += delta
+                return
+            stack.append(node)
+            if key < node.key:
+                dirs.append(False)
+                child = node.left
+            else:
+                dirs.append(True)
+                child = node.right
+            if child is None:
+                break
+            node = child
+        if prune and value == 0:
+            return
+        leaf = _new_node(key, value)
+        self._size += 1
+        if dirs[-1]:
+            node.right = leaf
         else:
-            value = node.value
-            if node.left is None:
-                self._size -= 1
-                return node.right, value
-            if node.right is None:
-                self._size -= 1
-                return node.left, value
+            node.left = leaf
+        # Unwind: full rebalance until the height stabilizes (AVL insert
+        # needs at most one rotation, after which every ancestor keeps
+        # its pre-insert height), then sums-only increments.
+        i = len(stack) - 1
+        while i >= 0:
+            current = stack[i]
+            old_height = current.height
+            balanced = _rebalance(current)
+            if balanced is not current:
+                self._attach(stack, dirs, i, balanced)
+                i -= 1
+                break
+            if balanced.height == old_height:
+                i -= 1
+                break
+            i -= 1
+        while i >= 0:
+            stack[i].sum += value
+            i -= 1
+
+    def _splice(self, stack: list[_Node], dirs: list[bool], node: _Node) -> float:
+        """Remove ``node`` (found at the bottom of ``stack``) and
+        rebalance the path; returns the removed value."""
+        value = node.value
+        if node.left is not None and node.right is not None:
+            # Two children: copy the in-order successor's entry into
+            # ``node``, then splice the successor out of the right
+            # subtree (it has no left child by construction).
+            stack.append(node)
+            dirs.append(True)
             successor = node.right
             while successor.left is not None:
+                stack.append(successor)
+                dirs.append(False)
                 successor = successor.left
             node.key = successor.key
             node.value = successor.value
-            node.right, _ = self._delete(node.right, successor.key)
-        return _rebalance(node), value
-
-    def _items(self, node: _Node | None) -> Iterator[tuple[float, float]]:
-        if node is None:
-            return
-        yield from self._items(node.left)
-        yield (node.key, node.value)
-        yield from self._items(node.right)
+            replacement = successor.right
+            parent = stack[-1]
+            if dirs[-1]:
+                parent.right = replacement
+            else:
+                parent.left = replacement
+            _free_node(successor)
+        else:
+            replacement = node.right if node.left is None else node.left
+            if stack:
+                parent = stack[-1]
+                if dirs[-1]:
+                    parent.right = replacement
+                else:
+                    parent.left = replacement
+            else:
+                self._root = replacement
+            _free_node(node)
+        self._size -= 1
+        for i in range(len(stack) - 1, -1, -1):
+            current = stack[i]
+            balanced = _rebalance(current)
+            if balanced is not current:
+                self._attach(stack, dirs, i, balanced)
+        return value
 
     def _range(
         self,

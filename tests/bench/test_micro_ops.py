@@ -1,0 +1,123 @@
+"""Deterministic pytest-benchmark micro-suite for the index hot paths.
+
+Fixed seeds and sizes so successive runs measure the same operation
+sequence — these are trend trackers (``pytest --benchmark-only`` /
+``--benchmark-compare``), not correctness tests, but they run in the
+tier-1 suite (with tiny round counts) so the hot paths cannot silently
+stop importing.  The macro regression gate is ``bench_compare.py``;
+this suite localizes *which* primitive moved when that gate trips.
+"""
+
+import random
+
+import pytest
+
+from repro.core.adaptive import AdaptiveIndex
+from repro.core.rpai import RPAITree
+from repro.trees.fenwick import FenwickTree
+from repro.trees.treemap import TreeMap
+
+pytest.importorskip("pytest_benchmark")
+
+N = 1_000
+SEED = 4242
+
+# Dense keys so every backend (including Fenwick) runs the same stream.
+_RNG = random.Random(SEED)
+KEYS = [_RNG.randrange(0, 2_048) for _ in range(N)]
+DELTAS = [_RNG.randint(-5, 5) or 1 for _ in range(N)]
+PROBES = [_RNG.randrange(0, 2_200) for _ in range(N)]
+SHIFT_PIVOTS = [_RNG.randrange(0, 2_048) for _ in range(100)]
+
+BACKENDS = {
+    "rpai": lambda: RPAITree(prune_zeros=True),
+    "treemap": lambda: TreeMap(prune_zeros=True),
+    "fenwick": lambda: FenwickTree(4_096, prune_zeros=True),
+    "adaptive": lambda: AdaptiveIndex(prune_zeros=True),
+}
+
+
+def _loaded(make):
+    index = make()
+    for key, delta in zip(KEYS, DELTAS):
+        index.add(key, delta)
+    return index
+
+
+def _bench(benchmark, fn, *, setup=None):
+    """Tiny fixed-shape pedantic run: deterministic work, no calibration."""
+    if setup is not None:
+        benchmark.pedantic(fn, setup=setup, rounds=3, iterations=1)
+    else:
+        benchmark.pedantic(fn, rounds=3, iterations=1)
+
+
+@pytest.fixture(params=sorted(BACKENDS), ids=str)
+def make(request):
+    return BACKENDS[request.param]
+
+
+class TestMicroOps:
+    def test_put(self, benchmark, make):
+        def run():
+            index = make()
+            for key, delta in zip(KEYS, DELTAS):
+                index.put(key, delta)
+            return index
+
+        _bench(benchmark, run)
+
+    def test_add(self, benchmark, make):
+        def run():
+            return _loaded(make)
+
+        _bench(benchmark, run)
+
+    def test_add_existing_keys_fast_path(self, benchmark, make):
+        """Re-adding to live keys: the in-place no-rebalance fast path."""
+        index = _loaded(make)
+        live = [k for k, _ in index.items()]
+        if not live:
+            pytest.skip("workload cancelled out")
+        hits = [live[i % len(live)] for i in range(N)]
+
+        def run():
+            for key in hits:
+                index.add(key, 2)
+            for key in hits:
+                index.add(key, -2)
+
+        _bench(benchmark, run)
+
+    def test_get_sum(self, benchmark, make):
+        index = _loaded(make)
+
+        def run():
+            total = 0.0
+            for probe in PROBES:
+                total += index.get_sum(probe)
+            return total
+
+        _bench(benchmark, run)
+
+    def test_shift_keys(self, benchmark, make):
+        """Alternating +1/-1 shifts (net zero, keys stay in-universe)."""
+
+        def setup():
+            return (_loaded(make),), {}
+
+        def run(index):
+            for pivot in SHIFT_PIVOTS:
+                index.shift_keys(pivot, 1)
+                index.shift_keys(pivot, -1)
+
+        _bench(benchmark, run, setup=setup)
+
+
+def test_backends_agree_on_the_workload():
+    """The micro-suite streams must produce identical state everywhere —
+    otherwise the benchmarks time different work."""
+    results = {name: sorted(_loaded(make).items()) for name, make in BACKENDS.items()}
+    reference = results.pop("rpai")
+    for name, items in results.items():
+        assert items == reference, name

@@ -1,0 +1,250 @@
+"""Tests for the adaptive (Fenwick-first, RPAI-fallback) index backend."""
+
+import pickle
+import random
+
+import pytest
+
+from repro import obs
+from repro.core.adaptive import _MAX_UNIVERSE, AdaptiveIndex
+from repro.core.interfaces import AggregateIndex
+from repro.core.rpai import RPAITree
+
+
+@pytest.fixture
+def counters():
+    """Enable the obs sink for one test and yield the live counter dict."""
+    obs.enable()
+    obs.reset()
+    yield obs.SINK.counters
+    obs.disable()
+    obs.reset()
+
+
+class TestBackendSelection:
+    def test_prune_zeros_starts_on_fenwick(self):
+        index = AdaptiveIndex(prune_zeros=True)
+        assert index.backend_name == "fenwick"
+
+    def test_unpruned_starts_on_rpai(self):
+        index = AdaptiveIndex(prune_zeros=False)
+        assert index.backend_name == "rpai"
+
+    def test_selection_counters(self, counters):
+        AdaptiveIndex(prune_zeros=True)
+        AdaptiveIndex(prune_zeros=True)
+        AdaptiveIndex(prune_zeros=False)
+        assert counters["backend.fenwick_selected"] == 2
+        assert counters["backend.rpai_selected"] == 1
+
+    def test_satisfies_protocol(self):
+        assert isinstance(AdaptiveIndex(prune_zeros=True), AggregateIndex)
+        assert isinstance(AdaptiveIndex(prune_zeros=False), AggregateIndex)
+
+    def test_bulk_load_dense_keys_picks_fenwick(self):
+        index = AdaptiveIndex.bulk_load([(1, 2.0), (5, 3.0)], prune_zeros=True)
+        assert index.backend_name == "fenwick"
+        assert index.get(5) == 3.0
+        assert index.get_sum(5) == 5.0
+
+    def test_bulk_load_sparse_keys_picks_rpai(self):
+        index = AdaptiveIndex.bulk_load([(0.5, 2.0), (5, 3.0)], prune_zeros=True)
+        assert index.backend_name == "rpai"
+        assert index.get(0.5) == 2.0
+
+    def test_bulk_load_unpruned_picks_rpai(self):
+        index = AdaptiveIndex.bulk_load([(1, 2.0)], prune_zeros=False)
+        assert index.backend_name == "rpai"
+
+    def test_bulk_load_grows_capacity_above_top_key(self):
+        index = AdaptiveIndex.bulk_load([(5000, 1.0)], prune_zeros=True)
+        assert index.backend_name == "fenwick"
+        assert index.get(5000) == 1.0
+        index.add(6000, 2.0)
+        assert index.get_sum(10_000) == 3.0
+
+
+class TestMigration:
+    def test_fractional_key_migrates(self, counters):
+        index = AdaptiveIndex(prune_zeros=True)
+        index.add(3, 1.0)
+        index.add(2.5, 4.0)
+        assert index.backend_name == "rpai"
+        assert index.get(3) == 1.0
+        assert index.get(2.5) == 4.0
+        assert counters["backend.migrations"] == 1
+        assert counters["backend.migration.non_dense_key"] == 1
+
+    def test_negative_key_migrates(self):
+        index = AdaptiveIndex(prune_zeros=True)
+        index.add(3, 1.0)
+        index.add(-2, 4.0)
+        assert index.backend_name == "rpai"
+        assert list(index.items()) == [(-2, 4.0), (3, 1.0)]
+
+    def test_huge_key_migrates(self):
+        index = AdaptiveIndex(prune_zeros=True)
+        index.add(3, 1.0)
+        index.add(_MAX_UNIVERSE, 4.0)
+        assert index.backend_name == "rpai"
+        assert index.get(_MAX_UNIVERSE) == 4.0
+
+    def test_shift_keys_migrates(self, counters):
+        index = AdaptiveIndex(prune_zeros=True)
+        index.add(3, 1.0)
+        index.add(7, 2.0)
+        index.shift_keys(5, 10)
+        assert index.backend_name == "rpai"
+        assert list(index.items()) == [(3, 1.0), (17, 2.0)]
+        assert counters["backend.migration.shift_keys"] == 1
+
+    def test_put_non_dense_migrates(self):
+        index = AdaptiveIndex(prune_zeros=True)
+        index.put(3, 1.0)
+        index.put(1.5, 2.0)
+        assert index.backend_name == "rpai"
+        assert index.get(1.5) == 2.0
+
+    def test_migration_happens_at_most_once(self, counters):
+        index = AdaptiveIndex(prune_zeros=True)
+        index.add(1.5, 1.0)
+        index.add(2.5, 1.0)
+        index.shift_keys(0, 1)
+        assert counters["backend.migrations"] == 1
+
+    def test_integral_float_keys_stay_dense(self):
+        index = AdaptiveIndex(prune_zeros=True)
+        index.add(3.0, 1.0)
+        assert index.backend_name == "fenwick"
+        assert index.get(3) == 1.0
+
+
+class TestReadsNeverMigrate:
+    def test_fractional_get_returns_default(self):
+        index = AdaptiveIndex(prune_zeros=True)
+        index.add(3, 5.0)
+        assert index.get(2.5) == 0.0
+        assert index.get(2.5, default=-1.0) == -1.0
+        assert index.backend_name == "fenwick"
+
+    def test_fractional_get_sum_floors(self):
+        index = AdaptiveIndex(prune_zeros=True)
+        index.add(2, 1.0)
+        index.add(3, 2.0)
+        # keys <= 2.5 are exactly keys <= 2, inclusive or not.
+        assert index.get_sum(2.5) == 1.0
+        assert index.get_sum(2.5, inclusive=False) == 1.0
+        assert index.backend_name == "fenwick"
+
+    def test_fractional_contains_is_false(self):
+        index = AdaptiveIndex(prune_zeros=True)
+        index.add(3, 5.0)
+        assert 2.5 not in index
+        assert 3 in index
+        assert index.backend_name == "fenwick"
+
+    def test_delete_non_dense_raises_without_migrating(self):
+        index = AdaptiveIndex(prune_zeros=True)
+        index.add(3, 5.0)
+        with pytest.raises(KeyError):
+            index.delete(2.5)
+        assert index.backend_name == "fenwick"
+
+
+class TestGrowth:
+    def test_keys_beyond_initial_capacity_grow(self, counters):
+        index = AdaptiveIndex(prune_zeros=True)
+        index.add(50_000, 2.0)
+        assert index.backend_name == "fenwick"
+        assert index.get(50_000) == 2.0
+        assert counters["backend.fenwick_grows"] == 1
+
+
+class TestDifferential:
+    """Random dense workload: adaptive must agree with RPAITree exactly."""
+
+    def test_matches_rpai_tree(self):
+        rng = random.Random(9001)
+        adaptive = AdaptiveIndex(prune_zeros=True)
+        reference = RPAITree(prune_zeros=True)
+        live: set[int] = set()
+        for step in range(2000):
+            roll = rng.random()
+            if roll < 0.55 or not live:
+                key = rng.randrange(0, 3000)
+                delta = rng.randint(-5, 5) or 1
+                adaptive.add(key, delta)
+                reference.add(key, delta)
+                if reference.get(key, None) is None:
+                    live.discard(key)
+                else:
+                    live.add(key)
+            elif roll < 0.7:
+                key = rng.choice(sorted(live))
+                assert adaptive.delete(key) == reference.delete(key)
+                live.discard(key)
+            else:
+                probe = rng.randrange(0, 3200)
+                assert adaptive.get(probe, None) == reference.get(probe, None)
+                assert adaptive.get_sum(probe) == reference.get_sum(probe)
+                assert adaptive.get_sum(probe + 0.5) == reference.get_sum(probe + 0.5)
+            if step % 400 == 0:
+                assert list(adaptive.items()) == list(reference.items())
+                assert len(adaptive) == len(reference)
+                assert adaptive.total_sum() == reference.total_sum()
+        assert adaptive.backend_name == "fenwick"
+        assert list(adaptive.items()) == list(reference.items())
+
+    def test_matches_rpai_tree_across_migration(self):
+        rng = random.Random(77)
+        adaptive = AdaptiveIndex(prune_zeros=True)
+        reference = RPAITree(prune_zeros=True)
+        for _ in range(300):
+            key = rng.randrange(0, 200)
+            adaptive.add(key, 1)
+            reference.add(key, 1)
+        adaptive.shift_keys(100, 7)
+        reference.shift_keys(100, 7)
+        assert adaptive.backend_name == "rpai"
+        assert list(adaptive.items()) == list(reference.items())
+        for _ in range(300):
+            key = rng.randrange(0, 250)
+            adaptive.add(key, 1)
+            reference.add(key, 1)
+        assert list(adaptive.items()) == list(reference.items())
+
+
+class TestMisc:
+    def test_pop_and_clear(self):
+        index = AdaptiveIndex(prune_zeros=True)
+        index.add(4, 2.0)
+        assert index.pop(4) == 2.0
+        assert index.pop(4, default=-1.0) == -1.0
+        index.add(1, 1.0)
+        index.clear()
+        assert len(index) == 0
+        assert not index
+
+    def test_suffix_sum(self):
+        index = AdaptiveIndex(prune_zeros=True)
+        for key, value in [(1, 1.0), (3, 2.0), (7, 4.0)]:
+            index.add(key, value)
+        assert index.suffix_sum(3) == 4.0
+        assert index.suffix_sum(3, inclusive=True) == 6.0
+
+    def test_keys_values(self):
+        index = AdaptiveIndex(prune_zeros=True)
+        for key, value in [(2, 1.0), (5, 3.0)]:
+            index.add(key, value)
+        assert list(index.keys()) == [2, 5]
+        assert list(index.values()) == [1.0, 3.0]
+
+    def test_pickle_roundtrip(self):
+        index = AdaptiveIndex(prune_zeros=True)
+        for key in range(20):
+            index.add(key * 3, float(key))
+        clone = pickle.loads(pickle.dumps(index))
+        assert clone.backend_name == index.backend_name
+        assert list(clone.items()) == list(index.items())
+        clone.add(100, 1.0)
+        assert clone.get(100) == 1.0

@@ -1,4 +1,5 @@
-"""Tests for the Fenwick tree comparator (Section 6 related work)."""
+"""Tests for the Fenwick tree: related-work comparator (Section 6) and
+dense-key backend for the adaptive index."""
 
 import pytest
 from hypothesis import given, settings
@@ -68,6 +69,129 @@ class TestShiftKeys:
             bit.shift_keys(0, 5)
 
 
+class TestBackendSurface:
+    """The operations added when the BIT was promoted to a real backend."""
+
+    def test_delete_returns_value(self):
+        bit = FenwickTree(8)
+        bit.add(3, 5)
+        assert bit.delete(3) == 5
+        assert bit.get(3) == 0
+        assert len(bit) == 0
+
+    def test_delete_absent_raises(self):
+        bit = FenwickTree(8)
+        with pytest.raises(KeyError):
+            bit.delete(3)
+        with pytest.raises(KeyError):
+            bit.delete(99)  # outside the universe is also just absent
+
+    def test_pop(self):
+        bit = FenwickTree(8)
+        bit.add(2, 7)
+        assert bit.pop(2) == 7
+        assert bit.pop(2) is None
+        assert bit.pop(2, default=-1) == -1
+
+    def test_zero_value_means_absent(self):
+        bit = FenwickTree(8)
+        bit.add(2, 5)
+        bit.add(2, -5)
+        assert 2 not in bit
+        assert bit.get(2, default=-1) == -1
+        assert list(bit.items()) == []
+
+    def test_contains_rejects_non_ints(self):
+        bit = FenwickTree(8)
+        bit.add(2, 5)
+        assert 2 in bit
+        assert 2.0 not in bit
+        assert 2.5 not in bit
+
+    def test_suffix_sum(self):
+        bit = FenwickTree(16)
+        for key, value in [(1, 1), (3, 2), (7, 4)]:
+            bit.add(key, value)
+        assert bit.suffix_sum(3) == 4
+        assert bit.suffix_sum(3, inclusive=True) == 6
+        assert bit.suffix_sum(7) == 0
+
+    def test_clear(self):
+        bit = FenwickTree(8)
+        bit.add(1, 1)
+        bit.clear()
+        assert len(bit) == 0
+        assert bit.total_sum() == 0
+        assert not bit
+
+
+class TestGrow:
+    def test_grow_doubles_and_preserves_state(self):
+        bit = FenwickTree(8)
+        bit.add(3, 5)
+        bit.add(7, 2)
+        bit.grow(9)
+        assert bit.capacity == 16
+        assert bit.get(3) == 5
+        assert bit.get_sum(7) == 7
+        bit.add(15, 1)
+        assert bit.total_sum() == 8
+
+    def test_grow_noop_when_large_enough(self):
+        bit = FenwickTree(8)
+        bit.grow(8)
+        assert bit.capacity == 8
+
+    def test_grow_multiple_doublings(self):
+        bit = FenwickTree(4)
+        bit.add(1, 1)
+        bit.grow(100)
+        assert bit.capacity == 128
+        assert bit.get_sum(127) == 1
+
+
+class TestBulkLoad:
+    def test_matches_repeated_add(self):
+        items = [(2, 1.0), (5, 3.0), (40, 2.0)]
+        loaded = FenwickTree.bulk_load(items, capacity=64)
+        added = FenwickTree(64)
+        for key, value in items:
+            added.add(key, value)
+        assert list(loaded.items()) == list(added.items())
+        for probe in range(64):
+            assert loaded.get_sum(probe) == added.get_sum(probe)
+        assert len(loaded) == len(added)
+
+    def test_empty(self):
+        bit = FenwickTree.bulk_load([])
+        assert len(bit) == 0
+        assert bit.total_sum() == 0
+
+    def test_zero_values_dropped(self):
+        bit = FenwickTree.bulk_load([(1, 0.0), (2, 3.0)])
+        assert 1 not in bit
+        assert len(bit) == 1
+
+    def test_default_capacity_covers_top_key(self):
+        bit = FenwickTree.bulk_load([(2000, 1.0)])
+        assert bit.capacity >= 2001
+        assert bit.get(2000) == 1.0
+
+    def test_unsorted_keys_raise(self):
+        with pytest.raises(ValueError):
+            FenwickTree.bulk_load([(5, 1.0), (2, 1.0)])
+
+    def test_duplicate_keys_raise(self):
+        with pytest.raises(ValueError):
+            FenwickTree.bulk_load([(2, 1.0), (2, 1.0)])
+
+    def test_non_int_or_out_of_universe_keys_raise(self):
+        with pytest.raises(ValueError):
+            FenwickTree.bulk_load([(1.5, 1.0)], capacity=8)
+        with pytest.raises(ValueError):
+            FenwickTree.bulk_load([(9, 1.0)], capacity=8)
+
+
 @given(
     entries=st.dictionaries(
         st.integers(min_value=0, max_value=63),
@@ -83,3 +207,29 @@ def test_prefix_sums_match_bruteforce(entries, probe):
         bit.add(key, value)
     expected = sum(v for k, v in entries.items() if k <= probe)
     assert bit.get_sum(probe) == expected
+
+
+@given(
+    entries=st.dictionaries(
+        st.integers(min_value=0, max_value=63),
+        st.integers(min_value=1, max_value=9),
+        max_size=30,
+    ),
+    threshold=st.one_of(
+        st.integers(min_value=-2, max_value=300),
+        st.floats(min_value=-2, max_value=300, allow_nan=False),
+    ),
+)
+@settings(max_examples=200, deadline=None)
+def test_first_key_with_prefix_above_matches_bruteforce(entries, threshold):
+    bit = FenwickTree(64)
+    for key, value in entries.items():
+        bit.add(key, value)
+    expected = None
+    running = 0
+    for key in sorted(entries):
+        running += entries[key]
+        if running > threshold:
+            expected = key
+            break
+    assert bit.first_key_with_prefix_above(threshold) == expected
