@@ -88,6 +88,16 @@ def main(argv: list[str] | None = None) -> int:
     print()
     print(f"[bench-compare] {args.baseline.name} (baseline) vs {args.out.name}:")
     print(format_diff(report))
+    if not report.scales_match:
+        baseline_scale = load_report(args.baseline).get("scale")
+        candidate_scale = load_report(args.out).get("scale")
+        print(
+            "[bench-compare] throughput comparison skipped (scale mismatch: "
+            f"baseline scale {baseline_scale} vs candidate scale "
+            f"{candidate_scale}); only scale-independent speedup ratios were "
+            "gated — rerun with --full on a comparable machine for absolute "
+            "events/second gating"
+        )
     return 0 if report.ok else 1
 
 

@@ -1,0 +1,258 @@
+"""Sharded-execution scaling curve: 1/2/4 workers over one stream.
+
+Runs VWAP (range-partitioned) and the TPC-H queries Q17/Q18
+(hash-partitioned) through three executors on the same workload:
+
+* ``workers = 1`` — the plain single engine (the PR 1 batched path);
+* ``workers = 2 / 4`` — the multiprocess sharded executor with one
+  long-lived engine replica per worker, fed coalesced per-shard
+  batches and merged in the parent.
+
+Every sharded run is differentially checked in-line: its final result
+must be **bit-identical** to the single-engine result (the serial
+sharded executor is checked too), so the curve can never silently
+trade correctness for speed.
+
+The scaling headline is host-aware: the report records
+``os.cpu_count()`` and marks the curve ``scaling_valid`` only when the
+host actually has as many cores as the widest worker count — on a
+single-core container the 4-worker point measures IPC overhead, not
+parallelism, and the report says so instead of pretending.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sharding.py [--smoke] [--out PATH]
+
+Writes ``BENCH_sharding.json`` at the repo root (override with
+``--out``).  ``REPRO_BENCH_SCALE`` scales the workloads; ``--smoke``
+forces a tiny scale for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import obs  # noqa: E402
+from repro.bench.runner import run_timed  # noqa: E402
+from repro.engine.registry import build_engine, build_sharded_engine  # noqa: E402
+from repro.storage.stream import Stream  # noqa: E402
+from repro.workloads import (  # noqa: E402
+    OrderBookConfig,
+    TPCHConfig,
+    generate_bids_only,
+    generate_tpch,
+)
+
+WORKER_COUNTS = [1, 2, 4]
+#: per-shard shipping unit: big enough to amortize one pipe round trip,
+#: small enough to keep the merge cadence realistic for a stream.
+BATCH_SIZE = 500
+
+
+def scaled(n: int, scale: float, minimum: int = 40) -> int:
+    return max(minimum, int(n * scale))
+
+
+def build_streams(scale: float) -> dict[str, Stream]:
+    vwap = generate_bids_only(
+        OrderBookConfig(
+            events=scaled(6000, scale),
+            price_levels=400,
+            volume_max=100,
+            seed=81,
+            delete_ratio=0.1,
+        )
+    )
+    tpch = generate_tpch(TPCHConfig(scale_factor=0.05 * scale, seed=82))
+    return {"VWAP": vwap, "Q17": tpch, "Q18": tpch}
+
+
+def _best_sharded(
+    query: str, stream: Stream, workers: int, repeats: int
+):
+    """Best-of-N timed multiprocess run; returns (TimedRun, final)."""
+    best = None
+    for _ in range(repeats):
+        engine = build_sharded_engine(
+            query, "rpai", shards=workers, workers=workers, plan_stream=stream
+        )
+        try:
+            run = run_timed(engine, stream, batch_size=BATCH_SIZE, workers=workers)
+        finally:
+            engine.close()
+        if best is None or run.seconds < best.seconds:
+            best = run
+    return best
+
+
+def bench_query(query: str, stream: Stream, repeats: int) -> dict:
+    """The 1/2/4-worker curve for one query, differentially checked."""
+    template = build_engine(query, "rpai")
+    entry: dict = {
+        "engine": "rpai",
+        "events": len(stream),
+        "shard_mode": template.shard_mode,
+        "runs": [],
+    }
+
+    # Reference: the single-engine batched run (workers = 1).
+    best_single = None
+    for _ in range(repeats):
+        run = run_timed(
+            build_engine(query, "rpai"), stream, batch_size=BATCH_SIZE, workers=0
+        )
+        if best_single is None or run.seconds < best_single.seconds:
+            best_single = run
+    reference = best_single.final_result
+    entry["runs"].append(
+        {
+            "workers": 1,
+            "executor": "single",
+            "seconds": round(best_single.seconds, 6),
+            "events_per_second": round(best_single.events_per_second, 1),
+        }
+    )
+
+    differential_ok = True
+    # Serial sharded oracle at 2 shards: same router/merge as the pool,
+    # no processes — catches merge bugs independently of IPC.
+    serial = build_sharded_engine(query, "rpai", shards=2, plan_stream=stream)
+    serial_result = serial.process(stream, batch_size=BATCH_SIZE)
+    differential_ok &= serial_result == reference
+
+    for workers in WORKER_COUNTS[1:]:
+        best = _best_sharded(query, stream, workers, repeats)
+        differential_ok &= best.final_result == reference
+        entry["runs"].append(
+            {
+                "workers": workers,
+                "executor": "multiprocess",
+                "seconds": round(best.seconds, 6),
+                "events_per_second": round(best.events_per_second, 1),
+            }
+        )
+
+    base = entry["runs"][0]["events_per_second"] or 1e-9
+    for run_entry in entry["runs"]:
+        run_entry["speedup_vs_1_worker"] = round(
+            run_entry["events_per_second"] / base, 3
+        )
+    entry["differential_ok"] = bool(differential_ok)
+    entry["speedup_4_vs_1"] = entry["runs"][-1]["speedup_vs_1_worker"]
+    return entry
+
+
+def bench_shard_ops(query: str, stream: Stream) -> dict:
+    """One counter-instrumented serial-sharded pass (after all timing):
+    routing skew, per-shard batch sizes and merge time, parent-side."""
+    obs.enable()
+    obs.reset()
+    try:
+        engine = build_sharded_engine(query, "rpai", shards=4, plan_stream=stream)
+        engine.process(stream, batch_size=BATCH_SIZE)
+        snap = obs.snapshot()
+    finally:
+        obs.disable()
+    stats = snap.get("stats", {})
+    out = {"shards": 4, "counters": {
+        name: value
+        for name, value in snap.get("counters", {}).items()
+        if name.startswith("shard.")
+    }}
+    for name in ("shard.batch_size", "shard.skew", "shard.merge_seconds"):
+        if name in stats:
+            entry = stats[name]
+            out[name] = {
+                "count": entry["count"],
+                "mean": round(entry["mean"], 6),
+                "max": entry["max"],
+            }
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny workloads for a CI smoke run"
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=REPO_ROOT / "BENCH_sharding.json",
+        help="output JSON path",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timed repeats per cell (best kept)"
+    )
+    args = parser.parse_args(argv)
+
+    scale = 0.05 if args.smoke else float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    repeats = 1 if args.smoke else max(1, args.repeats)
+    cpu_count = os.cpu_count() or 1
+
+    report: dict = {
+        "scale": scale,
+        "smoke": args.smoke,
+        "cpu_count": cpu_count,
+        "worker_counts": WORKER_COUNTS,
+        "batch_size": BATCH_SIZE,
+        "scaling_valid": cpu_count >= max(WORKER_COUNTS),
+        "workloads": {},
+        "shard_ops": {},
+        "notes": [],
+    }
+    if not report["scaling_valid"]:
+        report["notes"].append(
+            f"host has {cpu_count} CPU core(s) < {max(WORKER_COUNTS)} workers: "
+            "the multi-worker points measure routing/IPC overhead under "
+            "core-sharing, not parallel speedup; the >=1.6x VWAP scaling "
+            "target is only meaningful on a >=4-core host"
+        )
+
+    for query, stream in build_streams(scale).items():
+        entry = bench_query(query, stream, repeats)
+        report["workloads"][query] = entry
+        curve = ", ".join(
+            f"w={r['workers']}: {r['events_per_second']:.0f} ev/s"
+            f" ({r['speedup_vs_1_worker']}x)"
+            for r in entry["runs"]
+        )
+        print(
+            f"[sharding] {query} ({entry['shard_mode']}, "
+            f"{entry['events']} events): {curve}"
+            f" | differential {'OK' if entry['differential_ok'] else 'FAIL'}"
+        )
+        if not entry["differential_ok"]:
+            print(f"[sharding] {query}: sharded result diverged from single engine")
+            return 1
+
+    # Counters last so every timed section ran with the sink disabled.
+    for query in ("VWAP", "Q18"):
+        report["shard_ops"][query] = bench_shard_ops(
+            query, build_streams(scale)[query]
+        )
+
+    vwap = report["workloads"]["VWAP"]
+    target = 1.6
+    report["vwap_scaling_target"] = target
+    report["vwap_scaling_met"] = vwap["speedup_4_vs_1"] >= target
+    if report["scaling_valid"] and not report["vwap_scaling_met"]:
+        report["notes"].append(
+            f"VWAP 4-worker speedup {vwap['speedup_4_vs_1']}x below the "
+            f"{target}x target on a {cpu_count}-core host"
+        )
+
+    args.out.write_text(json.dumps(report, indent=2, allow_nan=False) + "\n")
+    print(f"[sharding] wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

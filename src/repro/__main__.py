@@ -7,9 +7,16 @@ Commands:
     cost (Table 1's analytical half).
 ``classify <sql | file>``
     Parse a query and print the planner's verdict.
-``run <query> [--engine E] [--events N] [--seed S]``
+``run <query> [--engine E] [--events N] [--seed S] [--shards K] [--workers N]``
     Stream a synthetic workload through an engine and report result,
-    wall time and throughput.
+    wall time and throughput.  ``--shards K`` partitions the stream
+    into K engine replicas (serial, deterministic); ``--workers N``
+    additionally runs one worker process per shard.  Queries whose
+    correlation crosses any partition fall back to a single engine.
+``bench-shard [--smoke] [--out PATH]``
+    Run the sharded-execution scaling benchmark (1/2/4 workers for
+    VWAP/Q17/Q18, differentially checked) and write
+    ``BENCH_sharding.json``.
 ``compare <query> [--events N]``
     Run every strategy on the same stream and print a comparison table.
 ``stats <query> [--engine E] [--events N] [--seed S] [--selfcheck] [--json]``
@@ -109,15 +116,59 @@ def cmd_classify(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    from repro.engine.registry import build_sharded_engine
+
     stream = _default_stream(args.query, args.events, args.seed)
-    engine = build_engine(args.query, args.engine)
-    run = run_timed(engine, stream)
+    workers = max(0, args.workers)
+    shards = args.shards if args.shards is not None else (workers or 1)
+    close = None
+    if shards > 1 or workers:
+        engine = build_sharded_engine(
+            args.query,
+            args.engine,
+            shards=shards,
+            workers=workers,
+            plan_stream=stream,
+        )
+        close = getattr(engine, "close", None)
+        sharded = getattr(engine, "shards", None)
+        if sharded is None:
+            print(
+                f"note     : {args.query.upper()}/{args.engine} is not shardable "
+                "(correlated predicate crosses partitions); running unsharded"
+            )
+    else:
+        engine = build_engine(args.query, args.engine)
+    if args.batch_size is not None:
+        batch_size = args.batch_size
+    else:
+        # Sharded runs ship per-shard chunks (amortizing one pipe round
+        # trip per chunk); the plain engine keeps the per-event trigger.
+        batch_size = 500 if (shards > 1 or workers) else 1
+    try:
+        run = run_timed(engine, stream, batch_size=batch_size, workers=workers)
+    finally:
+        if close is not None:
+            close()
     print(f"query    : {args.query.upper()}")
-    print(f"engine   : {args.engine}")
+    print(f"engine   : {engine.name}")
     print(f"events   : {run.events}")
     print(f"time     : {run.seconds:.4f}s ({run.events_per_second:,.0f} events/s)")
     print(f"result   : {run.final_result}")
     return 0
+
+
+def cmd_bench_shard(args: argparse.Namespace) -> int:
+    sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "benchmarks"))
+    import bench_sharding
+
+    argv = []
+    if args.smoke:
+        argv.append("--smoke")
+    if args.out is not None:
+        argv.extend(["--out", str(args.out)])
+    argv.extend(["--repeats", str(args.repeats)])
+    return bench_sharding.main(argv)
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
@@ -241,6 +292,26 @@ def main(argv: list[str] | None = None) -> int:
     p_run.add_argument("--engine", default="rpai", choices=STRATEGIES)
     p_run.add_argument("--events", type=int, default=2000)
     p_run.add_argument("--seed", type=int, default=42)
+    p_run.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="partition the stream into K engine replicas (serial executor; "
+        "defaults to --workers when that is set)",
+    )
+    p_run.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="run the multiprocess sharded executor with one worker "
+        "process per shard (0 = in-process)",
+    )
+    p_run.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help="events per trigger chunk (default: 1 unsharded, 500 sharded)",
+    )
 
     p_stats = sub.add_parser(
         "stats", help="run one engine with operation counters enabled"
@@ -276,6 +347,18 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_diff.add_argument("--json", action="store_true", help="machine-readable output")
 
+    p_shard = sub.add_parser(
+        "bench-shard",
+        help="run the sharded-execution scaling benchmark (BENCH_sharding.json)",
+    )
+    p_shard.add_argument(
+        "--smoke", action="store_true", help="tiny workloads for a CI smoke run"
+    )
+    p_shard.add_argument("--out", type=Path, default=None, help="output JSON path")
+    p_shard.add_argument(
+        "--repeats", type=int, default=3, help="timed repeats per cell (best kept)"
+    )
+
     p_compare = sub.add_parser("compare", help="run all engines on one stream")
     p_compare.add_argument("query", choices=[n for n in query_names()] + [n.lower() for n in query_names()])
     p_compare.add_argument("--events", type=int, default=1000)
@@ -294,6 +377,7 @@ def main(argv: list[str] | None = None) -> int:
         "run": cmd_run,
         "stats": cmd_stats,
         "bench-diff": cmd_bench_diff,
+        "bench-shard": cmd_bench_shard,
         "compare": cmd_compare,
     }[args.command]
     return handler(args)

@@ -43,6 +43,9 @@ class TimedRun:
     seconds: float
     final_result: object
     batch_size: int = 1
+    #: worker processes driving the engine (0 = in-process execution;
+    #: > 0 = the multiprocess sharded executor with that many workers)
+    workers: int = 0
     #: counter delta over the run (``obs.diff_snapshots`` shape), or
     #: ``None`` when the obs sink was disabled
     ops: dict | None = None
@@ -82,12 +85,17 @@ class InstrumentedRun:
 
 
 def run_timed(
-    engine: IncrementalEngine, stream: Stream, batch_size: int = 1
+    engine: IncrementalEngine,
+    stream: Stream,
+    batch_size: int = 1,
+    workers: int = 0,
 ) -> TimedRun:
     """Feed the whole stream, timing only the trigger calls.
 
     ``batch_size > 1`` times the batched path (``on_batch`` per chunk)
-    instead of one trigger per event.
+    instead of one trigger per event.  ``workers`` is recorded as run
+    metadata (the sharded executors carry their own worker processes;
+    the runner drives them through the same trigger interface).
     """
     events = list(stream)
     before = obs.snapshot() if obs.enabled() else None
@@ -106,6 +114,7 @@ def run_timed(
         seconds=elapsed,
         final_result=engine.result(),
         batch_size=max(1, batch_size),
+        workers=max(0, workers),
         ops=ops,
     )
 

@@ -74,6 +74,20 @@ class OrderedMultiset:
         """Number of elements ``<= value`` (``< value`` if exclusive)."""
         return int(self._counts.get_sum(value, inclusive=inclusive))
 
+    def items(self):
+        """Yield ``(value, count)`` pairs in ascending value order."""
+        for value, count in self._counts.items():
+            yield value, int(count)
+
+    def merge(self, other: "OrderedMultiset") -> None:
+        """Multiset union: fold every occurrence of ``other`` into
+        ``self``.  This is the MIN/MAX merge law of the sharded
+        execution layer — extremes of disjoint shards combine by
+        unioning the underlying multisets, which stays correct under
+        deletions (each shard retracts only its own occurrences)."""
+        for value, count in other.items():
+            self.add(value, count)
+
     def __len__(self) -> int:
         return self._size
 
@@ -112,6 +126,19 @@ class MinMaxView:
         if not self._values:
             return self.default
         return self._values.min() if self.func == "MIN" else self._values.max()
+
+    def merge(self, other: "MinMaxView") -> None:
+        """Fold another view's multiset into this one (shard merge).
+
+        Raises:
+            EngineStateError: when the views maintain different
+                aggregates — merging a MIN into a MAX is meaningless.
+        """
+        if other.func != self.func:
+            raise EngineStateError(
+                f"cannot merge a {other.func} view into a {self.func} view"
+            )
+        self._values.merge(other._values)
 
     def __len__(self) -> int:
         return len(self._values)

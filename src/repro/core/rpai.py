@@ -129,6 +129,8 @@ _POOL_MAX = 4096
 
 def _new_node(key: float, value: float) -> RPAINode:
     if _POOL:
+        if _SINK.enabled:
+            _SINK.inc("rpai.freelist.hits")
         node = _POOL.pop()
         node.key = key
         node.value = value
@@ -137,6 +139,8 @@ def _new_node(key: float, value: float) -> RPAINode:
         node.max_off = 0
         node.height = 1
         return node
+    if _SINK.enabled:
+        _SINK.inc("rpai.freelist.misses")
     return RPAINode(key, value)
 
 
@@ -145,6 +149,8 @@ def _free_node(node: RPAINode) -> None:
         node.left = None
         node.right = None
         _POOL.append(node)
+        if _SINK.enabled:
+            _SINK.observe("rpai.freelist.depth", len(_POOL))
 
 
 def _balance_any(node: RPAINode | None) -> RPAINode | None:

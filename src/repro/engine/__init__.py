@@ -10,7 +10,19 @@ from repro.engine.base import IncrementalEngine, Result
 from repro.engine.conjunctive import ConjunctiveIndexEngine, decompose_product_sum
 from repro.engine.general import GeneralAlgorithmEngine
 from repro.engine.naive import NaiveEngine, evaluate_query
-from repro.engine.registry import STRATEGIES, available_strategies, build_engine
+from repro.engine.registry import (
+    STRATEGIES,
+    available_strategies,
+    build_engine,
+    build_sharded_engine,
+)
+from repro.engine.sharding import (
+    MultiprocessShardedExecutor,
+    ShardedExecutor,
+    ShardRouter,
+    plan_router,
+    stable_hash,
+)
 
 __all__ = [
     "IncrementalEngine",
@@ -25,6 +37,12 @@ __all__ = [
     "ConjunctiveIndexEngine",
     "decompose_product_sum",
     "build_engine",
+    "build_sharded_engine",
     "available_strategies",
     "STRATEGIES",
+    "ShardRouter",
+    "ShardedExecutor",
+    "MultiprocessShardedExecutor",
+    "plan_router",
+    "stable_hash",
 ]

@@ -102,6 +102,46 @@ class _FixedSide:
         # The fixed side contains no outer columns by construction.
         return self._side({})
 
+    # -- sharded execution support ------------------------------------
+    # The fixed side is a combination of uncorrelated scalars, each of
+    # which is mergeable: SUM/COUNT/AVG by component addition, MIN/MAX
+    # by multiset union.  Shard replicas ship the components; the
+    # template folds them and re-evaluates the compiled expression, so
+    # the merged probe value is computed by exactly the same code path
+    # (and float operations) as the unsharded engine's.
+
+    def shard_components(self) -> tuple:
+        """Picklable per-scalar components, in scalar-definition order."""
+        from repro.engine.general import _MaintainedAggregate
+
+        out = []
+        for scalar in self._scalars.values():
+            aggregate = scalar.aggregate
+            if isinstance(aggregate, _MaintainedAggregate):
+                out.append(("sc", aggregate.total, aggregate.count))
+            else:  # MinMaxView — ship the multiset contents
+                out.append(("mm", tuple(aggregate._values.items())))
+        return tuple(out)
+
+    def load_merged_components(self, parts: list[tuple]) -> None:
+        """Overwrite this (template) side's scalars with the merge of
+        per-shard component tuples from :meth:`shard_components`."""
+        from repro.core.minmax import MinMaxView
+        from repro.engine.general import _MaintainedAggregate
+        from repro.engine.mergeable import merge_counts, merge_sums
+
+        for index, scalar in enumerate(self._scalars.values()):
+            aggregate = scalar.aggregate
+            if isinstance(aggregate, _MaintainedAggregate):
+                aggregate.total = merge_sums(part[index][1] for part in parts)
+                aggregate.count = merge_counts(part[index][2] for part in parts)
+            else:
+                merged = MinMaxView(aggregate.func, default=aggregate.default)
+                for part in parts:
+                    for value, count in part[index][1]:
+                        merged.update(value, count)
+                scalar.aggregate = merged
+
 
 class _ResultAggregate:
     """Compiled result aggregate: scale * AGG(arg)."""
@@ -335,6 +375,40 @@ class PointIndexEngine(IncrementalEngine):
             self.aggr_index, self.spec.outer_op, probe
         )
 
+    # -- sharded execution (equality correlation partitions by group) --
+    # A replica owns the correlation groups hashed to it: a group's
+    # subquery value (its rhs) depends only on that group's tuples, so
+    # any key-disjoint assignment keeps every per-group rhs exact.  The
+    # only global quantity is the fixed probe value, merged from the
+    # replicas' scalar components; every replica is then probed at the
+    # same merged value and the raw probe answers add up.
+
+    shard_mode = "hash"
+
+    def shard_routing_key(self, event: Event) -> Any:
+        if event.relation != self.relation:
+            return 0  # fixed-side-only event: pin to one replica
+        row = event.row
+        if len(self._group_cols) == 1:
+            return row[self._group_cols[0]]
+        return tuple(row[c] for c in self._group_cols)
+
+    def shard_partial(self) -> Any:
+        return self._fixed.shard_components()
+
+    def shard_contexts(self, partials) -> list[Any]:
+        self._fixed.load_merged_components(list(partials))
+        probe = self._fixed.value()
+        return [probe] * len(partials)
+
+    def shard_probe(self, context: Any) -> float:
+        return _probe(self.aggr_index, self.spec.outer_op, context)
+
+    def shard_combine(self, partials, probes) -> Result:
+        from repro.engine.mergeable import merge_sums
+
+        return self._result_agg.scale * merge_sums(probes)
+
 
 class RangeIndexEngine(IncrementalEngine):
     """Algorithm 4, inequality case — Example 2.2 / Figure 2c (VWAP).
@@ -524,6 +598,51 @@ class RangeIndexEngine(IncrementalEngine):
             self.aggr_index, self.spec.outer_op, probe
         )
 
+    # -- sharded execution (inequality correlation partitions by range) --
+    # Replicas own contiguous ranges of the stored correlation key, so a
+    # group's global subquery value (a prefix sum over *all* keys below
+    # it) equals its shard-local rhs plus one additive offset — the
+    # total inner volume of the lower shards.  That is the RPAI
+    # relative-key idea lifted to the shard level: instead of adjusting
+    # every replica on every update, the merge adjusts each replica's
+    # probe by its current offset.  ``probe op (offset + rhs_local)``
+    # rewrites to ``(probe - offset) op rhs_local``, so each replica
+    # answers one O(log n) probe at its offset-shifted value and the
+    # raw answers add up.  Offsets and probe values are exact for the
+    # integer measures the workloads use, so the sharded result is
+    # bit-identical to the unsharded one.
+
+    shard_mode = "range"
+
+    def shard_routing_key(self, event: Event) -> Any:
+        if event.relation != self.relation:
+            # Fixed-side-only event: sorts below every data key, so it
+            # pins to the lowest-range replica and is counted once.
+            return float("-inf")
+        return self._key_sign * event.row[self._key_col]
+
+    def shard_partial(self) -> Any:
+        return (self._fixed.shard_components(), self.bound_map.total_sum())
+
+    def shard_contexts(self, partials) -> list[Any]:
+        partials = list(partials)
+        self._fixed.load_merged_components([part[0] for part in partials])
+        probe = self._fixed.value()
+        contexts = []
+        offset = 0
+        for _components, shard_volume in partials:
+            contexts.append(probe - offset)
+            offset += shard_volume
+        return contexts
+
+    def shard_probe(self, context: Any) -> float:
+        return _probe(self.aggr_index, self.spec.outer_op, context)
+
+    def shard_combine(self, partials, probes) -> Result:
+        from repro.engine.mergeable import merge_sums
+
+        return self._result_agg.scale * merge_sums(probes)
+
 
 class GroupedRangeIndexEngine(IncrementalEngine):
     """Grouped variant of :class:`RangeIndexEngine` — the grammar's
@@ -684,6 +803,52 @@ class GroupedRangeIndexEngine(IncrementalEngine):
         out: dict[Any, float] = {}
         for gkey, index in self.group_indexes.items():
             value = self._scale * _probe(index, self.spec.outer_op, probe)
+            if value != 0:
+                out[gkey] = value
+        return out
+
+    # -- sharded execution: range partition + grouped additive union --
+    # Routing is identical to the scalar range engine (the partition key
+    # is the *correlation* key, not the group key), so one group's
+    # tuples may live in several shards; each shard's per-group raw
+    # probe is offset-adjusted exactly as in RangeIndexEngine and the
+    # per-group answers merge by addition — the grouped merge law with
+    # collisions combined additively, zeros dropped to match result().
+
+    shard_mode = "range"
+
+    def shard_routing_key(self, event: Event) -> Any:
+        if event.relation != self.relation:
+            return float("-inf")
+        return self._key_sign * event.row[self._key_col]
+
+    def shard_partial(self) -> Any:
+        return (self._fixed.shard_components(), self.bound_map.total_sum())
+
+    def shard_contexts(self, partials) -> list[Any]:
+        partials = list(partials)
+        self._fixed.load_merged_components([part[0] for part in partials])
+        probe = self._fixed.value()
+        contexts = []
+        offset = 0
+        for _components, shard_volume in partials:
+            contexts.append(probe - offset)
+            offset += shard_volume
+        return contexts
+
+    def shard_probe(self, context: Any) -> dict[Any, float]:
+        return {
+            gkey: _probe(index, self.spec.outer_op, context)
+            for gkey, index in self.group_indexes.items()
+        }
+
+    def shard_combine(self, partials, probes) -> Result:
+        from repro.engine.mergeable import merge_grouped
+
+        merged = merge_grouped(probes)
+        out: dict[Any, float] = {}
+        for gkey, raw in merged.items():
+            value = self._scale * raw
             if value != 0:
                 out[gkey] = value
         return out

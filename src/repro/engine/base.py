@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import abc
 import functools
-from typing import Sequence, Union
+from typing import Any, ClassVar, Sequence, Union
 
 from repro.obs import SINK as _SINK
 from repro.storage.stream import Event, Stream
@@ -184,3 +184,71 @@ class IncrementalEngine(abc.ABC):
         table before switching to incremental updates.
         """
         return self.process(stream)
+
+    # ------------------------------------------------------------------
+    # Sharded execution protocol (see repro.engine.sharding).
+    #
+    # A shardable engine declares how its input stream partitions into
+    # independent replicas and how the replicas' partial states combine
+    # back into the exact single-engine answer.  The merge laws live in
+    # repro.engine.mergeable; engines implement the five hooks below.
+    # The executors drive them in two phases per result refresh:
+    #
+    #   1. every replica reports shard_partial() — a small picklable
+    #      summary (global scalar components, per-shard totals);
+    #   2. a *template* engine (same query, never fed events) turns the
+    #      gathered partials into per-shard probe contexts
+    #      (shard_contexts), each replica answers shard_probe(ctx), and
+    #      the template folds partials + probes into the final result
+    #      (shard_combine).
+    #
+    # Engines whose partials already carry the whole answer return None
+    # from shard_contexts and the probe phase is skipped — one IPC round
+    # trip instead of two in the multiprocess executor.
+    #
+    # ``shard_mode`` declares how events route:
+    #   * "hash"  — equality/group correlation: replicas own disjoint
+    #     correlation groups, any key-disjoint assignment is exact;
+    #   * "range" — inequality correlation: replicas own contiguous
+    #     routing-key ranges so a shard's subquery values differ from
+    #     the global ones by one additive offset (the relative-index
+    #     idea lifted to the shard level);
+    #   * None    — not shardable: cross-shard correlated predicates
+    #     make any partition unsound, executors fall back to K = 1.
+    # ------------------------------------------------------------------
+
+    #: sharded-routing mode: "hash", "range", or None (not shardable).
+    shard_mode: ClassVar[str | None] = None
+
+    def shard_routing_key(self, event: Event) -> Any:
+        """Routing key of ``event`` under :attr:`shard_mode`.
+
+        ``None`` means broadcast: the event must reach every replica
+        (reference data that gates qualification, e.g. Q18 customers).
+        Events that only feed globally-merged scalars should return a
+        key that pins them to one replica (any constant) so their
+        contribution is not double counted by the merge.
+        """
+        raise NotImplementedError(f"{type(self).__name__} is not shardable")
+
+    def shard_partial(self) -> Any:
+        """Phase 1: this replica's mergeable summary (picklable)."""
+        raise NotImplementedError(f"{type(self).__name__} is not shardable")
+
+    def shard_contexts(self, partials: Sequence[Any]) -> list[Any] | None:
+        """Phase 2 setup, run on the template: per-shard probe contexts
+        derived from all gathered partials, or ``None`` when the
+        partials alone determine the result (no probe phase)."""
+        return None
+
+    def shard_probe(self, context: Any) -> Any:
+        """Phase 2: evaluate this replica's contribution under the
+        globally-derived ``context`` (e.g. an offset-adjusted probe)."""
+        raise NotImplementedError(f"{type(self).__name__} is not shardable")
+
+    def shard_combine(
+        self, partials: Sequence[Any], probes: Sequence[Any] | None
+    ) -> Result:
+        """Fold partials (and probe answers, when a probe phase ran)
+        into the exact single-engine result; run on the template."""
+        raise NotImplementedError(f"{type(self).__name__} is not shardable")

@@ -1,0 +1,150 @@
+"""Mergeable results: the algebra that makes sharded execution exact.
+
+A sharded run splits one update stream into K disjoint sub-streams and
+feeds each to an independent engine replica.  The combined answer is
+correct only for aggregates whose partial results form a commutative
+monoid under a known merge operation — the same property DBSP relies on
+for key-partitioned incremental streams and DBToaster's recursive
+deltas exhibit for SUM/COUNT-class aggregates.  This module collects
+those merge laws in one place so the executors (and their property
+tests) share a single definition:
+
+* **SUM / COUNT** — merge by addition.  The workloads use integer
+  measures, so addition is exact and reassociation across shards cannot
+  change a single bit of the result.
+* **AVG** — merge the *(total, count)* component pair by addition and
+  divide once at the end; merging the quotients would be wrong for
+  unequal shard sizes and numerically unstable even for equal ones.
+* **MIN / MAX** — not streamable, so not mergeable as scalars either:
+  after a deletion a shard's scalar extreme is unrecoverable.  Shards
+  keep the Section 4.2.5 ordered multiset
+  (:class:`~repro.core.minmax.OrderedMultiset`) and merge by multiset
+  union, which commutes with deletions applied shard-locally.
+* **Grouped results** — merge by key-wise union of the per-group
+  values.  When the partition key is the group key the unions are
+  disjoint; otherwise the per-group values must themselves be mergeable
+  (addition for SUM groups, min/max for extreme groups) and the union
+  combines collisions with that law.
+
+Engines expose their shard partials through the hooks on
+:class:`~repro.engine.base.IncrementalEngine`; the executors in
+:mod:`repro.engine.sharding` call the functions here to combine them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.core.minmax import MinMaxView, OrderedMultiset
+from repro.errors import EngineStateError
+
+__all__ = [
+    "merge_sums",
+    "merge_counts",
+    "merge_avg_parts",
+    "merge_minmax",
+    "merge_multisets",
+    "merge_grouped",
+    "MERGE_ADD",
+    "MERGE_MIN",
+    "MERGE_MAX",
+]
+
+
+def merge_sums(parts: Iterable[float]) -> float:
+    """SUM merge law: partial sums combine by addition."""
+    total = 0
+    for part in parts:
+        total += part
+    return total
+
+
+def merge_counts(parts: Iterable[int]) -> int:
+    """COUNT merge law: identical to SUM over unit weights."""
+    total = 0
+    for part in parts:
+        total += part
+    return total
+
+
+def merge_avg_parts(parts: Iterable[tuple[float, float]]) -> tuple[float, float]:
+    """AVG merge law: add the ``(total, count)`` components.
+
+    The caller divides once on the merged pair; an empty merged count
+    means "no rows anywhere" and follows the engines' empty-aggregate
+    convention (0) at that point, not here.
+    """
+    total = 0
+    count = 0
+    for part_total, part_count in parts:
+        total += part_total
+        count += part_count
+    return total, count
+
+
+def merge_multisets(parts: Sequence[OrderedMultiset]) -> OrderedMultiset:
+    """Union of per-shard ordered multisets into a fresh one."""
+    merged = OrderedMultiset()
+    for part in parts:
+        merged.merge(part)
+    return merged
+
+
+def merge_minmax(parts: Sequence[MinMaxView]) -> MinMaxView:
+    """MIN/MAX merge law: union the backing multisets.
+
+    All parts must maintain the same aggregate; the merged view carries
+    the first part's default.  An empty sequence is rejected because
+    there is no function to give the merged view.
+    """
+    if not parts:
+        raise EngineStateError("merge_minmax needs at least one partial view")
+    merged = MinMaxView(parts[0].func, default=parts[0].default)
+    for part in parts:
+        merged.merge(part)
+    return merged
+
+
+#: Collision laws for :func:`merge_grouped`.
+MERGE_ADD: Callable[[float, float], float] = lambda a, b: a + b  # noqa: E731
+MERGE_MIN: Callable[[float, float], float] = min
+MERGE_MAX: Callable[[float, float], float] = max
+
+
+def merge_grouped(
+    parts: Iterable[Mapping[Any, float]],
+    *,
+    combine: Callable[[float, float], float] = MERGE_ADD,
+    disjoint: bool = False,
+    drop_zero: bool = False,
+) -> dict[Any, float]:
+    """Grouped merge law: key-wise union of ``{group key: value}`` dicts.
+
+    Args:
+        parts: per-shard grouped results.
+        combine: collision law applied when a group appears in several
+            shards — addition for SUM/COUNT groups, ``min``/``max`` for
+            extreme groups.  A key present in one shard only keeps its
+            value untouched (group absence means "no qualifying rows",
+            not a zero that must be combined).
+        disjoint: assert that no group key appears in two shards — the
+            guarantee when the partition key *is* the group key; a
+            collision then indicates a routing bug, not data.
+        drop_zero: drop groups whose combined value is 0, matching
+            engines that omit empty groups from their result dicts.
+    """
+    merged: dict[Any, float] = {}
+    for part in parts:
+        for key, value in part.items():
+            if key in merged:
+                if disjoint:
+                    raise EngineStateError(
+                        f"group key {key!r} appeared in two shards of a "
+                        "disjoint grouped merge"
+                    )
+                merged[key] = combine(merged[key], value)
+            else:
+                merged[key] = value
+    if drop_zero:
+        merged = {key: value for key, value in merged.items() if value != 0}
+    return merged

@@ -123,6 +123,29 @@ class Q17RpaiEngine(IncrementalEngine):
     def result(self) -> Result:
         return self._total / 7.0
 
+    # -- sharded execution: equality correlation on partkey --
+    # Both relations carry partkey, so hash partitioning puts every
+    # tuple of a part (and the part row itself) on one replica; each
+    # replica's ``_total`` is the Σ over its own qualifying parts.  The
+    # per-shard totals are integer sums (quantities/prices are ints in
+    # the workload generator), so adding them and dividing by 7.0 once
+    # reproduces the unsharded float bit-for-bit.
+
+    shard_mode = "hash"
+
+    def shard_routing_key(self, event: Event):
+        if event.relation not in ("part", "lineitem"):
+            return 0  # irrelevant relation: pin anywhere, it is ignored
+        return event.row["partkey"]
+
+    def shard_partial(self):
+        return self._total
+
+    def shard_combine(self, partials, probes) -> Result:
+        from repro.engine.mergeable import merge_sums
+
+        return merge_sums(partials) / 7.0
+
 
 class Q18RpaiEngine(IncrementalEngine):
     """O(1)-per-update TPC-H Q18 (uncorrelated HAVING semijoin).
@@ -195,3 +218,30 @@ class Q18RpaiEngine(IncrementalEngine):
 
     def result(self) -> Result:
         return dict(self._result)
+
+    # -- sharded execution: hash on orderkey, broadcast customers --
+    # Lineitems and orders join on orderkey, so partitioning both by
+    # orderkey keeps every order's reassembly shard-local.  Customer
+    # events carry no orderkey; they are reference data gating
+    # qualification, so they broadcast to every replica (returning None
+    # from the routing key).  A customer's orders may land on several
+    # shards, so the grouped union combines colliding custkeys by
+    # addition — per-shard dicts never hold zero entries, matching the
+    # unsharded result exactly.
+
+    shard_mode = "hash"
+
+    def shard_routing_key(self, event: Event):
+        if event.relation == "customer":
+            return None  # broadcast
+        if event.relation not in ("orders", "lineitem"):
+            return 0  # irrelevant relation: pin anywhere, it is ignored
+        return event.row["orderkey"]
+
+    def shard_partial(self):
+        return dict(self._result)
+
+    def shard_combine(self, partials, probes) -> Result:
+        from repro.engine.mergeable import merge_grouped
+
+        return merge_grouped(partials)

@@ -40,7 +40,12 @@ from repro.engine.queries.psp import PSPRpaiEngine
 from repro.engine.queries.tpch import Q17RpaiEngine, Q18RpaiEngine
 from repro.workloads.queries import get_query
 
-__all__ = ["build_engine", "available_strategies", "STRATEGIES"]
+__all__ = [
+    "build_engine",
+    "build_sharded_engine",
+    "available_strategies",
+    "STRATEGIES",
+]
 
 EngineFactory = Callable[[], IncrementalEngine]
 
@@ -122,6 +127,54 @@ def build_engine(query_name: str, strategy: str) -> IncrementalEngine:
         except KeyError:
             raise KeyError(f"no RPAI engine for {name!r}") from None
     raise KeyError(f"unknown strategy {strategy!r}; choose from {STRATEGIES}")
+
+
+def build_sharded_engine(
+    query_name: str,
+    strategy: str,
+    *,
+    shards: int,
+    workers: int = 0,
+    plan_stream=None,
+) -> IncrementalEngine:
+    """Build a K-shard executor for ``query_name``, or fall back.
+
+    The *template* engine (one plain :func:`build_engine` instance that
+    never sees an event) declares the partition law through its
+    ``shard_mode``; when it is ``None`` — a correlated predicate that
+    crosses any partition — or ``shards <= 1``, the template itself is
+    returned: single-engine execution is always sound, so unshardable
+    queries silently run at K = 1 rather than erroring.
+
+    Args:
+        query_name / strategy: as for :func:`build_engine`.
+        shards: number of engine replicas (K).
+        workers: 0 for the deterministic serial executor; > 0 for the
+            multiprocess pool with one long-lived worker per shard
+            (``workers`` must then equal ``shards``).
+        plan_stream: stream pre-scanned for range-partition boundaries
+            (required for balanced range sharding; ignored by hash
+            engines).
+    """
+    from repro.engine.sharding import (
+        MultiprocessShardedExecutor,
+        ShardedExecutor,
+        plan_router,
+    )
+
+    template = build_engine(query_name, strategy)
+    router = plan_router(template, shards, plan_stream)
+    if router is None:
+        return template
+    if workers:
+        if workers != shards:
+            raise ValueError(
+                f"the pool executor runs one worker per shard: "
+                f"workers={workers} != shards={shards}"
+            )
+        return MultiprocessShardedExecutor(query_name, strategy, template, router)
+    replicas = [build_engine(query_name, strategy) for _ in range(shards)]
+    return ShardedExecutor(template, replicas, router)
 
 
 def available_strategies(query_name: str) -> tuple[str, ...]:

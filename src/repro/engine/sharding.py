@@ -1,0 +1,437 @@
+"""Sharded parallel execution: partitioned engine replicas + exact merge.
+
+Single-core throughput of the RPAI engines is near the ceiling of pure
+Python; the next scaling lever is partitioning the update stream itself.
+DBSP-style incremental computations over key-partitioned streams
+parallelize cleanly when per-shard results merge associatively, and the
+aggregate-index engines here are exactly that shape — each declares its
+partitioning law through the ``shard_*`` hooks on
+:class:`~repro.engine.base.IncrementalEngine`:
+
+* **hash mode** (equality / group correlation): a replica owns the
+  correlation groups hashed to it.  A group's subquery value depends
+  only on its own tuples, so any key-disjoint assignment is exact.
+* **range mode** (inequality correlation): a replica owns one
+  contiguous range of the stored correlation key.  A group's global
+  subquery value is its shard-local value plus the total inner volume
+  of the lower shards — a single additive offset per shard, the RPAI
+  relative-key idea lifted to the shard level.  The
+  :class:`ShardRouter` picks range boundaries from a planning pre-scan
+  of the stream (quantile cuts of the observed keys).
+* **mode None** (everything else): cross-shard correlated predicates —
+  a tuple in one shard qualifying against state in another — make any
+  partition unsound, so the builders fall back to a single engine.
+
+Two executors share one interface (they are themselves
+``IncrementalEngine`` subclasses, so every harness — differential
+tests, benchmarks, the CLI — drives them unchanged):
+
+* :class:`ShardedExecutor` — deterministic serial execution of the K
+  replicas in one process; the correctness oracle for the parallel
+  path and the differential tests.
+* :class:`MultiprocessShardedExecutor` — K long-lived worker
+  processes, one replica each, fed coalesced per-shard event batches
+  over pipes (reusing the engines' ``on_batch`` fast path) and merged
+  in the parent through the same two-phase protocol.
+
+Merging is template-driven: a *template* engine of the same query
+(never fed an event) gathers the replicas' picklable partials, derives
+per-shard probe contexts (``shard_contexts``), and folds partials plus
+probe answers into the final result (``shard_combine``) using the laws
+in :mod:`repro.engine.mergeable`.  All workload measures are integers,
+so the merged results are bit-identical to the unsharded engine's.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import zlib
+from bisect import bisect_right
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.engine.base import IncrementalEngine, Result
+from repro.errors import EngineStateError
+from repro.obs import SINK as _SINK
+from repro.storage.stream import Event, Stream
+
+__all__ = [
+    "stable_hash",
+    "ShardRouter",
+    "ShardedExecutor",
+    "MultiprocessShardedExecutor",
+    "plan_router",
+]
+
+
+def stable_hash(key: Any) -> int:
+    """Deterministic, process-independent hash for routing keys.
+
+    Python's builtin ``hash`` is salted per process (``PYTHONHASHSEED``),
+    which would make shard assignment differ between the serial oracle
+    and the worker processes.  Integers route by value; everything else
+    by CRC-32 of its ``repr`` — stable across runs and interpreters.
+    """
+    if isinstance(key, bool) or not isinstance(key, int):
+        return zlib.crc32(repr(key).encode("utf-8"))
+    return key
+
+
+class ShardRouter:
+    """Assigns events to shard indices for one engine's partition law.
+
+    ``assign(event)`` returns the shard index, or ``None`` when the
+    event must be broadcast to every replica (the engine returned a
+    ``None`` routing key — reference data all replicas need).
+
+    Construction goes through :func:`plan_router`, which reads the
+    engine's ``shard_mode``: hash routers need no planning; range
+    routers take ``shards - 1`` ascending boundary keys and assign by
+    binary search, so shard ``i`` owns the ``i``-th contiguous key
+    range in ascending stored-key order — the order the offset
+    accumulation in ``shard_contexts`` relies on.
+    """
+
+    __slots__ = ("shards", "mode", "_key_of", "_boundaries")
+
+    def __init__(
+        self,
+        shards: int,
+        mode: str,
+        key_of: Callable[[Event], Any],
+        boundaries: Sequence[float] | None = None,
+    ) -> None:
+        if shards < 1:
+            raise EngineStateError(f"shard count must be >= 1, got {shards}")
+        if mode not in ("hash", "range"):
+            raise EngineStateError(f"unknown shard mode {mode!r}")
+        if mode == "range":
+            bounds = list(boundaries or ())
+            if len(bounds) != shards - 1:
+                raise EngineStateError(
+                    f"range router over {shards} shards needs {shards - 1} "
+                    f"boundaries, got {len(bounds)}"
+                )
+            if any(b > c for b, c in zip(bounds, bounds[1:])):
+                raise EngineStateError("range boundaries must be ascending")
+            self._boundaries = bounds
+        else:
+            self._boundaries = None
+        self.shards = shards
+        self.mode = mode
+        self._key_of = key_of
+
+    def assign(self, event: Event) -> int | None:
+        """Shard index for ``event``; ``None`` means broadcast."""
+        key = self._key_of(event)
+        if key is None:
+            return None
+        if self.mode == "hash":
+            return stable_hash(key) % self.shards
+        return bisect_right(self._boundaries, key)
+
+    def split(self, events: Iterable[Event]) -> list[list[Event]]:
+        """Partition ``events`` into per-shard lists, each preserving
+        the original relative order (the per-replica determinism the
+        executors rely on); broadcasts land in every list."""
+        parts: list[list[Event]] = [[] for _ in range(self.shards)]
+        for event in events:
+            index = self.assign(event)
+            if index is None:
+                for part in parts:
+                    part.append(event)
+            else:
+                parts[index].append(event)
+        return parts
+
+
+def plan_router(
+    template: IncrementalEngine,
+    shards: int,
+    plan_stream: Stream | Iterable[Event] | None = None,
+) -> ShardRouter | None:
+    """Build the router for ``template``'s partition law, or ``None``.
+
+    ``None`` means "do not shard": either ``shards <= 1`` was requested
+    or the engine declares ``shard_mode = None`` (its correlated
+    predicate crosses any partition) — callers fall back to the plain
+    single engine, which is always sound.
+
+    Range mode picks boundaries by pre-scanning ``plan_stream`` for the
+    engine's routing keys and cutting at the K-quantiles, so shards see
+    balanced event counts on the planning distribution.  Without a
+    planning stream every key lands in shard 0 (legal, just serial).
+    """
+    mode = template.shard_mode
+    if shards <= 1 or mode is None:
+        return None
+    if mode == "hash":
+        return ShardRouter(shards, "hash", template.shard_routing_key)
+    keys = sorted(
+        key
+        for key in (
+            template.shard_routing_key(event) for event in (plan_stream or ())
+        )
+        if key is not None and key != float("-inf")
+    )
+    if keys:
+        boundaries = [keys[(len(keys) * i) // shards] for i in range(1, shards)]
+    else:
+        boundaries = [float("inf")] * (shards - 1)
+    return ShardRouter(shards, "range", template.shard_routing_key, boundaries)
+
+
+def _merge_result(
+    template: IncrementalEngine,
+    partials: list[Any],
+    probe: Callable[[list[Any]], list[Any]],
+) -> Result:
+    """Two-phase template-driven merge shared by both executors.
+
+    ``probe(contexts)`` evaluates ``shard_probe`` on every replica —
+    in-process for the serial executor, over pipes for the pool.
+    """
+    start = time.perf_counter() if _SINK.enabled else 0.0
+    contexts = template.shard_contexts(partials)
+    if contexts is None:
+        result = template.shard_combine(partials, None)
+    else:
+        result = template.shard_combine(partials, probe(contexts))
+    if _SINK.enabled:
+        _SINK.inc("shard.merges")
+        _SINK.observe("shard.merge_seconds", time.perf_counter() - start)
+    return result
+
+
+def _observe_split(parts: list[list[Event]]) -> None:
+    """Shard-skew observability for one routed batch: per-shard batch
+    sizes plus the max/mean imbalance ratio (1.0 = perfectly even)."""
+    total = 0
+    largest = 0
+    for part in parts:
+        size = len(part)
+        total += size
+        if size > largest:
+            largest = size
+        _SINK.observe("shard.batch_size", size)
+    if total:
+        _SINK.observe("shard.skew", largest * len(parts) / total)
+
+
+class ShardedExecutor(IncrementalEngine):
+    """Deterministic serial execution of K partitioned replicas.
+
+    Functionally identical to the multiprocess executor — same router,
+    same replicas, same merge — with every replica driven in-process in
+    shard order.  This is the oracle the differential suite checks the
+    pool executor (and the unsharded engine) against, and the
+    ``--shards`` CLI path.
+    """
+
+    def __init__(
+        self,
+        template: IncrementalEngine,
+        replicas: Sequence[IncrementalEngine],
+        router: ShardRouter,
+    ) -> None:
+        if len(replicas) != router.shards:
+            raise EngineStateError(
+                f"{len(replicas)} replicas for a {router.shards}-shard router"
+            )
+        self.template = template
+        self.replicas = list(replicas)
+        self.router = router
+        self.name = f"{template.name}-sharded{router.shards}"
+
+    @property
+    def shards(self) -> int:
+        return self.router.shards
+
+    def on_event(self, event: Event) -> Result:
+        index = self.router.assign(event)
+        if index is None:
+            for replica in self.replicas:
+                replica.on_event(event)
+        else:
+            self.replicas[index].on_event(event)
+        return self.result()
+
+    def on_batch(self, events: Sequence[Event]) -> Result:
+        parts = self.router.split(events)
+        if _SINK.enabled:
+            _observe_split(parts)
+        for replica, part in zip(self.replicas, parts):
+            if part:
+                replica.on_batch(part)
+        return self.result()
+
+    def result(self) -> Result:
+        partials = [replica.shard_partial() for replica in self.replicas]
+        return _merge_result(
+            self.template,
+            partials,
+            lambda contexts: [
+                replica.shard_probe(context)
+                for replica, context in zip(self.replicas, contexts)
+            ],
+        )
+
+
+def _worker_main(conn, query_name: str, strategy: str) -> None:
+    """Long-lived shard worker: builds its replica locally and serves
+    ``batch`` / ``partial`` / ``probe`` requests until ``stop``.
+
+    Runs in a child process — the replica is constructed from the
+    registry there, so no engine state ever crosses the fork/spawn
+    boundary; only events, partials and probe answers do.
+    """
+    from repro.engine.registry import build_engine
+
+    engine = build_engine(query_name, strategy)
+    while True:
+        try:
+            message = conn.recv()
+        except EOFError:
+            break
+        tag = message[0]
+        try:
+            if tag == "batch":
+                engine.on_batch(message[1])
+                conn.send(("ok", len(message[1])))
+            elif tag == "partial":
+                conn.send(("ok", engine.shard_partial()))
+            elif tag == "probe":
+                conn.send(("ok", engine.shard_probe(message[1])))
+            elif tag == "stop":
+                break
+            else:  # pragma: no cover - protocol misuse guard
+                conn.send(("err", f"unknown request {tag!r}"))
+        except Exception as exc:  # pragma: no cover - surfaced in parent
+            conn.send(("err", f"{type(exc).__name__}: {exc}"))
+    conn.close()
+
+
+class MultiprocessShardedExecutor(IncrementalEngine):
+    """K long-lived worker processes, one engine replica each.
+
+    The parent routes events with the same :class:`ShardRouter` as the
+    serial executor, ships each shard's coalesced batch over a pipe
+    (the worker applies it through the engine's ``on_batch`` fast
+    path), and merges results with the same two-phase template
+    protocol — so the pool's answers are identical to the serial
+    executor's, which are identical to the unsharded engine's.
+
+    Workers are spawned once and reused across batches; call
+    :meth:`close` (or use the executor as a context manager) to shut
+    them down.  Worker-side obs counters stay in the workers; the
+    parent records routing skew, per-worker batch sizes and merge time.
+    """
+
+    def __init__(
+        self,
+        query_name: str,
+        strategy: str,
+        template: IncrementalEngine,
+        router: ShardRouter,
+    ) -> None:
+        self.template = template
+        self.router = router
+        self.name = f"{template.name}-mp{router.shards}"
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            context = multiprocessing.get_context("spawn")
+        self._connections = []
+        self._processes = []
+        for _ in range(router.shards):
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=_worker_main,
+                args=(child_conn, query_name, strategy),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._connections.append(parent_conn)
+            self._processes.append(process)
+        self._closed = False
+
+    @property
+    def shards(self) -> int:
+        return self.router.shards
+
+    def _gather(self, indices: Sequence[int]) -> list[Any]:
+        out = []
+        for index in indices:
+            tag, payload = self._connections[index].recv()
+            if tag != "ok":
+                raise EngineStateError(f"shard worker {index} failed: {payload}")
+            out.append(payload)
+        return out
+
+    def _request_all(self, message: tuple) -> list[Any]:
+        for conn in self._connections:
+            conn.send(message)
+        return self._gather(range(len(self._connections)))
+
+    def on_event(self, event: Event) -> Result:
+        index = self.router.assign(event)
+        if index is None:
+            targets = list(range(len(self._connections)))
+        else:
+            targets = [index]
+        for target in targets:
+            self._connections[target].send(("batch", [event]))
+        self._gather(targets)
+        return self.result()
+
+    def on_batch(self, events: Sequence[Event]) -> Result:
+        parts = self.router.split(events)
+        if _SINK.enabled:
+            _observe_split(parts)
+        busy = [index for index, part in enumerate(parts) if part]
+        # Ship every shard's chunk before collecting any ack so the
+        # workers run concurrently; order within a pipe is preserved.
+        for index in busy:
+            self._connections[index].send(("batch", parts[index]))
+        self._gather(busy)
+        return self.result()
+
+    def result(self) -> Result:
+        partials = self._request_all(("partial",))
+
+        def probe(contexts: list[Any]) -> list[Any]:
+            for conn, context in zip(self._connections, contexts):
+                conn.send(("probe", context))
+            return self._gather(range(len(self._connections)))
+
+        return _merge_result(self.template, partials, probe)
+
+    def close(self) -> None:
+        """Stop the workers (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._connections:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):  # pragma: no cover
+                pass
+        for process in self._processes:
+            process.join(timeout=5)
+            if process.is_alive():  # pragma: no cover - hung worker guard
+                process.terminate()
+        for conn in self._connections:
+            conn.close()
+
+    def __enter__(self) -> "MultiprocessShardedExecutor":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - best-effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -43,8 +43,12 @@ Counter naming convention (``<structure or layer>.<operation>``):
 ``rpai.shift_keys.pos/.neg``            shifts by direction
 ``rpai.fix_tree``                       ``fixTree`` repair passes (Algorithm 2)
 ``rpai.violations``                     BST violators extracted and re-inserted
+``rpai.freelist.hits/.misses``          node allocations served from / past
+                                        the recycled-node pool
 ``treemap.rotations``                   TreeMap AVL rotations
 ``treemap.shift_keys``                  O(n) collect-and-rebuild shifts
+``treemap.freelist.hits/.misses``       TreeMap node-pool allocations
+``shard.merges``                        sharded-executor result merges
 ``paimap.shift_keys``                   O(n) hash rebuild shifts
 ``backend.fenwick_selected``            adaptive indexes starting on Fenwick
 ``backend.rpai_selected``               adaptive indexes starting on RPAI
@@ -60,7 +64,11 @@ Value distributions (count/total/min/max, via :meth:`ObsSink.observe`):
 ``rpai.shift_magnitude``, ``rpai.neg_shift_violations`` (violators per
 negative shift — the Section 3.2.4 quantity), ``treemap.shift_moved``,
 ``paimap.shift_scanned``, ``paimap.get_sum_scanned``,
-``engine.batch_size``.
+``engine.batch_size``, ``rpai.freelist.depth`` / ``treemap.freelist.depth``
+(pool depth after each release — ``max`` is the high-water mark),
+``shard.batch_size`` (per-shard routed chunk sizes), ``shard.skew``
+(largest shard's share of a routed batch, normalized so 1.0 = even) and
+``shard.merge_seconds``.
 """
 
 from __future__ import annotations

@@ -72,6 +72,33 @@ class Stream:
         for start in range(0, len(self._events), size):
             yield self._events[start : start + size]
 
+    def split(
+        self, shards: int, assign: Callable[[Event], int | None]
+    ) -> list["Stream"]:
+        """Key-aware partition into ``shards`` sub-streams.
+
+        ``assign`` maps each event to a shard index, or ``None`` to
+        broadcast it into every sub-stream (reference data that all
+        replicas must see).  Each sub-stream preserves the original
+        relative order of its events — the property the sharded
+        executors rely on for per-replica determinism.
+        """
+        if shards < 1:
+            raise EngineStateError(f"shard count must be >= 1, got {shards}")
+        parts: list[list[Event]] = [[] for _ in range(shards)]
+        for event in self._events:
+            index = assign(event)
+            if index is None:
+                for part in parts:
+                    part.append(event)
+            elif 0 <= index < shards:
+                parts[index].append(event)
+            else:
+                raise EngineStateError(
+                    f"shard assignment {index} out of range for {shards} shards"
+                )
+        return [Stream(part) for part in parts]
+
     def for_relation(self, name: str) -> "Stream":
         return Stream(e for e in self._events if e.relation == name)
 

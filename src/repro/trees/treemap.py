@@ -76,12 +76,16 @@ _POOL_MAX = 4096
 
 def _new_node(key: float, value: float) -> _Node:
     if _POOL:
+        if _SINK.enabled:
+            _SINK.inc("treemap.freelist.hits")
         node = _POOL.pop()
         node.key = key
         node.value = value
         node.sum = value
         node.height = 1
         return node
+    if _SINK.enabled:
+        _SINK.inc("treemap.freelist.misses")
     return _Node(key, value)
 
 
@@ -90,6 +94,8 @@ def _free_node(node: _Node) -> None:
         node.left = None
         node.right = None
         _POOL.append(node)
+        if _SINK.enabled:
+            _SINK.observe("treemap.freelist.depth", len(_POOL))
 
 
 def _build_balanced(items: list[tuple[float, float]], lo: int, hi: int) -> _Node | None:

@@ -1,0 +1,153 @@
+"""Property tests for the shard result-merge algebra.
+
+The sharded executors are exact only because every merge law in
+:mod:`repro.engine.mergeable` is a commutative-monoid reassociation of
+what the single engine computes.  These tests state the laws directly:
+merging arbitrary partitions of the input equals processing the input
+whole — including deletions for the MIN/MAX multiset law, where scalar
+merging would be unsound.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.core.minmax import MinMaxView, OrderedMultiset
+from repro.engine.mergeable import (
+    MERGE_ADD,
+    MERGE_MAX,
+    MERGE_MIN,
+    merge_avg_parts,
+    merge_counts,
+    merge_grouped,
+    merge_minmax,
+    merge_multisets,
+    merge_sums,
+)
+from repro.errors import EngineStateError
+
+ints = st.integers(min_value=-1000, max_value=1000)
+
+
+@given(st.lists(st.lists(ints)))
+def test_merge_sums_equals_flat_sum(parts):
+    assert merge_sums(sum(p) for p in parts) == sum(sum(p) for p in parts)
+
+
+@given(st.lists(st.lists(ints)))
+def test_merge_counts_equals_flat_count(parts):
+    assert merge_counts(len(p) for p in parts) == sum(len(p) for p in parts)
+
+
+@given(st.lists(st.lists(ints)))
+def test_merge_avg_parts_componentwise(parts):
+    total, count = merge_avg_parts((sum(p), len(p)) for p in parts)
+    flat = [v for p in parts for v in p]
+    assert total == sum(flat)
+    assert count == len(flat)
+
+
+# -- MIN/MAX: the multiset law under interleaved deletions -------------
+
+#: (value, weight) updates where every deletion retracts a prior insert
+#: of the same partition — generated as inserts, deletions woven after.
+update_lists = st.lists(
+    st.tuples(st.integers(min_value=-50, max_value=50), st.booleans()),
+    max_size=60,
+)
+
+
+def _apply_updates(view: MinMaxView, updates) -> None:
+    live: list[int] = []
+    for value, delete in updates:
+        if delete and live:
+            view.update(live.pop(), -1)
+        else:
+            view.update(value, +1)
+            live.append(value)
+
+
+@given(st.lists(update_lists, min_size=1, max_size=5), st.booleans())
+def test_minmax_merge_equals_single_view(per_shard_updates, use_max):
+    func = "MAX" if use_max else "MIN"
+    single = MinMaxView(func)
+    shards = []
+    for updates in per_shard_updates:
+        shard = MinMaxView(func)
+        _apply_updates(shard, updates)
+        shards.append(shard)
+        _apply_updates(single, updates)
+    merged = merge_minmax(shards)
+    assert merged.value() == single.value()
+    assert len(merged) == len(single)
+
+
+@given(st.lists(st.lists(st.integers(min_value=0, max_value=20)), min_size=1))
+def test_multiset_union_counts(per_shard_values):
+    shards = []
+    for values in per_shard_values:
+        shard = OrderedMultiset()
+        for value in values:
+            shard.add(value)
+        shards.append(shard)
+    merged = merge_multisets(shards)
+    flat = [v for values in per_shard_values for v in values]
+    assert len(merged) == len(flat)
+    for value in set(flat):
+        assert merged.count(value) == flat.count(value)
+
+
+def test_merge_minmax_rejects_empty():
+    with pytest.raises(EngineStateError):
+        merge_minmax([])
+
+
+def test_merge_minmax_rejects_func_mismatch():
+    with pytest.raises(EngineStateError):
+        merge_minmax([MinMaxView("MIN"), MinMaxView("MAX")])
+
+
+# -- grouped results ---------------------------------------------------
+
+group_dicts = st.dictionaries(
+    st.integers(min_value=0, max_value=8), ints, max_size=6
+)
+
+
+@given(st.lists(group_dicts, max_size=5))
+def test_merge_grouped_addition_equals_accumulation(parts):
+    merged = merge_grouped(parts, combine=MERGE_ADD)
+    expected: dict[int, int] = {}
+    for part in parts:
+        for key, value in part.items():
+            expected[key] = expected.get(key, 0) + value
+    assert merged == expected
+
+
+@given(st.lists(group_dicts, max_size=5), st.booleans())
+def test_merge_grouped_extremes(parts, use_max):
+    combine = MERGE_MAX if use_max else MERGE_MIN
+    merged = merge_grouped(parts, combine=combine)
+    expected: dict[int, int] = {}
+    for part in parts:
+        for key, value in part.items():
+            expected[key] = (
+                combine(expected[key], value) if key in expected else value
+            )
+    assert merged == expected
+
+
+def test_merge_grouped_disjoint_collision_raises():
+    with pytest.raises(EngineStateError):
+        merge_grouped([{1: 5}, {1: 7}], disjoint=True)
+
+
+def test_merge_grouped_disjoint_union_passes():
+    assert merge_grouped([{1: 5}, {2: 7}], disjoint=True) == {1: 5, 2: 7}
+
+
+def test_merge_grouped_drop_zero():
+    assert merge_grouped([{1: 5}, {1: -5, 2: 3}], drop_zero=True) == {2: 3}

@@ -44,6 +44,57 @@ def test_run_rejects_unknown_query():
         main(["run", "BOGUS"])
 
 
+def test_help_lists_subcommands_with_descriptions(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["--help"])
+    assert exc.value.code == 0
+    out = capsys.readouterr().out
+    for command in (
+        "list",
+        "classify",
+        "run",
+        "stats",
+        "bench-diff",
+        "bench-shard",
+        "compare",
+    ):
+        assert command in out
+    assert "sharded-execution scaling benchmark" in out
+    assert "perf-regression gate" in out
+
+
+def test_run_sharded_serial(capsys):
+    assert main(["run", "VWAP", "--events", "200", "--shards", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "rpai-sharded3" in out
+
+
+def test_run_sharded_fallback_note(capsys):
+    assert main(["run", "MST", "--events", "150", "--shards", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "not shardable" in out
+    assert "engine   : rpai" in out
+
+
+def test_run_multiprocess_workers(capsys):
+    assert main(["run", "VWAP", "--events", "200", "--workers", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "rpai-mp2" in out
+
+
+def test_bench_shard_smoke(tmp_path, capsys):
+    out_path = tmp_path / "BENCH_sharding.json"
+    assert main(["bench-shard", "--smoke", "--out", str(out_path)]) == 0
+    import json
+
+    report = json.loads(out_path.read_text())
+    assert report["worker_counts"] == [1, 2, 4]
+    assert set(report["workloads"]) == {"VWAP", "Q17", "Q18"}
+    for entry in report["workloads"].values():
+        assert entry["differential_ok"] is True
+    assert "cpu_count" in report
+
+
 def test_compare_engines_agree(capsys):
     assert main(["compare", "VWAP", "--events", "150", "--recompute-cap", "80"]) == 0
     out = capsys.readouterr().out
