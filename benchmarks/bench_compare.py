@@ -12,10 +12,19 @@ warm-start speedup, the Section 3.2.4 violation bound) gate by default;
 absolute events/second gates too when the scales match (``--full`` on
 the same class of machine).
 
+The run also measures write-ahead-log overhead (same engine and stream
+with WAL off / WAL on / WAL on + fsync, through
+:class:`repro.engine.supervision.DurableEngine`) and gates that the
+WAL-on (fsync off) configuration stays within ``--wal-gate-factor``
+(default 1.5x) of the WAL-off throughput — durability must stay an
+opt-in costing tens of percent, not a 2x cliff.  The fsync row is
+reported but not gated: it measures the disk, not the code.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_compare.py [--full]
         [--baseline PATH] [--out PATH] [--tolerance T] [--rescue R]
+        [--wal-gate-factor F] [--skip-wal-gate]
 """
 
 from __future__ import annotations
@@ -31,6 +40,66 @@ sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 from bench_batching import main as run_batching  # noqa: E402
 
 from repro.bench.diffing import compare_reports, format_diff, load_report  # noqa: E402
+
+
+def measure_wal_overhead(
+    events: int = 4000, repeats: int = 3, batch_size: int = 50
+) -> dict:
+    """Events/second for the same VWAP/rpai run with WAL off, WAL on
+    (flush only), and WAL on + fsync; best of ``repeats`` each."""
+    import tempfile
+
+    from repro.bench.runner import run_timed
+    from repro.engine.registry import build_engine
+    from repro.engine.supervision import DurableEngine
+    from repro.workloads import OrderBookConfig, generate_bids_only
+
+    stream = generate_bids_only(
+        OrderBookConfig(
+            events=events,
+            price_levels=max(20, events // 5),
+            volume_max=100,
+            seed=42,
+            delete_ratio=0.1,
+        )
+    )
+
+    def best(make_engine) -> float:
+        rates = []
+        for _ in range(repeats):
+            engine = make_engine()
+            try:
+                rates.append(
+                    run_timed(engine, stream, batch_size=batch_size).events_per_second
+                )
+            finally:
+                closer = getattr(engine, "close", None)
+                if closer is not None:
+                    closer()
+        return max(rates)
+
+    rows = {}
+    rows["off"] = best(lambda: build_engine("VWAP", "rpai"))
+    with tempfile.TemporaryDirectory(prefix="walbench-") as scratch:
+        counter = iter(range(1_000_000))
+
+        def durable(fsync: bool):
+            return DurableEngine(
+                build_engine("VWAP", "rpai"),
+                Path(scratch) / f"run-{next(counter)}",
+                fsync=fsync,
+                snapshot_every=1_000_000,  # measure the log, not pickling
+            )
+
+        rows["wal"] = best(lambda: durable(False))
+        rows["wal_fsync"] = best(lambda: durable(True))
+    return {
+        "events": events,
+        "batch_size": batch_size,
+        "events_per_second": rows,
+        "slowdown_wal": rows["off"] / rows["wal"],
+        "slowdown_wal_fsync": rows["off"] / rows["wal_fsync"],
+    }
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -65,6 +134,17 @@ def main(argv: list[str] | None = None) -> int:
         default=1.0,
         help="absolute speedup floor that rescues a noisy ratio check",
     )
+    parser.add_argument(
+        "--wal-gate-factor",
+        type=float,
+        default=1.5,
+        help="max allowed slowdown of WAL-on (fsync off) vs WAL-off",
+    )
+    parser.add_argument(
+        "--skip-wal-gate",
+        action="store_true",
+        help="skip the WAL-overhead measurement and gate",
+    )
     args = parser.parse_args(argv)
 
     if not args.baseline.exists():
@@ -98,7 +178,24 @@ def main(argv: list[str] | None = None) -> int:
             "gated — rerun with --full on a comparable machine for absolute "
             "events/second gating"
         )
-    return 0 if report.ok else 1
+
+    wal_ok = True
+    if not args.skip_wal_gate:
+        wal = measure_wal_overhead(events=20_000 if args.full else 4_000)
+        rates = wal["events_per_second"]
+        print()
+        print("[bench-compare] WAL overhead (VWAP/rpai, "
+              f"{wal['events']} events, batch {wal['batch_size']}):")
+        print(f"  WAL off        : {rates['off']:>12,.0f} events/s")
+        print(f"  WAL, fsync off : {rates['wal']:>12,.0f} events/s "
+              f"({wal['slowdown_wal']:.2f}x slowdown)")
+        print(f"  WAL, fsync on  : {rates['wal_fsync']:>12,.0f} events/s "
+              f"({wal['slowdown_wal_fsync']:.2f}x slowdown, not gated)")
+        wal_ok = wal["slowdown_wal"] <= args.wal_gate_factor
+        verdict = "OK" if wal_ok else "FAIL"
+        print(f"  gate           : slowdown {wal['slowdown_wal']:.2f}x "
+              f"<= {args.wal_gate_factor:.2f}x ... {verdict}")
+    return 0 if (report.ok and wal_ok) else 1
 
 
 if __name__ == "__main__":

@@ -7,12 +7,29 @@ Commands:
     cost (Table 1's analytical half).
 ``classify <sql | file>``
     Parse a query and print the planner's verdict.
-``run <query> [--engine E] [--events N] [--seed S] [--shards K] [--workers N]``
+``run <query> [--engine E] [--events N] [--seed S] [--shards K] [--workers N]
+             [--wal-dir D] [--max-respawns R] [--fsync]``
     Stream a synthetic workload through an engine and report result,
     wall time and throughput.  ``--shards K`` partitions the stream
     into K engine replicas (serial, deterministic); ``--workers N``
     additionally runs one worker process per shard.  Queries whose
     correlation crosses any partition fall back to a single engine.
+    ``--wal-dir`` enables the fault-tolerant path: every batch is
+    written to a per-shard write-ahead log before it is applied, worker
+    state is snapshotted periodically, and dead workers are respawned
+    and restored (up to ``--max-respawns`` times per shard, after which
+    execution degrades to the serial executor).
+``recover <query> [--engine E] --wal-dir D``
+    Rebuild engine state offline from a WAL directory left by an
+    interrupted ``run --wal-dir`` (or chaos run) and print the merged
+    query result plus per-shard recovery statistics.
+``chaos <query> [--engine E] [--events N] [--seed S] [--workers K] [--out F]``
+    Chaos differential run: execute the query under a seeded fault plan
+    (worker kills, dropped/duplicated messages, snapshot corruption,
+    schema-violating junk events) through the supervised executor and
+    assert the result equals a clean unsharded run.  Writes the obs
+    counters (recoveries, respawns, quarantined events, injected
+    faults) as JSON when ``--out`` is given.
 ``bench-shard [--smoke] [--out PATH]``
     Run the sharded-execution scaling benchmark (1/2/4 workers for
     VWAP/Q17/Q18, differentially checked) and write
@@ -122,17 +139,20 @@ def cmd_run(args: argparse.Namespace) -> int:
     workers = max(0, args.workers)
     shards = args.shards if args.shards is not None else (workers or 1)
     close = None
-    if shards > 1 or workers:
+    if shards > 1 or workers or args.wal_dir is not None:
         engine = build_sharded_engine(
             args.query,
             args.engine,
             shards=shards,
             workers=workers,
             plan_stream=stream,
+            wal_dir=args.wal_dir,
+            max_respawns=args.max_respawns,
+            fsync=args.fsync,
         )
         close = getattr(engine, "close", None)
         sharded = getattr(engine, "shards", None)
-        if sharded is None:
+        if sharded is None and shards > 1:
             print(
                 f"note     : {args.query.upper()}/{args.engine} is not shardable "
                 "(correlated predicate crosses partitions); running unsharded"
@@ -155,6 +175,114 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(f"events   : {run.events}")
     print(f"time     : {run.seconds:.4f}s ({run.events_per_second:,.0f} events/s)")
     print(f"result   : {run.final_result}")
+    return 0
+
+
+def cmd_recover(args: argparse.Namespace) -> int:
+    from repro.engine.supervision import recover_result
+
+    obs.enable()
+    obs.reset()
+    try:
+        result, stats = recover_result(args.query, args.engine, args.wal_dir)
+    finally:
+        snap = obs.snapshot()
+        obs.disable()
+    print(f"query    : {args.query.upper()}")
+    print(f"engine   : {args.engine}")
+    print(f"wal dir  : {args.wal_dir}")
+    print(f"shards   : {stats['shards']}")
+    for index, shard_stats in enumerate(stats["per_shard"]):
+        snap_seq = shard_stats["snapshot_seq"]
+        print(
+            f"  shard {index}: snapshot at seq "
+            f"{'-' if snap_seq is None else snap_seq}, "
+            f"replayed {shard_stats['records_replayed']} records "
+            f"(head seq {shard_stats['head_seq']})"
+        )
+    corrupt = snap.get("counters", {}).get("wal.snapshot_corrupt", 0)
+    if corrupt:
+        print(f"warning  : skipped {corrupt} corrupt snapshot file(s)")
+    print(f"result   : {result}")
+    return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.engine.registry import build_sharded_engine
+    from repro.faults import FaultInjector, FaultPlan
+
+    stream = _default_stream(args.query, args.events, args.seed)
+    relations = tuple(get_query(args.query.upper()).schema_map())
+    batch_size = max(1, args.batch_size)
+
+    clean = build_engine(args.query, args.engine)
+    clean_result = clean.result()
+    for batch in stream.batches(batch_size):
+        clean_result = clean.on_batch(batch)
+
+    obs.enable()
+    obs.reset()
+    plan = FaultPlan.seeded(
+        args.seed, shards=args.workers, events=len(stream), relations=relations
+    )
+    import tempfile
+
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as wal_dir:
+        engine = build_sharded_engine(
+            args.query,
+            args.engine,
+            shards=args.workers,
+            workers=args.workers,
+            plan_stream=stream,
+            wal_dir=wal_dir,
+            snapshot_every=args.snapshot_every,
+            fault_plan=plan,
+        )
+        supervised = hasattr(engine, "degraded")
+        injector = None if supervised else FaultInjector(plan)
+        try:
+            result = engine.result()
+            for batch in stream.batches(batch_size):
+                if injector is not None:
+                    # Unshardable fallback: no worker transport to fault,
+                    # but junk events still stress the quarantine boundary.
+                    batch = injector.splice_bad_events(batch)
+                result = engine.on_batch(batch)
+        finally:
+            closer = getattr(engine, "close", None)
+            if closer is not None:
+                closer()
+    snap = obs.snapshot()
+    obs.disable()
+    if result != clean_result:
+        failures.append(f"faulty result {result!r} != clean result {clean_result!r}")
+    counters = snap.get("counters", {})
+    payload = {
+        "query": args.query.upper(),
+        "engine": args.engine,
+        "events": len(stream),
+        "seed": args.seed,
+        "workers": args.workers,
+        "supervised": supervised,
+        "match": not failures,
+        "counters": {
+            name: counters.get(name, 0)
+            for name in sorted(counters)
+            if name.split(".")[0] in ("faults", "supervisor", "wal")
+            or name == "engine.quarantined"
+        },
+    }
+    if args.out is not None:
+        Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"query    : {payload['query']} ({args.engine}, seed {args.seed})")
+    print(f"mode     : {'supervised x' + str(args.workers) if supervised else 'fallback (unshardable)'}")
+    print(f"result   : {'MATCH' if not failures else 'MISMATCH'}")
+    for name, value in payload["counters"].items():
+        print(f"  {name}: {value}")
+    if failures:
+        print("FAIL:", "; ".join(failures))
+        return 1
     return 0
 
 
@@ -312,6 +440,54 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="events per trigger chunk (default: 1 unsharded, 500 sharded)",
     )
+    p_run.add_argument(
+        "--wal-dir",
+        type=Path,
+        default=None,
+        help="write-ahead-log directory: log every batch before applying "
+        "it and checkpoint periodically (enables crash recovery and, "
+        "with --workers, supervised respawn of dead workers)",
+    )
+    p_run.add_argument(
+        "--max-respawns",
+        type=int,
+        default=3,
+        help="per-shard worker respawn budget before degrading to the "
+        "serial executor (supervised path only)",
+    )
+    p_run.add_argument(
+        "--fsync",
+        action="store_true",
+        help="fsync every WAL append (crash-safe, slower)",
+    )
+
+    p_recover = sub.add_parser(
+        "recover", help="rebuild engine state from a write-ahead-log directory"
+    )
+    p_recover.add_argument("query", choices=[n for n in query_names()] + [n.lower() for n in query_names()])
+    p_recover.add_argument("--engine", default="rpai", choices=STRATEGIES)
+    p_recover.add_argument("--wal-dir", type=Path, required=True)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="seeded fault-injection differential run"
+    )
+    p_chaos.add_argument("query", choices=[n for n in query_names()] + [n.lower() for n in query_names()])
+    p_chaos.add_argument("--engine", default="rpai", choices=STRATEGIES)
+    p_chaos.add_argument("--events", type=int, default=800)
+    p_chaos.add_argument("--seed", type=int, default=42)
+    p_chaos.add_argument(
+        "--workers", type=int, default=2, help="shard/worker count for the run"
+    )
+    p_chaos.add_argument("--batch-size", type=int, default=50)
+    p_chaos.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=4,
+        help="checkpoint cadence in WAL records per shard",
+    )
+    p_chaos.add_argument(
+        "--out", type=Path, default=None, help="write counters JSON here"
+    )
 
     p_stats = sub.add_parser(
         "stats", help="run one engine with operation counters enabled"
@@ -375,6 +551,8 @@ def main(argv: list[str] | None = None) -> int:
         "list": cmd_list,
         "classify": cmd_classify,
         "run": cmd_run,
+        "recover": cmd_recover,
+        "chaos": cmd_chaos,
         "stats": cmd_stats,
         "bench-diff": cmd_bench_diff,
         "bench-shard": cmd_bench_shard,

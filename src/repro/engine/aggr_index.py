@@ -181,6 +181,8 @@ def _index_engine_state(engine) -> dict:
         state["res_map"] = engine.res_map
     if hasattr(engine, "group_indexes"):
         state["group_indexes"] = engine.group_indexes
+    if engine._quarantine is not None:
+        state["quarantine"] = engine._quarantine
     return state
 
 
@@ -195,6 +197,8 @@ def _restore_index_engine(engine, state: dict) -> None:
         engine.res_map = state["res_map"]
     if "group_indexes" in state:
         engine.group_indexes = state["group_indexes"]
+    if "quarantine" in state:
+        engine._quarantine = state["quarantine"]
 
 
 def _probe(index, op: str, probe: float) -> float:

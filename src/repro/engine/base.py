@@ -21,26 +21,114 @@ from __future__ import annotations
 
 import abc
 import functools
-from typing import Any, ClassVar, Sequence, Union
+from collections import deque
+from typing import Any, ClassVar, Mapping, Sequence, Union
 
+from repro.errors import QuarantineOverflowError, SchemaError
 from repro.obs import SINK as _SINK
 from repro.storage.stream import Event, Stream
 
-__all__ = ["IncrementalEngine", "Result"]
+__all__ = ["IncrementalEngine", "Quarantine", "Result"]
 
 Result = Union[float, dict]
 
 
-def _count_events(fn):
-    """Wrap a concrete ``on_event`` with the ``engine.events`` counter.
+class Quarantine:
+    """Input-validation boundary: schema-violating events are diverted
+    here instead of reaching (and corrupting) index state mid-stream.
 
-    The disabled path is one attribute check; applied once per class at
+    Attached to an engine via
+    :meth:`IncrementalEngine.attach_quarantine`, after which every
+    ``on_event``/``on_batch`` call validates each event's row against
+    the schema of its relation before the trigger runs.  Rejected
+    events are kept in a bounded ring (the most recent ``limit``
+    offenders, with their :class:`~repro.errors.SchemaError` detail)
+    and counted under ``engine.quarantined``; accepted events flow
+    through untouched, so on a clean stream a guarded engine is
+    bit-identical to an unguarded one.
+
+    ``fail_after`` is the hard cap: tolerating a handful of malformed
+    events is telemetry, tolerating an unbounded stream of them would
+    silently discard the input, so crossing the cap raises
+    :class:`~repro.errors.QuarantineOverflowError`.
+
+    The quarantine is plain picklable state, so it survives engine
+    snapshots (checkpointing, WAL recovery) along with the engine.
+    """
+
+    def __init__(
+        self,
+        schemas: Mapping[str, Any],
+        *,
+        limit: int = 64,
+        fail_after: int | None = None,
+    ) -> None:
+        if limit < 1:
+            raise QuarantineOverflowError(f"quarantine limit must be >= 1, got {limit}")
+        self.schemas = dict(schemas)
+        self.limit = limit
+        self.fail_after = fail_after
+        self.rejected: deque[tuple[Event, str]] = deque(maxlen=limit)
+        self.total_rejected = 0
+
+    def admit(self, event: Event) -> bool:
+        """``True`` if the event is clean; quarantine it and return
+        ``False`` otherwise."""
+        schema = self.schemas.get(event.relation)
+        try:
+            if schema is None:
+                raise SchemaError(f"unknown relation {event.relation!r}")
+            schema.validate(event.row)
+        except SchemaError as exc:
+            self._reject(event, str(exc))
+            return False
+        return True
+
+    def admit_batch(self, events: Sequence[Event]) -> Sequence[Event]:
+        """Filter a chunk; returns it unchanged when every event is
+        clean (no copy on the hot path)."""
+        if all(self.admit_fast(event) for event in events):
+            return events
+        return [event for event in events if self.admit(event)]
+
+    def admit_fast(self, event: Event) -> bool:
+        """Validation without side effects (used for the no-copy check;
+        rejection bookkeeping happens in the :meth:`admit` pass)."""
+        schema = self.schemas.get(event.relation)
+        if schema is None:
+            return False
+        try:
+            schema.validate(event.row)
+        except SchemaError:
+            return False
+        return True
+
+    def _reject(self, event: Event, reason: str) -> None:
+        self.total_rejected += 1
+        self.rejected.append((event, reason))
+        if _SINK.enabled:
+            _SINK.inc("engine.quarantined")
+        if self.fail_after is not None and self.total_rejected > self.fail_after:
+            raise QuarantineOverflowError(
+                f"{self.total_rejected} events quarantined (cap "
+                f"{self.fail_after}); last reason: {reason}"
+            )
+
+
+def _count_events(fn):
+    """Wrap a concrete ``on_event`` with the ``engine.events`` counter
+    and the quarantine boundary.
+
+    The disabled path is two attribute checks; applied once per class at
     definition time (see ``IncrementalEngine.__init_subclass__``)."""
 
     @functools.wraps(fn)
     def wrapper(self, event):
         if _SINK.enabled:
             _SINK.inc("engine.events")
+        guard = self._quarantine
+        if guard is not None and not guard.admit(event):
+            return self.result()
         return fn(self, event)
 
     wrapper.__obs_instrumented__ = True
@@ -48,13 +136,19 @@ def _count_events(fn):
 
 
 def _count_batches(fn):
-    """Wrap a concrete ``on_batch`` with batch count/size counters."""
+    """Wrap a concrete ``on_batch`` with batch count/size counters and
+    the quarantine boundary."""
 
     @functools.wraps(fn)
     def wrapper(self, events):
         if _SINK.enabled:
             _SINK.inc("engine.batches")
             _SINK.observe("engine.batch_size", len(events))
+        guard = self._quarantine
+        if guard is not None:
+            events = guard.admit_batch(events)
+            if not events:
+                return self.result()
         return fn(self, events)
 
     wrapper.__obs_instrumented__ = True
@@ -96,6 +190,10 @@ class IncrementalEngine(abc.ABC):
     #: human-readable strategy name used in benchmark output
     name: str = "engine"
 
+    #: optional input-validation boundary (see :class:`Quarantine`);
+    #: ``None`` (the default) keeps the trigger path unguarded.
+    _quarantine: Quarantine | None = None
+
     def __init_subclass__(cls, **kwargs) -> None:
         """Instrument every concrete engine with the :mod:`repro.obs`
         trigger counters (``engine.events``/``engine.batches``/
@@ -134,10 +232,39 @@ class IncrementalEngine(abc.ABC):
             # wrapping (that only sees methods a class defines itself).
             _SINK.inc("engine.batches")
             _SINK.observe("engine.batch_size", len(events))
+        # Per-event fallback: each on_event call runs its own quarantine
+        # check (the wrapped trigger), so no batch-level filter here.
         output: Result = self.result()
         for event in events:
             output = self.on_event(event)
         return output
+
+    def attach_quarantine(
+        self,
+        schemas: Mapping[str, Any],
+        *,
+        limit: int = 64,
+        fail_after: int | None = None,
+    ) -> Quarantine:
+        """Install the input-validation boundary on this engine.
+
+        Every subsequent ``on_event``/``on_batch`` call validates each
+        event against ``schemas`` (relation name → object with a
+        ``validate(row)`` raising :class:`~repro.errors.SchemaError`);
+        violators are diverted to the returned :class:`Quarantine`
+        instead of reaching the trigger.  Idempotent state: attaching a
+        new quarantine replaces the previous one."""
+        self._quarantine = Quarantine(schemas, limit=limit, fail_after=fail_after)
+        return self._quarantine
+
+    def detach_quarantine(self) -> None:
+        """Remove the validation boundary (no-op when absent)."""
+        self._quarantine = None
+
+    @property
+    def quarantine(self) -> Quarantine | None:
+        """The attached :class:`Quarantine`, or ``None``."""
+        return self._quarantine
 
     def process(self, stream: Stream, batch_size: int | None = None) -> Result:
         """Feed every event of ``stream``; returns the final result.

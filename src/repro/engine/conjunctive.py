@@ -223,18 +223,23 @@ class ConjunctiveIndexEngine(IncrementalEngine):
 
     def __getstate__(self) -> dict:
         """Compiled closures are rebuilt from the plan on restore."""
-        return {
+        state = {
             "plan": self._plan,
             "index_cls": self._index_cls_arg,
             "sides": self._sides,
             "scalars": {sub: sc.aggregate for sub, sc in self._scalars.items()},
         }
+        if self._quarantine is not None:
+            state["quarantine"] = self._quarantine
+        return state
 
     def __setstate__(self, state: dict) -> None:
         self.__init__(state["plan"], state["index_cls"])  # type: ignore[misc]
         self._sides = state["sides"]
         for sub, aggregate in state["scalars"].items():
             self._scalars[sub].aggregate = aggregate
+        if "quarantine" in state:
+            self._quarantine = state["quarantine"]
 
     # -- trigger ------------------------------------------------------------------
 

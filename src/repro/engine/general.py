@@ -619,7 +619,7 @@ class GeneralAlgorithmEngine(IncrementalEngine):
     def __getstate__(self) -> dict:
         """Engines hold compiled closures (unpicklable); capture the
         query plus the pure-data state and recompile on restore."""
-        return {
+        state = {
             "query": self.query,
             "scalars": {sub: sc.aggregate for sub, sc in self._scalars.items()},
             "correlated": {
@@ -629,6 +629,9 @@ class GeneralAlgorithmEngine(IncrementalEngine):
             "results": (self._res_sum, self._res_count, self._res_repr, self._result),
             "name": self.name,
         }
+        if self._quarantine is not None:
+            state["quarantine"] = self._quarantine
+        return state
 
     def __setstate__(self, state: dict) -> None:
         self.__init__(state["query"])  # type: ignore[misc]
@@ -645,6 +648,8 @@ class GeneralAlgorithmEngine(IncrementalEngine):
                 correlated.refcount,
             ) = payload
         (self._res_sum, self._res_count, self._res_repr, self._result) = state["results"]
+        if "quarantine" in state:
+            self._quarantine = state["quarantine"]
 
     def _recompute(self) -> float:
         """Section 4.2.4: iterate the result map, re-evaluating the

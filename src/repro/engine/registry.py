@@ -43,6 +43,7 @@ from repro.workloads.queries import get_query
 __all__ = [
     "build_engine",
     "build_sharded_engine",
+    "attach_validation",
     "available_strategies",
     "STRATEGIES",
 ]
@@ -129,6 +130,31 @@ def build_engine(query_name: str, strategy: str) -> IncrementalEngine:
     raise KeyError(f"unknown strategy {strategy!r}; choose from {STRATEGIES}")
 
 
+def attach_validation(
+    engine: IncrementalEngine,
+    query_name: str,
+    *,
+    limit: int = 64,
+    fail_after: int | None = None,
+):
+    """Attach the input-validation quarantine for ``query_name`` to
+    ``engine`` (see
+    :meth:`~repro.engine.base.IncrementalEngine.attach_quarantine`);
+    returns the :class:`~repro.engine.base.Quarantine`.
+
+    The boundary admits every *workload* relation, not just the ones
+    the query references: benchmark streams are shared feeds (the TPC-H
+    stream carries ``orders`` and ``customer`` alongside Q17's
+    ``lineitem``/``part``), and events for unreferenced relations are
+    legitimate no-ops, not junk.  The query's own schemas take
+    precedence where names overlap."""
+    from repro.storage.schema import WORKLOAD_SCHEMAS
+
+    schema_map = dict(WORKLOAD_SCHEMAS)
+    schema_map.update(get_query(query_name.upper()).schema_map())
+    return engine.attach_quarantine(schema_map, limit=limit, fail_after=fail_after)
+
+
 def build_sharded_engine(
     query_name: str,
     strategy: str,
@@ -136,6 +162,12 @@ def build_sharded_engine(
     shards: int,
     workers: int = 0,
     plan_stream=None,
+    wal_dir=None,
+    snapshot_every: int = 16,
+    max_respawns: int = 3,
+    fsync: bool = False,
+    fault_plan=None,
+    validate: bool | None = None,
 ) -> IncrementalEngine:
     """Build a K-shard executor for ``query_name``, or fall back.
 
@@ -155,6 +187,18 @@ def build_sharded_engine(
         plan_stream: stream pre-scanned for range-partition boundaries
             (required for balanced range sharding; ignored by hash
             engines).
+        wal_dir: enables the fault-tolerant path.  With workers the
+            result is a :class:`~repro.engine.supervision.SupervisedExecutor`
+            (per-shard WALs, snapshots, respawn-and-restore); without —
+            including the unshardable fallback — the chosen engine is
+            wrapped in a :class:`~repro.engine.supervision.DurableEngine`.
+        snapshot_every / max_respawns / fsync: supervised-path tuning
+            (see :class:`~repro.engine.supervision.SupervisedExecutor`).
+        fault_plan: a :class:`~repro.faults.FaultPlan` for chaos runs
+            (supervised path only).
+        validate: attach the schema quarantine boundary.  Default: on
+            whenever a ``fault_plan`` is given (its junk events must be
+            divertible), off otherwise.
     """
     from repro.engine.sharding import (
         MultiprocessShardedExecutor,
@@ -162,19 +206,57 @@ def build_sharded_engine(
         plan_router,
     )
 
+    if validate is None:
+        validate = fault_plan is not None
+
+    def _durable(engine: IncrementalEngine) -> IncrementalEngine:
+        if wal_dir is None:
+            return engine
+        from repro.engine.supervision import DurableEngine
+
+        return DurableEngine(engine, wal_dir, fsync=fsync,
+                             snapshot_every=snapshot_every)
+
+    def _validated(engine: IncrementalEngine) -> IncrementalEngine:
+        if validate:
+            attach_validation(engine, query_name)
+        return engine
+
     template = build_engine(query_name, strategy)
     router = plan_router(template, shards, plan_stream)
     if router is None:
-        return template
+        return _validated(_durable(template))
     if workers:
         if workers != shards:
             raise ValueError(
                 f"the pool executor runs one worker per shard: "
                 f"workers={workers} != shards={shards}"
             )
-        return MultiprocessShardedExecutor(query_name, strategy, template, router)
+        if wal_dir is not None:
+            from repro.engine.supervision import SupervisedExecutor
+
+            return _validated(
+                SupervisedExecutor(
+                    query_name,
+                    strategy,
+                    template,
+                    router,
+                    wal_dir=wal_dir,
+                    snapshot_every=snapshot_every,
+                    max_respawns=max_respawns,
+                    fsync=fsync,
+                    fault_plan=fault_plan,
+                )
+            )
+        if fault_plan is not None:
+            raise ValueError("fault injection requires a wal_dir (supervised path)")
+        return _validated(
+            MultiprocessShardedExecutor(query_name, strategy, template, router)
+        )
+    if fault_plan is not None:
+        raise ValueError("fault injection requires the supervised pool (workers=K)")
     replicas = [build_engine(query_name, strategy) for _ in range(shards)]
-    return ShardedExecutor(template, replicas, router)
+    return _validated(_durable(ShardedExecutor(template, replicas, router)))
 
 
 def available_strategies(query_name: str) -> tuple[str, ...]:

@@ -46,12 +46,13 @@ from __future__ import annotations
 
 import multiprocessing
 import time
+import traceback
 import zlib
 from bisect import bisect_right
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.engine.base import IncrementalEngine, Result
-from repro.errors import EngineStateError
+from repro.errors import EngineStateError, ShardWorkerError
 from repro.obs import SINK as _SINK
 from repro.storage.stream import Event, Stream
 
@@ -277,13 +278,43 @@ class ShardedExecutor(IncrementalEngine):
         )
 
 
-def _worker_main(conn, query_name: str, strategy: str) -> None:
+def _error_reply(shard: int, exc: Exception) -> tuple:
+    """Structured worker error: enough context to debug the failure in
+    the parent without attaching to the child process."""
+    return (
+        "err",
+        {
+            "shard": shard,
+            "type": type(exc).__name__,
+            "message": str(exc),
+            "traceback": traceback.format_exc(),
+        },
+    )
+
+
+def _raise_worker_error(shard: int, payload: Any) -> None:
+    """Re-raise a worker's structured error reply as a typed
+    :class:`~repro.errors.ShardWorkerError` in the parent."""
+    if isinstance(payload, dict):
+        raise ShardWorkerError(
+            f"{payload.get('type', 'Exception')}: {payload.get('message', '')}",
+            shard=payload.get("shard", shard),
+            exc_type=payload.get("type"),
+            worker_traceback=payload.get("traceback"),
+        )
+    raise ShardWorkerError(str(payload), shard=shard)
+
+
+def _worker_main(conn, query_name: str, strategy: str, shard: int = 0) -> None:
     """Long-lived shard worker: builds its replica locally and serves
     ``batch`` / ``partial`` / ``probe`` requests until ``stop``.
 
     Runs in a child process — the replica is constructed from the
     registry there, so no engine state ever crosses the fork/spawn
-    boundary; only events, partials and probe answers do.
+    boundary; only events, partials and probe answers do.  Failures are
+    reported as structured ``("err", {shard, type, message, traceback})``
+    replies, which the parent re-raises as
+    :class:`~repro.errors.ShardWorkerError`.
     """
     from repro.engine.registry import build_engine
 
@@ -305,9 +336,11 @@ def _worker_main(conn, query_name: str, strategy: str) -> None:
             elif tag == "stop":
                 break
             else:  # pragma: no cover - protocol misuse guard
-                conn.send(("err", f"unknown request {tag!r}"))
+                conn.send(("err", {"shard": shard, "type": "ProtocolError",
+                                   "message": f"unknown request {tag!r}",
+                                   "traceback": ""}))
         except Exception as exc:  # pragma: no cover - surfaced in parent
-            conn.send(("err", f"{type(exc).__name__}: {exc}"))
+            conn.send(_error_reply(shard, exc))
     conn.close()
 
 
@@ -327,6 +360,10 @@ class MultiprocessShardedExecutor(IncrementalEngine):
     parent records routing skew, per-worker batch sizes and merge time.
     """
 
+    #: seconds granted to a worker for a cooperative exit before the
+    #: parent escalates to ``terminate()`` and then ``kill()``
+    _CLOSE_TIMEOUT = 2.0
+
     def __init__(
         self,
         query_name: str,
@@ -334,27 +371,79 @@ class MultiprocessShardedExecutor(IncrementalEngine):
         template: IncrementalEngine,
         router: ShardRouter,
     ) -> None:
+        self.query_name = query_name
+        self.strategy = strategy
         self.template = template
         self.router = router
         self.name = f"{template.name}-mp{router.shards}"
         try:
-            context = multiprocessing.get_context("fork")
+            self._context = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX fallback
-            context = multiprocessing.get_context("spawn")
-        self._connections = []
-        self._processes = []
-        for _ in range(router.shards):
-            parent_conn, child_conn = context.Pipe()
-            process = context.Process(
-                target=_worker_main,
-                args=(child_conn, query_name, strategy),
-                daemon=True,
-            )
-            process.start()
-            child_conn.close()
+            self._context = multiprocessing.get_context("spawn")
+        self._connections: list[Any] = []
+        self._processes: list[Any] = []
+        self._closed = False
+        try:
+            for index in range(router.shards):
+                self._spawn(index)
+        except Exception:
+            # Don't leak the workers that did start if a later spawn
+            # fails — close() reaps whatever made it into the lists.
+            self.close()
+            raise
+
+    # -- worker lifecycle ----------------------------------------------
+
+    def _worker_target(self) -> Callable:
+        """The child-process entry point (supervised subclasses swap in
+        their own protocol loop)."""
+        return _worker_main
+
+    def _worker_args(self, index: int, child_conn) -> tuple:
+        return (child_conn, self.query_name, self.strategy, index)
+
+    def _spawn(self, index: int):
+        """Start (or replace) the worker at slot ``index``; returns its
+        parent-side connection."""
+        parent_conn, child_conn = self._context.Pipe()
+        process = self._context.Process(
+            target=self._worker_target(),
+            args=self._worker_args(index, child_conn),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        if index < len(self._connections):
+            self._reap(index)
+            self._connections[index] = parent_conn
+            self._processes[index] = process
+        else:
             self._connections.append(parent_conn)
             self._processes.append(process)
-        self._closed = False
+        return parent_conn
+
+    def _reap(self, index: int) -> None:
+        """Force-stop one worker and release its pipe: join with a
+        timeout, escalate to ``terminate()`` then ``kill()``, drain any
+        pending replies, close the connection."""
+        process = self._processes[index]
+        process.join(timeout=self._CLOSE_TIMEOUT)
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=self._CLOSE_TIMEOUT)
+        if process.is_alive():  # pragma: no cover - stuck in a syscall
+            process.kill()
+            process.join(timeout=self._CLOSE_TIMEOUT)
+        conn = self._connections[index]
+        try:
+            while conn.poll(0):
+                conn.recv()
+        except (EOFError, OSError):
+            pass
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
 
     @property
     def shards(self) -> int:
@@ -363,9 +452,16 @@ class MultiprocessShardedExecutor(IncrementalEngine):
     def _gather(self, indices: Sequence[int]) -> list[Any]:
         out = []
         for index in indices:
-            tag, payload = self._connections[index].recv()
+            try:
+                tag, payload = self._connections[index].recv()
+            except EOFError:
+                raise ShardWorkerError(
+                    "worker pipe closed unexpectedly "
+                    f"(exitcode {self._processes[index].exitcode})",
+                    shard=index,
+                ) from None
             if tag != "ok":
-                raise EngineStateError(f"shard worker {index} failed: {payload}")
+                _raise_worker_error(index, payload)
             out.append(payload)
         return out
 
@@ -408,7 +504,13 @@ class MultiprocessShardedExecutor(IncrementalEngine):
         return _merge_result(self.template, partials, probe)
 
     def close(self) -> None:
-        """Stop the workers (idempotent)."""
+        """Stop the workers (idempotent, safe on partial construction).
+
+        Cooperative first (a ``stop`` message and a bounded join), then
+        escalating — ``terminate()``, then ``kill()`` — so a wedged
+        worker can never leak past the executor; pipes are drained
+        before closing so a worker blocked on a full pipe buffer can
+        exit."""
         if self._closed:
             return
         self._closed = True
@@ -417,12 +519,8 @@ class MultiprocessShardedExecutor(IncrementalEngine):
                 conn.send(("stop",))
             except (BrokenPipeError, OSError):  # pragma: no cover
                 pass
-        for process in self._processes:
-            process.join(timeout=5)
-            if process.is_alive():  # pragma: no cover - hung worker guard
-                process.terminate()
-        for conn in self._connections:
-            conn.close()
+        for index in range(len(self._processes)):
+            self._reap(index)
 
     def __enter__(self) -> "MultiprocessShardedExecutor":
         return self

@@ -17,6 +17,9 @@ __all__ = [
     "SchemaError",
     "EngineStateError",
     "DuplicateKeyError",
+    "ShardWorkerError",
+    "WalCorruptionError",
+    "QuarantineOverflowError",
 ]
 
 
@@ -65,3 +68,48 @@ class EngineStateError(ReproError):
 class DuplicateKeyError(ReproError):
     """An index insert collided with an existing key where overwrite or
     merge semantics were not requested."""
+
+
+class ShardWorkerError(EngineStateError):
+    """A shard worker process reported a structured failure.
+
+    Raised in the *parent* of a sharded multiprocess run when a worker
+    replies with an error instead of an ack.  Carries enough context to
+    debug the failure without attaching to the child: the shard index,
+    the original exception type name, and the worker-side traceback.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        shard: int | None = None,
+        exc_type: str | None = None,
+        worker_traceback: str | None = None,
+    ) -> None:
+        detail = message
+        if shard is not None:
+            detail = f"shard {shard}: {detail}"
+        if worker_traceback:
+            detail = f"{detail}\n--- worker traceback ---\n{worker_traceback}"
+        super().__init__(detail)
+        self.shard = shard
+        self.exc_type = exc_type
+        self.worker_traceback = worker_traceback
+
+
+class WalCorruptionError(ReproError):
+    """A write-ahead log or snapshot failed its integrity checks.
+
+    Only raised in *strict* recovery mode; the default recovery path
+    self-heals (truncates the corrupt tail, skips corrupt snapshots)
+    and reports through ``obs`` counters instead.
+    """
+
+
+class QuarantineOverflowError(EngineStateError):
+    """More events were quarantined than the configured hard cap.
+
+    A handful of malformed events is tolerable telemetry; an unbounded
+    stream of them means the producer is broken, and silently discarding
+    the whole input would masquerade as a successful run."""

@@ -1,0 +1,276 @@
+"""Deterministic fault injection for the fault-tolerance subsystem.
+
+A :class:`FaultPlan` is a declarative, picklable description of *which*
+faults strike *where*: kill shard worker ``s`` after it has applied
+``n`` events, drop or duplicate the pipe message carrying WAL record
+``k`` of shard ``s``, corrupt the ``i``-th snapshot file a shard
+writes, or splice schema-violating junk events into the input stream.
+Plans are either written explicitly (unit tests pinning one failure
+mode) or generated from a seed (:meth:`FaultPlan.seeded` — the chaos
+differential suite and the ``repro chaos`` CLI), so a failing run is
+always reproducible from its seed.
+
+The plan is *threaded through* the supervised execution path rather
+than monkey-patched around it:
+
+* worker-side — each worker receives the :class:`KillSpec` entries for
+  its shard *and incarnation* at spawn time and ``os._exit``\\ s when
+  its applied-event count crosses the threshold (incarnation matching
+  keeps a respawned worker from dying at the same point forever);
+* parent-side — the :class:`FaultInjector` sits on the supervisor's
+  transport: it suppresses or doubles ``batch`` sends, garbles
+  snapshot files right after they are written, and splices junk events
+  into incoming batches (which the engine's quarantine boundary must
+  then divert).
+
+Every injected fault increments a ``faults.<kind>`` counter so chaos
+runs leave an auditable trail in the ``obs`` snapshot.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.obs import SINK as _SINK
+from repro.storage.stream import Event
+
+__all__ = [
+    "KillSpec",
+    "DropSpec",
+    "DuplicateSpec",
+    "CorruptSnapshotSpec",
+    "BadEventSpec",
+    "FaultPlan",
+    "FaultInjector",
+]
+
+
+@dataclass(frozen=True)
+class KillSpec:
+    """Hard-kill a worker (``os._exit``) after ``after_events`` applied
+    events — but only in its ``incarnation``-th life, so recovery can
+    make progress."""
+
+    shard: int
+    after_events: int
+    incarnation: int = 0
+    exit_code: int = 23
+
+
+@dataclass(frozen=True)
+class DropSpec:
+    """Suppress the parent→worker send of the batch carrying WAL record
+    ``seq`` of ``shard`` (the message is logged, then lost in
+    transit)."""
+
+    shard: int
+    seq: int
+
+
+@dataclass(frozen=True)
+class DuplicateSpec:
+    """Send the batch carrying WAL record ``seq`` of ``shard`` twice
+    (the worker must deduplicate by sequence number)."""
+
+    shard: int
+    seq: int
+
+
+@dataclass(frozen=True)
+class CorruptSnapshotSpec:
+    """Garble the ``index``-th snapshot file ``shard`` writes (0-based),
+    so recovery must detect the bad CRC and fall back."""
+
+    shard: int
+    index: int = 0
+
+
+@dataclass(frozen=True)
+class BadEventSpec:
+    """Splice one schema-violating event into the input ahead of global
+    event number ``at_event`` (0-based, pre-quarantine numbering)."""
+
+    at_event: int
+    relation: str = "__junk__"
+    row: Any = None  # default: a row no schema accepts
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The full, picklable fault schedule for one run."""
+
+    kills: tuple[KillSpec, ...] = ()
+    drops: tuple[DropSpec, ...] = ()
+    duplicates: tuple[DuplicateSpec, ...] = ()
+    corrupt_snapshots: tuple[CorruptSnapshotSpec, ...] = ()
+    bad_events: tuple[BadEventSpec, ...] = ()
+
+    def kills_for(self, shard: int, incarnation: int) -> tuple[KillSpec, ...]:
+        """The kill entries one worker incarnation must honour."""
+        return tuple(
+            k
+            for k in self.kills
+            if k.shard == shard and k.incarnation == incarnation
+        )
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        *,
+        shards: int,
+        events: int,
+        kills: int = 1,
+        drops: int = 1,
+        duplicates: int = 1,
+        corrupt_snapshots: int = 1,
+        bad_events: int = 2,
+        relations: Sequence[str] = (),
+    ) -> "FaultPlan":
+        """Deterministic plan from a seed.
+
+        Fault positions are drawn from ``random.Random(seed)`` inside
+        the middle of the run (events ``[events // 8, 7 * events // 8]``
+        for kills and junk; early WAL records for drops/duplicates so
+        they land on batches that actually exist even for short runs).
+        Bad events alternate between outright-unknown relations and
+        known relations with a missing/extra column, exercising both
+        quarantine paths.
+        """
+        rng = random.Random(seed)
+        lo, hi = max(1, events // 8), max(2, (7 * events) // 8)
+        # A shard applies only ~events/shards of the stream, so kill
+        # thresholds are drawn from that per-shard range or the worker
+        # would outlive the run and the kill never fire.
+        kill_lo = max(1, events // (6 * shards))
+        kill_hi = max(kill_lo + 1, events // (2 * shards))
+        kill_specs = tuple(
+            KillSpec(
+                shard=rng.randrange(shards),
+                after_events=rng.randint(kill_lo, kill_hi),
+            )
+            for _ in range(kills)
+        )
+        drop_specs = tuple(
+            DropSpec(shard=rng.randrange(shards), seq=rng.randint(1, 3))
+            for _ in range(drops)
+        )
+        dup_specs = tuple(
+            DuplicateSpec(shard=rng.randrange(shards), seq=rng.randint(1, 3))
+            for _ in range(duplicates)
+        )
+        corrupt_specs = tuple(
+            CorruptSnapshotSpec(shard=rng.randrange(shards), index=0)
+            for _ in range(corrupt_snapshots)
+        )
+        bad_specs = []
+        for n in range(bad_events):
+            position = rng.randint(lo, hi)
+            if relations and n % 2 == 0:
+                relation = rng.choice(list(relations))
+                row = {"__not_a_column__": rng.randint(0, 9)}
+            else:
+                relation = "__junk__"
+                row = None
+            bad_specs.append(BadEventSpec(at_event=position, relation=relation, row=row))
+        return cls(
+            kills=kill_specs,
+            drops=drop_specs,
+            duplicates=dup_specs,
+            corrupt_snapshots=corrupt_specs,
+            bad_events=tuple(bad_specs),
+        )
+
+
+@dataclass
+class FaultInjector:
+    """Parent-side runtime for a :class:`FaultPlan`.
+
+    Stateful: each drop/duplicate/corruption entry fires at most once
+    (sets below track spent entries), and :meth:`splice_bad_events`
+    advances a global event cursor so junk lands at the planned
+    positions regardless of batch boundaries.
+    """
+
+    plan: FaultPlan
+    _spent_drops: set = field(default_factory=set)
+    _spent_duplicates: set = field(default_factory=set)
+    _spent_corruptions: set = field(default_factory=set)
+    _snapshot_counts: dict = field(default_factory=dict)
+    _event_cursor: int = 0
+    _spliced: int = 0
+
+    def should_drop(self, shard: int, seq: int) -> bool:
+        for spec in self.plan.drops:
+            key = (spec.shard, spec.seq)
+            if spec.shard == shard and spec.seq == seq and key not in self._spent_drops:
+                self._spent_drops.add(key)
+                if _SINK.enabled:
+                    _SINK.inc("faults.drops")
+                return True
+        return False
+
+    def should_duplicate(self, shard: int, seq: int) -> bool:
+        for spec in self.plan.duplicates:
+            key = (spec.shard, spec.seq)
+            if (
+                spec.shard == shard
+                and spec.seq == seq
+                and key not in self._spent_duplicates
+            ):
+                self._spent_duplicates.add(key)
+                if _SINK.enabled:
+                    _SINK.inc("faults.duplicates")
+                return True
+        return False
+
+    def on_snapshot_written(self, shard: int, path: Path) -> None:
+        """Corrupt the snapshot file if the plan says this one dies."""
+        index = self._snapshot_counts.get(shard, 0)
+        self._snapshot_counts[shard] = index + 1
+        for spec in self.plan.corrupt_snapshots:
+            key = (spec.shard, spec.index)
+            if (
+                spec.shard == shard
+                and spec.index == index
+                and key not in self._spent_corruptions
+            ):
+                self._spent_corruptions.add(key)
+                data = bytearray(Path(path).read_bytes())
+                if data:
+                    # flip bytes in the middle of the payload so the
+                    # frame parses but the CRC check fails
+                    at = len(data) // 2
+                    data[at] ^= 0xFF
+                    data[-1] ^= 0xFF
+                    Path(path).write_bytes(bytes(data))
+                if _SINK.enabled:
+                    _SINK.inc("faults.snapshot_corruptions")
+                return
+
+    def splice_bad_events(self, events: Sequence[Event]) -> Sequence[Event]:
+        """Insert the plan's junk events into this chunk at their
+        scheduled global positions; returns the (possibly longer)
+        chunk.  Junk events are *additions*, never replacements, so the
+        clean payload — and therefore the guarded engine's result — is
+        unchanged."""
+        start = self._event_cursor
+        self._event_cursor += len(events)
+        due = [
+            spec
+            for spec in self.plan.bad_events
+            if start <= spec.at_event < self._event_cursor
+        ]
+        if not due:
+            return events
+        out = list(events)
+        for spec in sorted(due, key=lambda s: s.at_event, reverse=True):
+            row = spec.row if spec.row is not None else {"__garbage__": spec.at_event}
+            out.insert(spec.at_event - start, Event(spec.relation, row, +1))
+            self._spliced += 1
+            if _SINK.enabled:
+                _SINK.inc("faults.bad_events")
+        return out

@@ -57,6 +57,20 @@ Counter naming convention (``<structure or layer>.<operation>``):
                                         or ``shift_keys``)
 ``backend.fenwick_grows``               dense-universe doubling events
 ``engine.events/.batches/.results``     trigger calls / batch calls / refreshes
+``engine.quarantined``                  schema-violating events diverted by the
+                                        validation boundary
+``wal.appends/.snapshots``              write-ahead-log records / checkpoints
+                                        written
+``wal.recoveries``                      snapshot+tail-replay recoveries
+``wal.tail_truncated``                  torn/corrupt WAL tails healed on open
+``wal.snapshot_corrupt``                snapshot files skipped on bad CRC
+``supervisor.worker_failures``          shard-worker deaths/timeouts detected
+``supervisor.respawns``                 workers respawned and restored
+``supervisor.degraded``                 falls back to the serial executor after
+                                        the respawn budget
+``faults.drops/.duplicates``            injected message losses / duplications
+``faults.snapshot_corruptions``         injected snapshot-file corruptions
+``faults.bad_events``                   injected schema-violating events
 ``selfcheck.validations``               invariant walks performed
 ======================================  =======================================
 
@@ -67,8 +81,10 @@ negative shift — the Section 3.2.4 quantity), ``treemap.shift_moved``,
 ``engine.batch_size``, ``rpai.freelist.depth`` / ``treemap.freelist.depth``
 (pool depth after each release — ``max`` is the high-water mark),
 ``shard.batch_size`` (per-shard routed chunk sizes), ``shard.skew``
-(largest shard's share of a routed batch, normalized so 1.0 = even) and
-``shard.merge_seconds``.
+(largest shard's share of a routed batch, normalized so 1.0 = even),
+``shard.merge_seconds``, ``wal.record_events`` (events per WAL record),
+``wal.records_replayed`` (log-tail length per recovery) and
+``wal.truncated_bytes`` (garbage removed per tail heal).
 """
 
 from __future__ import annotations

@@ -14,7 +14,7 @@ from typing import Any, Mapping
 
 from repro.errors import SchemaError
 
-__all__ = ["Schema"]
+__all__ = ["Schema", "WORKLOAD_SCHEMAS"]
 
 
 @dataclass(frozen=True)
@@ -94,3 +94,12 @@ ORDERS = Schema(
     types={"orderkey": int, "custkey": int},
 )
 CUSTOMER = Schema("customer", ("custkey", "name"), types={"custkey": int, "name": str})
+
+#: every relation any benchmark workload can emit — the validation
+#: boundary admits events for these even when the running query does
+#: not reference them (engines ignore unreferenced relations), and
+#: quarantines everything else.
+WORKLOAD_SCHEMAS = {
+    schema.name: schema
+    for schema in (BIDS, ASKS, R_AB, LINEITEM, PART, ORDERS, CUSTOMER)
+}

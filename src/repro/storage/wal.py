@@ -1,0 +1,230 @@
+"""Per-shard write-ahead log with periodic state snapshots.
+
+Durability layer for the fault-tolerant executors
+(:mod:`repro.engine.supervision`): every routed event batch is appended
+to an append-only log *before* it is applied, and the applying engine's
+pickled state is checkpointed every few records.  Recovery is then the
+classic two-step — load the latest *valid* snapshot, replay the log
+tail after it — which reconstructs the exact engine state at the last
+logged record regardless of where the process died.
+
+Integrity is enforced at the record level so a crash mid-write (or a
+corrupted file) is *detected*, never silently replayed:
+
+* every log record is framed as ``magic | seq | payload-length |
+  CRC-32(payload) | payload`` (little-endian ``<4sQII`` header, pickled
+  event list payload).  Replay stops at the first frame whose magic,
+  length, sequence or CRC does not check out and truncates the file at
+  that offset — a torn tail heals itself and is reported through the
+  ``wal.tail_truncated`` counter;
+* snapshots use the same framing (``magic | covered-seq | length |
+  CRC``).  A snapshot that fails its CRC is skipped (counted under
+  ``wal.snapshot_corrupt``) and recovery falls back to the next-newest
+  valid one — or to an empty engine plus a full log replay when none
+  survive.
+
+The log knows nothing about engines: payloads are opaque pickled
+objects (event batches by convention), and recovery drives a caller
+callback.  That keeps this module importable from the storage layer
+without touching the engine package.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import zlib
+from pathlib import Path
+from typing import Any, Iterator, Sequence
+
+from repro.errors import WalCorruptionError
+from repro.obs import SINK as _SINK
+
+__all__ = ["WriteAheadLog", "WAL_FILE", "SNAPSHOT_GLOB"]
+
+_RECORD_MAGIC = b"RWL1"
+_SNAPSHOT_MAGIC = b"RSN1"
+_HEADER = struct.Struct("<4sQII")  # magic, seq, payload length, payload crc32
+
+WAL_FILE = "wal.log"
+SNAPSHOT_GLOB = "snapshot-*.ckpt"
+
+#: refuse to allocate unbounded buffers for a garbage length field
+_MAX_RECORD_BYTES = 1 << 30
+
+
+class WriteAheadLog:
+    """Append-only event log plus snapshot files in one directory.
+
+    One instance per shard.  The writer owns the file handle; sequence
+    numbers are 1-based and contiguous over the *valid* prefix of the
+    log (opening an existing directory scans the log, truncates any
+    torn tail, and resumes numbering from the last intact record).
+
+    Args:
+        directory: shard directory (created if missing).
+        fsync: when ``True`` every append (and snapshot) is forced to
+            stable storage with ``os.fsync`` — crash-safe at a
+            measurable throughput cost (see the WAL-overhead gate in
+            ``benchmarks/bench_compare.py``).
+    """
+
+    def __init__(self, directory: str | Path, *, fsync: bool = False) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.fsync = fsync
+        self._path = self.directory / WAL_FILE
+        self.seq = 0
+        self._recover_end_offset()
+        self._handle = open(self._path, "ab")
+
+    # -- writing -------------------------------------------------------
+
+    def append(self, events: Sequence[Any]) -> int:
+        """Durably append one batch; returns its sequence number."""
+        payload = pickle.dumps(list(events), protocol=pickle.HIGHEST_PROTOCOL)
+        self.seq += 1
+        header = _HEADER.pack(_RECORD_MAGIC, self.seq, len(payload), zlib.crc32(payload))
+        self._handle.write(header)
+        self._handle.write(payload)
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+        if _SINK.enabled:
+            _SINK.inc("wal.appends")
+            _SINK.observe("wal.record_events", len(events))
+        return self.seq
+
+    def snapshot(self, payload: bytes, *, seq: int | None = None) -> Path:
+        """Write a snapshot covering every record up to ``seq``
+        (default: the current head).  ``payload`` is the opaque pickled
+        engine state; the file is CRC-framed like a log record."""
+        covered = self.seq if seq is None else seq
+        path = self.directory / f"snapshot-{covered:012d}.ckpt"
+        header = _HEADER.pack(_SNAPSHOT_MAGIC, covered, len(payload), zlib.crc32(payload))
+        with open(path, "wb") as handle:
+            handle.write(header)
+            handle.write(payload)
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+        if _SINK.enabled:
+            _SINK.inc("wal.snapshots")
+        return path
+
+    def sync(self) -> None:
+        """Force buffered appends to stable storage now."""
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.flush()
+            self._handle.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- reading / recovery --------------------------------------------
+
+    def load_latest_snapshot(
+        self, *, strict: bool = False, max_seq: int | None = None
+    ) -> tuple[int, bytes] | None:
+        """Newest snapshot that passes integrity checks, as
+        ``(covered_seq, payload)``; ``None`` when no valid snapshot
+        exists.  Corrupt snapshots are skipped (``strict=True`` raises
+        :class:`~repro.errors.WalCorruptionError` instead).
+
+        ``max_seq`` ignores snapshots covering records beyond it: a
+        snapshot ahead of a (truncated) log head must not be restored,
+        or replay and live sequence numbering would diverge."""
+        for path in sorted(self.directory.glob(SNAPSHOT_GLOB), reverse=True):
+            try:
+                data = path.read_bytes()
+                magic, covered, length, crc = _HEADER.unpack_from(data)
+                payload = data[_HEADER.size : _HEADER.size + length]
+                if (
+                    magic != _SNAPSHOT_MAGIC
+                    or len(payload) != length
+                    or zlib.crc32(payload) != crc
+                ):
+                    raise WalCorruptionError(f"snapshot {path.name} failed integrity check")
+            except (struct.error, WalCorruptionError) as exc:
+                if strict:
+                    if isinstance(exc, WalCorruptionError):
+                        raise
+                    raise WalCorruptionError(f"snapshot {path.name} is malformed") from exc
+                if _SINK.enabled:
+                    _SINK.inc("wal.snapshot_corrupt")
+                continue
+            if max_seq is not None and covered > max_seq:
+                continue
+            return covered, payload
+        return None
+
+    def replay(self, start_seq: int = 0, *, strict: bool = False) -> Iterator[tuple[int, list]]:
+        """Yield ``(seq, batch)`` for every valid record with
+        ``seq > start_seq``, in order.
+
+        Reads the file fresh (safe to call on a live writer after
+        ``flush``; appends are flushed on every :meth:`append`).  A
+        torn or corrupt tail ends the iteration; in the default
+        self-healing mode it was already truncated when the log was
+        opened, and ``strict=True`` raises on it instead."""
+        with open(self._path, "rb") as handle:
+            while True:
+                record = self._read_record(handle, strict=strict)
+                if record is None:
+                    return
+                seq, payload = record
+                if seq > start_seq:
+                    yield seq, pickle.loads(payload)
+
+    def _read_record(self, handle, *, strict: bool) -> tuple[int, bytes] | None:
+        """One framed record, or ``None`` at end-of-valid-log."""
+        header = handle.read(_HEADER.size)
+        if not header:
+            return None
+        try:
+            if len(header) < _HEADER.size:
+                raise WalCorruptionError("torn record header")
+            magic, seq, length, crc = _HEADER.unpack(header)
+            if magic != _RECORD_MAGIC:
+                raise WalCorruptionError(f"bad record magic {magic!r}")
+            if length > _MAX_RECORD_BYTES:
+                raise WalCorruptionError(f"implausible record length {length}")
+            payload = handle.read(length)
+            if len(payload) < length:
+                raise WalCorruptionError("torn record payload")
+            if zlib.crc32(payload) != crc:
+                raise WalCorruptionError(f"record {seq} failed CRC check")
+        except WalCorruptionError:
+            if strict:
+                raise
+            return None
+        return seq, payload
+
+    def _recover_end_offset(self) -> None:
+        """Scan an existing log for its valid prefix; truncate trailing
+        garbage so appends resume from a clean boundary."""
+        if not self._path.exists():
+            return
+        valid_end = 0
+        with open(self._path, "rb") as handle:
+            while True:
+                record = self._read_record(handle, strict=False)
+                if record is None:
+                    break
+                self.seq = record[0]
+                valid_end = handle.tell()
+        size = self._path.stat().st_size
+        if size > valid_end:
+            with open(self._path, "ab") as handle:
+                handle.truncate(valid_end)
+            if _SINK.enabled:
+                _SINK.inc("wal.tail_truncated")
+                _SINK.observe("wal.truncated_bytes", size - valid_end)

@@ -1,0 +1,474 @@
+"""Fault-tolerance: chaos differential suite, supervision, quarantine.
+
+The central guarantee mirrors the sharding differential tests, under
+adversity: for every registered query and K ∈ {2, 3}, a run through the
+fault-tolerant executor with a seeded fault plan — worker kills,
+dropped and duplicated pipe messages, corrupted snapshot files,
+schema-violating junk events — produces **exactly** the result of a
+clean unsharded run.  Recovery must go through the write-ahead log
+(snapshot + tail replay), junk must land in the quarantine rather than
+any engine, and every fault and recovery must leave an obs-counter
+trail.
+
+Worker processes make these tests heavier than the in-process suites;
+streams are kept small (a few hundred events) and the fork start
+method keeps spawn cost low.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import obs
+from repro.engine.base import Quarantine
+from repro.engine.registry import attach_validation, build_engine, build_sharded_engine
+from repro.engine.supervision import DurableEngine, recover_result
+from repro.errors import QuarantineOverflowError, ShardWorkerError
+from repro.faults import (
+    BadEventSpec,
+    CorruptSnapshotSpec,
+    DuplicateSpec,
+    FaultInjector,
+    FaultPlan,
+    KillSpec,
+)
+from repro.storage.stream import Event, Stream
+from repro.workloads import TPCHConfig, generate_tpch, get_query
+
+from tests.conftest import random_bid_stream
+
+ALL_QUERIES = ("EQ", "VWAP", "MST", "PSP", "SQ1", "SQ2", "NQ1", "NQ2", "Q17", "Q18")
+SHARDABLE = ("EQ", "VWAP", "Q17", "Q18")
+
+
+def eq_stream(count: int, seed: int) -> Stream:
+    rng = random.Random(seed)
+    out: list[Event] = []
+    live: list[dict] = []
+    while len(out) < count:
+        if live and rng.random() < 0.25:
+            out.append(Event("R", live.pop(rng.randrange(len(live))), -1))
+        else:
+            row = {"A": rng.randint(1, 40), "B": rng.randint(1, 9)}
+            live.append(row)
+            out.append(Event("R", row, +1))
+    return Stream(out)
+
+
+def stream_for(query: str, seed: int = 17, count: int = 350) -> Stream:
+    if query in ("Q17", "Q18"):
+        return generate_tpch(TPCHConfig(scale_factor=0.006, seed=seed))
+    if query == "EQ":
+        return eq_stream(count, seed)
+    return random_bid_stream(
+        count, price_levels=30, volume_max=9, delete_probability=0.3, seed=seed
+    )
+
+
+def clean_result(query: str, stream: Stream, batch_size: int = 32):
+    engine = build_engine(query, "rpai")
+    result = engine.result()
+    for batch in stream.batches(batch_size):
+        result = engine.on_batch(batch)
+    return result
+
+
+def run_chaos(query: str, shards: int, seed: int, tmp_path, **kwargs):
+    """One chaos run; returns (final_result, obs counters, engine)."""
+    stream = stream_for(query)
+    relations = tuple(get_query(query).schema_map())
+    plan = FaultPlan.seeded(
+        seed, shards=shards, events=len(stream), relations=relations
+    )
+    obs.enable()
+    obs.reset()
+    try:
+        engine = build_sharded_engine(
+            query,
+            "rpai",
+            shards=shards,
+            workers=shards,
+            plan_stream=stream,
+            wal_dir=tmp_path / f"chaos-{query}-{shards}-{seed}",
+            snapshot_every=3,
+            fault_plan=plan,
+            **kwargs,
+        )
+        supervised = hasattr(engine, "degraded")
+        injector = None if supervised else FaultInjector(plan)
+        try:
+            result = engine.result()
+            for batch in stream.batches(32):
+                if injector is not None:
+                    # unshardable fallback: no transport to fault, but the
+                    # quarantine boundary still faces the junk events
+                    batch = injector.splice_bad_events(batch)
+                result = engine.on_batch(batch)
+        finally:
+            closer = getattr(engine, "close", None)
+            if closer is not None:
+                closer()
+        counters = obs.snapshot()["counters"]
+    finally:
+        obs.disable()
+    return result, counters, engine
+
+
+class TestChaosDifferential:
+    """faulty run result == clean run result, every query, K ∈ {2, 3}."""
+
+    @pytest.mark.parametrize("shards", (2, 3))
+    @pytest.mark.parametrize("query", ALL_QUERIES)
+    def test_exact_result_under_faults(self, query, shards, tmp_path):
+        expected = clean_result(query, stream_for(query))
+        result, counters, _ = run_chaos(query, shards, seed=101, tmp_path=tmp_path)
+        assert result == expected
+        # the junk events were injected and diverted, not applied
+        assert counters.get("faults.bad_events", 0) >= 1
+        assert counters.get("engine.quarantined", 0) == counters["faults.bad_events"]
+
+    @pytest.mark.parametrize("seed", (7, 101, 202))
+    def test_recovery_trail_visible(self, seed, tmp_path):
+        """Shardable query: kills/drops actually strike and the obs trail
+        shows the supervisor recovering through the WAL."""
+        expected = clean_result("EQ", stream_for("EQ"))
+        result, counters, engine = run_chaos("EQ", 2, seed=seed, tmp_path=tmp_path)
+        assert result == expected
+        assert not engine.degraded
+        assert counters["supervisor.worker_failures"] >= 1
+        assert counters["supervisor.respawns"] == counters["supervisor.worker_failures"]
+        assert counters["wal.recoveries"] >= counters["supervisor.respawns"]
+        assert counters["faults.drops"] == 1
+        assert counters["faults.duplicates"] == 1
+        assert counters["faults.snapshot_corruptions"] == 1
+
+    def test_corrupt_snapshot_falls_back(self, tmp_path):
+        """A corrupted snapshot is skipped during recovery (counter) and
+        the result still matches exactly."""
+        expected = clean_result("EQ", stream_for("EQ"))
+        plan = FaultPlan(
+            kills=(KillSpec(shard=0, after_events=120),),
+            corrupt_snapshots=tuple(
+                # corrupt every snapshot shard 0 writes: recovery must do
+                # a full log replay from an empty engine
+                CorruptSnapshotSpec(shard=0, index=i)
+                for i in range(16)
+            ),
+        )
+        stream = stream_for("EQ")
+        obs.enable()
+        obs.reset()
+        try:
+            engine = build_sharded_engine(
+                "EQ", "rpai", shards=2, workers=2, plan_stream=stream,
+                wal_dir=tmp_path / "wal", snapshot_every=2, fault_plan=plan,
+            )
+            try:
+                for batch in stream.batches(32):
+                    result = engine.on_batch(batch)
+            finally:
+                engine.close()
+            counters = obs.snapshot()["counters"]
+        finally:
+            obs.disable()
+        assert result == expected
+        assert counters["wal.snapshot_corrupt"] >= 1
+        assert counters["supervisor.respawns"] >= 1
+
+
+class TestSupervision:
+    def test_duplicate_messages_are_deduplicated(self, tmp_path):
+        expected = clean_result("EQ", stream_for("EQ"))
+        plan = FaultPlan(duplicates=tuple(
+            DuplicateSpec(shard=s, seq=q) for s in (0, 1) for q in (1, 2, 3)
+        ))
+        stream = stream_for("EQ")
+        engine = build_sharded_engine(
+            "EQ", "rpai", shards=2, workers=2, plan_stream=stream,
+            wal_dir=tmp_path / "wal", fault_plan=plan, validate=False,
+        )
+        try:
+            for batch in stream.batches(32):
+                result = engine.on_batch(batch)
+        finally:
+            engine.close()
+        assert result == expected
+
+    def test_degrades_to_serial_after_budget(self, tmp_path):
+        """Respawn budget 0 + an early kill: the executor must fall back
+        to the serial path, recovered from the WAL, and stay exact."""
+        expected = clean_result("EQ", stream_for("EQ"))
+        plan = FaultPlan(kills=(KillSpec(shard=0, after_events=40),))
+        stream = stream_for("EQ")
+        obs.enable()
+        obs.reset()
+        try:
+            engine = build_sharded_engine(
+                "EQ", "rpai", shards=2, workers=2, plan_stream=stream,
+                wal_dir=tmp_path / "wal", snapshot_every=4,
+                max_respawns=0, fault_plan=plan, validate=False,
+            )
+            try:
+                for batch in stream.batches(32):
+                    result = engine.on_batch(batch)
+                assert engine.degraded
+            finally:
+                engine.close()
+            counters = obs.snapshot()["counters"]
+        finally:
+            obs.disable()
+        assert result == expected
+        assert counters["supervisor.degraded"] == 1
+        # degraded runs keep logging: offline recovery still works
+        recovered, stats = recover_result("EQ", "rpai", tmp_path / "wal")
+        assert recovered == expected
+        assert stats["shards"] == 2
+
+    def test_repeated_kills_consume_budget_then_degrade(self, tmp_path):
+        """A worker that dies in every incarnation exhausts the respawn
+        budget; the run must still finish exactly via the serial path."""
+        expected = clean_result("EQ", stream_for("EQ"))
+        plan = FaultPlan(kills=tuple(
+            KillSpec(shard=0, after_events=30, incarnation=i) for i in range(8)
+        ))
+        stream = stream_for("EQ")
+        engine = build_sharded_engine(
+            "EQ", "rpai", shards=2, workers=2, plan_stream=stream,
+            wal_dir=tmp_path / "wal", snapshot_every=4,
+            max_respawns=2, fault_plan=plan, validate=False,
+        )
+        try:
+            for batch in stream.batches(32):
+                result = engine.on_batch(batch)
+            assert engine.degraded
+        finally:
+            engine.close()
+        assert result == expected
+
+    def test_restart_resumes_from_wal_dir(self, tmp_path):
+        """Close mid-stream, rebuild over the same directory, finish:
+        bit-identical to an uninterrupted run (whole-process crash)."""
+        stream = stream_for("VWAP")
+        expected = clean_result("VWAP", stream)
+        batches = list(stream.batches(32))
+        wal_dir = tmp_path / "wal"
+        first = build_sharded_engine(
+            "VWAP", "rpai", shards=2, workers=2, plan_stream=stream,
+            wal_dir=wal_dir, snapshot_every=3,
+        )
+        try:
+            for batch in batches[: len(batches) // 2]:
+                first.on_batch(batch)
+        finally:
+            first.close()
+        second = build_sharded_engine(
+            "VWAP", "rpai", shards=2, workers=2, plan_stream=stream,
+            wal_dir=wal_dir, snapshot_every=3,
+        )
+        try:
+            result = second.result()  # state restored before any new event
+            for batch in batches[len(batches) // 2 :]:
+                result = second.on_batch(batch)
+        finally:
+            second.close()
+        assert result == expected
+
+    def test_worker_error_is_typed(self):
+        """A deterministic engine failure inside a worker surfaces as a
+        ShardWorkerError carrying shard, type and traceback — not a bare
+        EOFError or a hang."""
+        engine = build_sharded_engine("EQ", "rpai", shards=2, workers=2)
+        try:
+            with pytest.raises(ShardWorkerError) as info:
+                # routes fine (has the routing column A) but breaks the
+                # trigger inside the worker (missing column B)
+                engine.on_batch([Event("R", {"A": 1}, +1)])
+        finally:
+            engine.close()
+        assert info.value.shard in (0, 1)
+        assert info.value.exc_type  # e.g. KeyError
+        assert "Traceback" in (info.value.worker_traceback or "")
+
+    def test_close_is_idempotent(self, tmp_path):
+        engine = build_sharded_engine(
+            "EQ", "rpai", shards=2, workers=2,
+            wal_dir=tmp_path / "wal",
+        )
+        engine.on_batch(list(stream_for("EQ"))[:20])
+        engine.close()
+        engine.close()  # second close must be a no-op
+        for process in engine._processes:
+            assert not process.is_alive()
+
+
+class TestDurableEngine:
+    def test_recover_resumes_exactly(self, tmp_path):
+        stream = stream_for("SQ1")
+        expected = clean_result("SQ1", stream)
+        batches = list(stream.batches(32))
+        with DurableEngine(
+            build_engine("SQ1", "rpai"), tmp_path, snapshot_every=3
+        ) as durable:
+            for batch in batches[:5]:
+                durable.on_batch(batch)
+        recovered = DurableEngine.recover(
+            lambda: build_engine("SQ1", "rpai"), tmp_path, snapshot_every=3
+        )
+        with recovered:
+            result = recovered.result()
+            for batch in batches[5:]:
+                result = recovered.on_batch(batch)
+        assert result == expected
+
+    def test_recover_survives_missing_snapshot(self, tmp_path):
+        """Delete every snapshot: recovery degrades to a full replay."""
+        stream = stream_for("SQ1")
+        batches = list(stream.batches(32))
+        with DurableEngine(
+            build_engine("SQ1", "rpai"), tmp_path, snapshot_every=2
+        ) as durable:
+            for batch in batches[:4]:
+                expected = durable.on_batch(batch)
+        for snapshot in tmp_path.glob("snapshot-*.ckpt"):
+            snapshot.unlink()
+        recovered = DurableEngine.recover(
+            lambda: build_engine("SQ1", "rpai"), tmp_path
+        )
+        with recovered:
+            assert recovered.recovered_records == 4
+            assert recovered.result() == expected
+
+
+class TestQuarantine:
+    def _schemas(self):
+        return get_query("EQ").schema_map()
+
+    def test_clean_stream_unchanged_by_validation(self):
+        """Attaching the quarantine must not change results on a clean
+        stream (differential: guarded vs unguarded)."""
+        stream = stream_for("EQ")
+        plain = build_engine("EQ", "rpai")
+        guarded = build_engine("EQ", "rpai")
+        attach_validation(guarded, "EQ")
+        for event in stream:
+            assert guarded.on_event(event) == plain.on_event(event)
+        assert guarded.quarantine.total_rejected == 0
+
+    def test_bad_events_diverted_not_applied(self):
+        engine = build_engine("EQ", "rpai")
+        quarantine = attach_validation(engine, "EQ")
+        good = Event("R", {"A": 5, "B": 2}, +1)
+        expected = engine.on_event(good)
+        for bad in (
+            Event("__junk__", {"x": 1}, +1),       # unknown relation
+            Event("R", {"A": 5}, +1),               # missing column
+            Event("R", {"A": 5, "B": 2, "C": 3}, +1),  # extra column
+            Event("R", {"A": "five", "B": 2}, +1),  # type mismatch
+        ):
+            assert engine.on_event(bad) == expected  # result unchanged
+        assert quarantine.total_rejected == 4
+        assert len(quarantine.rejected) == 4
+        reasons = [reason for _event, reason in quarantine.rejected]
+        assert all(reasons)
+
+    def test_ring_is_bounded(self):
+        engine = build_engine("EQ", "rpai")
+        quarantine = engine.attach_quarantine(self._schemas(), limit=8)
+        for i in range(50):
+            engine.on_event(Event("__junk__", {"i": i}, +1))
+        assert quarantine.total_rejected == 50
+        assert len(quarantine.rejected) == 8  # ring keeps only the tail
+
+    def test_fail_after_overflows(self):
+        engine = build_engine("EQ", "rpai")
+        engine.attach_quarantine(self._schemas(), fail_after=3)
+        for i in range(3):
+            engine.on_event(Event("__junk__", {"i": i}, +1))
+        with pytest.raises(QuarantineOverflowError):
+            engine.on_event(Event("__junk__", {"overflow": True}, +1))
+
+    def test_batch_path_filters(self):
+        engine = build_engine("EQ", "rpai")
+        quarantine = attach_validation(engine, "EQ")
+        batch = [
+            Event("R", {"A": 1, "B": 1}, +1),
+            Event("__junk__", {}, +1),
+            Event("R", {"A": 2, "B": 1}, +1),
+        ]
+        reference = build_engine("EQ", "rpai")
+        expected = reference.on_batch(
+            [event for event in batch if event.relation == "R"]
+        )
+        assert engine.on_batch(batch) == expected
+        assert quarantine.total_rejected == 1
+
+    def test_counter_fires(self):
+        obs.enable()
+        obs.reset()
+        try:
+            engine = build_engine("EQ", "rpai")
+            attach_validation(engine, "EQ")
+            engine.on_event(Event("__junk__", {}, +1))
+            counters = obs.snapshot()["counters"]
+        finally:
+            obs.disable()
+        assert counters["engine.quarantined"] == 1
+
+    def test_detach_restores_fast_path(self):
+        engine = build_engine("EQ", "rpai")
+        attach_validation(engine, "EQ")
+        engine.detach_quarantine()
+        assert engine.quarantine is None
+        # junk now reaches the engine and fails loudly — the guard is off
+        with pytest.raises(Exception):
+            engine.on_event(Event("R", {"bogus": 1}, +1))
+
+    def test_quarantine_survives_pickle(self):
+        import pickle
+
+        engine = build_engine("EQ", "rpai")
+        attach_validation(engine, "EQ")
+        engine.on_event(Event("__junk__", {}, +1))
+        restored = pickle.loads(pickle.dumps(engine))
+        assert restored.quarantine.total_rejected == 1
+        restored.on_event(Event("__junk__", {}, +1))
+        assert restored.quarantine.total_rejected == 2
+
+
+class TestFaultPlan:
+    def test_seeded_is_deterministic(self):
+        a = FaultPlan.seeded(99, shards=3, events=500, relations=("R",))
+        b = FaultPlan.seeded(99, shards=3, events=500, relations=("R",))
+        assert a == b
+        assert a != FaultPlan.seeded(100, shards=3, events=500, relations=("R",))
+
+    def test_kills_for_matches_shard_and_incarnation(self):
+        plan = FaultPlan(kills=(
+            KillSpec(shard=0, after_events=10, incarnation=0),
+            KillSpec(shard=0, after_events=20, incarnation=1),
+            KillSpec(shard=1, after_events=30, incarnation=0),
+        ))
+        assert [k.after_events for k in plan.kills_for(0, 0)] == [10]
+        assert [k.after_events for k in plan.kills_for(0, 1)] == [20]
+        assert plan.kills_for(2, 0) == ()
+
+    def test_splice_positions_are_global(self):
+        plan = FaultPlan(bad_events=(
+            BadEventSpec(at_event=5), BadEventSpec(at_event=12),
+        ))
+        injector = FaultInjector(plan)
+        chunks = [
+            [Event("R", {"A": i, "B": 1}, +1) for i in range(j, j + 8)]
+            for j in (0, 8, 16)
+        ]
+        out = [list(injector.splice_bad_events(chunk)) for chunk in chunks]
+        assert len(out[0]) == 9   # one junk event in events 0..7
+        assert out[0][5].relation == "__junk__"
+        assert len(out[1]) == 9   # one in events 8..15 (position 12)
+        assert out[1][4].relation == "__junk__"
+        assert len(out[2]) == 8   # nothing left
+        # clean payload preserved in order
+        for original, spliced in zip(chunks, out):
+            assert [e for e in spliced if e.relation == "R"] == original

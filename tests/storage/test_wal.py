@@ -1,0 +1,177 @@
+"""Write-ahead log: framing, self-healing truncation, snapshots.
+
+The WAL is the durability primitive of the fault-tolerance layer
+(`repro.storage.wal`): these tests pin its record format guarantees —
+appends round-trip exactly, a torn or corrupted tail is detected via
+CRC and cleanly truncated on open (never silently replayed), sequence
+numbering survives reopen, and snapshot files fall back newest-to-
+oldest past corrupt ones.
+"""
+
+import pytest
+
+from repro import obs
+from repro.errors import WalCorruptionError
+from repro.storage.stream import Event
+from repro.storage.wal import WAL_FILE, WriteAheadLog
+
+
+def _batches(n, size=4, tag="R"):
+    return [
+        [Event(tag, {"A": b * size + i, "B": 1}, +1) for i in range(size)]
+        for b in range(n)
+    ]
+
+
+class TestAppendReplay:
+    def test_roundtrip(self, tmp_path):
+        batches = _batches(5)
+        with WriteAheadLog(tmp_path) as wal:
+            seqs = [wal.append(batch) for batch in batches]
+            assert seqs == [1, 2, 3, 4, 5]
+            replayed = list(wal.replay())
+        assert [seq for seq, _ in replayed] == seqs
+        assert [batch for _, batch in replayed] == batches
+
+    def test_replay_from_start_seq(self, tmp_path):
+        batches = _batches(6)
+        with WriteAheadLog(tmp_path) as wal:
+            for batch in batches:
+                wal.append(batch)
+            tail = list(wal.replay(start_seq=4))
+        assert [seq for seq, _ in tail] == [5, 6]
+        assert [batch for _, batch in tail] == batches[4:]
+
+    def test_reopen_resumes_sequence(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            for batch in _batches(3):
+                wal.append(batch)
+        with WriteAheadLog(tmp_path) as wal:
+            assert wal.seq == 3
+            assert wal.append(_batches(1)[0]) == 4
+            assert len(list(wal.replay())) == 4
+
+    def test_empty_log(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            assert wal.seq == 0
+            assert list(wal.replay()) == []
+            assert wal.load_latest_snapshot() is None
+
+    def test_fsync_mode(self, tmp_path):
+        with WriteAheadLog(tmp_path, fsync=True) as wal:
+            for batch in _batches(3):
+                wal.append(batch)
+            wal.snapshot(b"state")
+            assert len(list(wal.replay())) == 3
+
+
+class TestTailCorruption:
+    def test_torn_tail_truncated_on_open(self, tmp_path):
+        batches = _batches(4)
+        with WriteAheadLog(tmp_path) as wal:
+            for batch in batches:
+                wal.append(batch)
+        path = tmp_path / WAL_FILE
+        size = path.stat().st_size
+        with open(path, "ab") as handle:
+            handle.truncate(size - 7)  # tear the last record mid-payload
+        with WriteAheadLog(tmp_path) as wal:
+            assert wal.seq == 3  # torn record 4 dropped
+            assert [seq for seq, _ in wal.replay()] == [1, 2, 3]
+            assert wal.append(batches[3]) == 4  # numbering resumes cleanly
+            assert [batch for _, batch in wal.replay()] == batches
+        # the truncation physically removed the garbage
+        assert path.stat().st_size > size - 7 - 1
+
+    def test_corrupt_crc_stops_replay(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            for batch in _batches(3):
+                wal.append(batch)
+        path = tmp_path / WAL_FILE
+        data = bytearray(path.read_bytes())
+        data[-3] ^= 0xFF  # flip a payload byte of the last record
+        path.write_bytes(bytes(data))
+        with WriteAheadLog(tmp_path) as wal:
+            assert wal.seq == 2
+            assert [seq for seq, _ in wal.replay()] == [1, 2]
+
+    def test_garbage_appended_after_log(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            for batch in _batches(2):
+                wal.append(batch)
+        path = tmp_path / WAL_FILE
+        with open(path, "ab") as handle:
+            handle.write(b"\x00" * 64)
+        with WriteAheadLog(tmp_path) as wal:
+            assert wal.seq == 2
+            assert len(list(wal.replay())) == 2
+
+    def test_strict_mode_raises(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            wal.append(_batches(1)[0])
+        path = tmp_path / WAL_FILE
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF
+        path.write_bytes(bytes(data))
+        wal = WriteAheadLog.__new__(WriteAheadLog)  # bypass self-healing open
+        wal.directory = tmp_path
+        wal._path = path
+        with pytest.raises(WalCorruptionError):
+            list(wal.replay(strict=True))
+
+    def test_truncation_is_counted(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            wal.append(_batches(1)[0])
+        with open(tmp_path / WAL_FILE, "ab") as handle:
+            handle.write(b"junk")
+        obs.enable()
+        obs.reset()
+        try:
+            WriteAheadLog(tmp_path).close()
+            counters = obs.snapshot()["counters"]
+        finally:
+            obs.disable()
+        assert counters["wal.tail_truncated"] == 1
+
+
+class TestSnapshots:
+    def test_latest_valid_snapshot_wins(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            wal.append(_batches(1)[0])
+            wal.snapshot(b"old")
+            wal.append(_batches(1)[0])
+            path = wal.snapshot(b"new")
+            assert wal.load_latest_snapshot() == (2, b"new")
+            # corrupt the newest -> falls back to the older one
+            data = bytearray(path.read_bytes())
+            data[-1] ^= 0xFF
+            path.write_bytes(bytes(data))
+            assert wal.load_latest_snapshot() == (1, b"old")
+            with pytest.raises(WalCorruptionError):
+                wal.load_latest_snapshot(strict=True)
+
+    def test_max_seq_filters_future_snapshots(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            wal.append(_batches(1)[0])
+            wal.snapshot(b"one")
+            wal.append(_batches(1)[0])
+            wal.snapshot(b"two")
+            # a snapshot beyond a (truncated) log head must be ignored
+            assert wal.load_latest_snapshot(max_seq=1) == (1, b"one")
+            assert wal.load_latest_snapshot(max_seq=0) is None
+
+    def test_truncated_snapshot_file_skipped(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            wal.append(_batches(1)[0])
+            path = wal.snapshot(b"payload" * 10)
+            with open(path, "ab") as handle:
+                handle.truncate(10)  # shorter than the framed payload
+            assert wal.load_latest_snapshot() is None
+
+    def test_explicit_covered_seq(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            for batch in _batches(3):
+                wal.append(batch)
+            wal.snapshot(b"early", seq=2)
+            assert wal.load_latest_snapshot() == (2, b"early")
+            assert list(wal.replay(start_seq=2)) != []
