@@ -1,0 +1,262 @@
+"""Compiled vs interpreted trigger throughput — the codegen gate.
+
+Runs every registry query under the ``rpai`` strategy twice over the
+same stream: once with per-query trigger codegen enabled (the default;
+the planner/registry pipeline installs specialized ``on_event`` /
+``on_batch`` triggers per (query, backend) pair) and once with
+``REPRO_CODEGEN=0`` semantics (the generic interpreted triggers).
+Three things are recorded per query:
+
+* **Throughput** at batch sizes {1, 100}, best of ``--repeats`` runs,
+  and the compiled/interpreted speedup.  Queries without an emitter
+  (the hand-written engines) run the identical interpreted code on
+  both sides; their "speedup" is pure measurement noise and is gated
+  with a looser floor.
+* **Result identity** — the final query result must be bit-identical
+  between the two modes (``repr`` equality, same discipline as the
+  differential suites).
+* **Counter identity** — one untimed instrumented pass per mode; every
+  ``repro.obs`` counter except the ``codegen.*`` family itself must
+  match exactly.  Compiled triggers are a *constant-factor* change:
+  identical rotations, probes, migrations and shift counts, less
+  interpreter overhead per event.  A counter that moves means the
+  generated trigger does different algorithmic work — that is a
+  correctness bug, not a speedup.
+
+``--gate`` turns the report into a pass/fail check (exit 1 on any
+query whose batch-1 speedup falls below its floor, or any result /
+counter divergence).  ``bench_compare.py`` runs this gate as part of
+the CI perf job.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_codegen.py [--smoke] [--gate]
+        [--out PATH] [--repeats N]
+
+Writes ``BENCH_codegen.json`` at the repo root (override with
+``--out``).  ``REPRO_BENCH_SCALE`` scales the workloads like the other
+benchmarks; ``--smoke`` forces a tiny scale for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import obs  # noqa: E402
+from repro.__main__ import _default_stream  # noqa: E402
+from repro.bench.runner import run_timed  # noqa: E402
+from repro.engine.registry import build_engine  # noqa: E402
+from repro.query import codegen  # noqa: E402
+from repro.workloads import query_names  # noqa: E402
+
+BATCH_SIZES = [1, 100]
+SEED = 42
+
+
+def scaled(n: int, scale: float, minimum: int = 200) -> int:
+    return max(minimum, int(n * scale))
+
+
+def _build(query: str, *, compiled: bool):
+    """Build the rpai engine with codegen forced on or off."""
+    prior = codegen.codegen_enabled()
+    codegen.set_codegen(compiled)
+    try:
+        return build_engine(query, "rpai")
+    finally:
+        codegen.set_codegen(prior)
+
+
+def _best_rate(query: str, stream, *, compiled: bool, batch_size: int,
+               repeats: int) -> float:
+    best = 0.0
+    for _ in range(repeats):
+        run = run_timed(_build(query, compiled=compiled), stream,
+                        batch_size=batch_size)
+        best = max(best, run.events_per_second)
+    return best
+
+
+def _counter_pass(query: str, stream, *, compiled: bool) -> tuple[object, dict]:
+    """One untimed instrumented pass; returns (final result, counters)
+    with the ``codegen.*`` family stripped (it is *supposed* to differ
+    between the modes — it is the instrumentation of the comparison
+    itself)."""
+    obs.enable()
+    obs.reset()
+    try:
+        run = run_timed(_build(query, compiled=compiled), stream, batch_size=1)
+        snap = obs.snapshot()
+    finally:
+        obs.disable()
+    counters = {
+        name: value
+        for name, value in snap.get("counters", {}).items()
+        if not name.startswith("codegen.")
+    }
+    return run.final_result, counters
+
+
+def bench_query(query: str, events: int, repeats: int) -> dict:
+    stream = _default_stream(query, events, SEED)
+    probe = _build(query, compiled=True)
+    trigger_mode = probe.trigger_mode
+    supported = trigger_mode == "compiled"
+
+    runs = []
+    for batch_size in BATCH_SIZES:
+        interpreted = _best_rate(query, stream, compiled=False,
+                                 batch_size=batch_size, repeats=repeats)
+        compiled = _best_rate(query, stream, compiled=True,
+                              batch_size=batch_size, repeats=repeats)
+        runs.append(
+            {
+                "batch_size": batch_size,
+                "interpreted_events_per_second": round(interpreted, 1),
+                "compiled_events_per_second": round(compiled, 1),
+                "speedup_compiled_vs_interpreted": round(
+                    compiled / max(interpreted, 1e-9), 3
+                ),
+            }
+        )
+
+    interp_result, interp_counters = _counter_pass(query, stream, compiled=False)
+    comp_result, comp_counters = _counter_pass(query, stream, compiled=True)
+    mismatches = sorted(
+        name
+        for name in set(interp_counters) | set(comp_counters)
+        if interp_counters.get(name) != comp_counters.get(name)
+    )
+    return {
+        "engine": "rpai",
+        "events": len(stream),
+        "trigger_mode": trigger_mode,
+        "supported": supported,
+        "runs": runs,
+        "speedup_batch1": runs[0]["speedup_compiled_vs_interpreted"],
+        "results_identical": repr(comp_result) == repr(interp_result),
+        "counters_identical": not mismatches,
+        "counter_mismatches": mismatches,
+    }
+
+
+def gate_report(report: dict, *, floor_supported: float,
+                floor_unsupported: float) -> list[str]:
+    """The CI rule: compiled must not lose to interpreted.  Returns the
+    failure messages (empty == gate passes).
+
+    Supported queries gate their batch-1 speedup at ``floor_supported``
+    (compiled at least matches interpreted).  Unsupported queries run
+    the same interpreted code twice, so their ratio only measures host
+    noise and gets the looser ``floor_unsupported``.  Result or counter
+    divergence fails unconditionally — those are correctness bugs.
+    """
+    failures = []
+    for query, entry in report["workloads"].items():
+        floor = floor_supported if entry["supported"] else floor_unsupported
+        speedup = entry["speedup_batch1"]
+        if speedup < floor:
+            failures.append(
+                f"{query}: batch-1 speedup {speedup:.3f} < floor {floor:.2f}"
+                f" ({'compiled' if entry['supported'] else 'no emitter'})"
+            )
+        if not entry["results_identical"]:
+            failures.append(f"{query}: compiled result != interpreted result")
+        if not entry["counters_identical"]:
+            failures.append(
+                f"{query}: counter divergence {entry['counter_mismatches']}"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny workloads for a CI smoke run"
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=REPO_ROOT / "BENCH_codegen.json",
+        help="output JSON path",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timed repeats per cell (best kept)"
+    )
+    parser.add_argument(
+        "--gate",
+        action="store_true",
+        help="exit non-zero when compiled loses to interpreted anywhere",
+    )
+    parser.add_argument(
+        "--gate-floor",
+        type=float,
+        default=1.0,
+        help="batch-1 speedup floor for queries with compiled triggers",
+    )
+    parser.add_argument(
+        "--gate-floor-unsupported",
+        type=float,
+        default=0.6,
+        help="sanity floor for queries without an emitter: both modes run "
+        "identical code, so the ratio is pure measurement noise — the real "
+        "contract for these queries is result/counter identity, and the "
+        "floor only catches codegen accidentally installing something",
+    )
+    args = parser.parse_args(argv)
+
+    scale = 0.1 if args.smoke else float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    repeats = max(1, args.repeats)
+
+    report = {
+        "scale": scale,
+        "smoke": args.smoke,
+        "batch_sizes": BATCH_SIZES,
+        "seed": SEED,
+        "workloads": {},
+    }
+    for query in query_names():
+        events = scaled(6000, scale)
+        entry = bench_query(query, events, repeats)
+        report["workloads"][query] = entry
+        b1 = entry["runs"][0]
+        print(
+            f"[codegen] {query:<5} ({entry['trigger_mode']:<11}): "
+            f"interpreted {b1['interpreted_events_per_second']:>10,.0f} ev/s, "
+            f"compiled {b1['compiled_events_per_second']:>10,.0f} ev/s "
+            f"({entry['speedup_batch1']}x) | "
+            f"results {'OK' if entry['results_identical'] else 'DIVERGED'}, "
+            f"counters {'OK' if entry['counters_identical'] else 'DIVERGED'}"
+        )
+
+    failures = gate_report(
+        report,
+        floor_supported=args.gate_floor,
+        floor_unsupported=args.gate_floor_unsupported,
+    )
+    report["gate"] = {
+        "floor_supported": args.gate_floor,
+        "floor_unsupported": args.gate_floor_unsupported,
+        "failures": failures,
+        "ok": not failures,
+    }
+    args.out.write_text(json.dumps(report, indent=2, allow_nan=False) + "\n")
+    print(f"[codegen] wrote {args.out}")
+    if failures:
+        for message in failures:
+            print(f"[codegen] GATE FAIL: {message}")
+    if args.gate:
+        print(f"[codegen] gate: {'PASS' if not failures else 'FAIL'}")
+        return 0 if not failures else 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

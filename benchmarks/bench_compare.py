@@ -12,6 +12,12 @@ warm-start speedup, the Section 3.2.4 violation bound) gate by default;
 absolute events/second gates too when the scales match (``--full`` on
 the same class of machine).
 
+The run also executes the trigger-codegen gate
+(``benchmarks/bench_codegen.py --gate``): compiled triggers must not
+lose to the interpreted ones on any registry query at batch size 1,
+and their results and obs counters must match exactly.  Skip with
+``--skip-codegen-gate``.
+
 The run also measures write-ahead-log overhead (same engine and stream
 with WAL off / WAL on / WAL on + fsync, through
 :class:`repro.engine.supervision.DurableEngine`) and gates that the
@@ -24,7 +30,7 @@ Usage::
 
     PYTHONPATH=src python benchmarks/bench_compare.py [--full]
         [--baseline PATH] [--out PATH] [--tolerance T] [--rescue R]
-        [--wal-gate-factor F] [--skip-wal-gate]
+        [--wal-gate-factor F] [--skip-wal-gate] [--skip-codegen-gate]
 """
 
 from __future__ import annotations
@@ -38,6 +44,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 
 from bench_batching import main as run_batching  # noqa: E402
+from bench_codegen import main as run_codegen  # noqa: E402
 
 from repro.bench.diffing import compare_reports, format_diff, load_report  # noqa: E402
 
@@ -145,6 +152,11 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="skip the WAL-overhead measurement and gate",
     )
+    parser.add_argument(
+        "--skip-codegen-gate",
+        action="store_true",
+        help="skip the compiled-vs-interpreted trigger gate",
+    )
     args = parser.parse_args(argv)
 
     if not args.baseline.exists():
@@ -179,6 +191,19 @@ def main(argv: list[str] | None = None) -> int:
             "events/second gating"
         )
 
+    codegen_ok = True
+    if not args.skip_codegen_gate:
+        codegen_args = [
+            "--gate",
+            "--out",
+            str(args.out.with_name("BENCH_codegen.candidate.json")),
+        ]
+        if not args.full:
+            codegen_args.append("--smoke")
+        print()
+        print("[bench-compare] trigger-codegen gate (compiled vs interpreted):")
+        codegen_ok = run_codegen(codegen_args) == 0
+
     wal_ok = True
     if not args.skip_wal_gate:
         wal = measure_wal_overhead(events=20_000 if args.full else 4_000)
@@ -195,7 +220,7 @@ def main(argv: list[str] | None = None) -> int:
         verdict = "OK" if wal_ok else "FAIL"
         print(f"  gate           : slowdown {wal['slowdown_wal']:.2f}x "
               f"<= {args.wal_gate_factor:.2f}x ... {verdict}")
-    return 0 if (report.ok and wal_ok) else 1
+    return 0 if (report.ok and codegen_ok and wal_ok) else 1
 
 
 if __name__ == "__main__":

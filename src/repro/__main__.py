@@ -7,6 +7,12 @@ Commands:
     cost (Table 1's analytical half).
 ``classify <sql | file>``
     Parse a query and print the planner's verdict.
+``codegen <query> [--engine E]``
+    Print the specialized trigger source the code generator emits for
+    the (query, backend) pair, or the reason the engine runs
+    interpreted.  ``repro run``/``repro stats``/``repro chaos``/
+    ``repro bench-shard`` accept ``--no-codegen`` to force the
+    interpreted triggers for A/B comparisons.
 ``run <query> [--engine E] [--events N] [--seed S] [--shards K] [--workers N]
              [--wal-dir D] [--max-respawns R] [--fsync]``
     Stream a synthetic workload through an engine and report result,
@@ -108,6 +114,43 @@ def _default_stream(query_name: str, events: int, seed: int) -> Stream:
     return generate_bids_only(config)
 
 
+def _apply_codegen_flag(args: argparse.Namespace) -> None:
+    """Honour ``--no-codegen``: flip the in-process default *and* the
+    environment variable, so spawned/forked shard workers (which build
+    their own engines) inherit the choice."""
+    if getattr(args, "no_codegen", False):
+        import os
+
+        from repro.query import codegen
+
+        codegen.set_codegen(False)
+        os.environ["REPRO_CODEGEN"] = "0"
+
+
+def cmd_codegen(args: argparse.Namespace) -> int:
+    from repro.query import codegen
+
+    codegen.set_codegen(True)
+    engine = build_engine(args.query, args.engine)
+    source = codegen.generated_source(engine)
+    print(f"query    : {args.query.upper()}")
+    print(f"engine   : {type(engine).__name__} ({engine.name})")
+    key = getattr(engine, "_codegen_key", None)
+    if source is None:
+        reason = getattr(
+            type(engine),
+            "codegen_unsupported_reason",
+            "no specialized-trigger emitter for this engine class",
+        )
+        print("trigger  : interpreted")
+        print(f"reason   : {reason}")
+        return 0
+    print(f"trigger  : compiled (cache key backend {key[-1]!r})")
+    print()
+    print(source)
+    return 0
+
+
 def cmd_list(_args: argparse.Namespace) -> int:
     rows = []
     for name in query_names():
@@ -135,6 +178,7 @@ def cmd_classify(args: argparse.Namespace) -> int:
 def cmd_run(args: argparse.Namespace) -> int:
     from repro.engine.registry import build_sharded_engine
 
+    _apply_codegen_flag(args)
     stream = _default_stream(args.query, args.events, args.seed)
     workers = max(0, args.workers)
     shards = args.shards if args.shards is not None else (workers or 1)
@@ -172,6 +216,10 @@ def cmd_run(args: argparse.Namespace) -> int:
             close()
     print(f"query    : {args.query.upper()}")
     print(f"engine   : {engine.name}")
+    if close is None and args.wal_dir is None and not (shards > 1 or workers):
+        # Plain engines report their trigger mode; executors/wrappers
+        # hold many replicas (each with its own mode) and stay silent.
+        print(f"trigger  : {engine.trigger_mode}")
     print(f"events   : {run.events}")
     print(f"time     : {run.seconds:.4f}s ({run.events_per_second:,.0f} events/s)")
     print(f"result   : {run.final_result}")
@@ -211,6 +259,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     from repro.engine.registry import build_sharded_engine
     from repro.faults import FaultInjector, FaultPlan
 
+    _apply_codegen_flag(args)
     stream = _default_stream(args.query, args.events, args.seed)
     relations = tuple(get_query(args.query.upper()).schema_map())
     batch_size = max(1, args.batch_size)
@@ -287,6 +336,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
 
 
 def cmd_bench_shard(args: argparse.Namespace) -> int:
+    _apply_codegen_flag(args)
     sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "benchmarks"))
     import bench_sharding
 
@@ -300,6 +350,7 @@ def cmd_bench_shard(args: argparse.Namespace) -> int:
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
+    _apply_codegen_flag(args)
     stream = _default_stream(args.query, args.events, args.seed)
     obs.enable()
     obs.reset()
@@ -315,10 +366,14 @@ def cmd_stats(args: argparse.Namespace) -> int:
         obs.disable()
         obs.disable_selfcheck()
     derived = obs.derived_metrics(snap, events=run.events)
+    # Read the mode after the run: a guarded deopt mid-stream moves a
+    # compiled engine to "deopted".
+    trigger_mode = engine.trigger_mode
     if args.json:
         payload = {
             "query": args.query.upper(),
             "engine": args.engine,
+            "trigger_mode": trigger_mode,
             "events": run.events,
             "seconds": round(run.seconds, 6),
             "ops": snap,
@@ -328,6 +383,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
         return 0
     print(f"query    : {args.query.upper()}")
     print(f"engine   : {args.engine}")
+    print(f"trigger  : {trigger_mode}")
     print(f"events   : {run.events}  (batch_size={max(1, args.batch_size)})")
     print(f"time     : {run.seconds:.4f}s")
     print(f"result   : {run.final_result}")
@@ -415,6 +471,12 @@ def main(argv: list[str] | None = None) -> int:
     p_classify = sub.add_parser("classify", help="classify a SQL query")
     p_classify.add_argument("sql", help="SQL text or path to a .sql file")
 
+    p_codegen = sub.add_parser(
+        "codegen", help="print the generated trigger source for a query"
+    )
+    p_codegen.add_argument("query", choices=[n for n in query_names()] + [n.lower() for n in query_names()])
+    p_codegen.add_argument("--engine", default="rpai", choices=STRATEGIES)
+
     p_run = sub.add_parser("run", help="run one engine over a synthetic stream")
     p_run.add_argument("query", choices=[n for n in query_names()] + [n.lower() for n in query_names()])
     p_run.add_argument("--engine", default="rpai", choices=STRATEGIES)
@@ -460,6 +522,12 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="fsync every WAL append (crash-safe, slower)",
     )
+    p_run.add_argument(
+        "--no-codegen",
+        action="store_true",
+        help="run the interpreted triggers instead of the compiled ones "
+        "(A/B escape hatch)",
+    )
 
     p_recover = sub.add_parser(
         "recover", help="rebuild engine state from a write-ahead-log directory"
@@ -488,6 +556,11 @@ def main(argv: list[str] | None = None) -> int:
     p_chaos.add_argument(
         "--out", type=Path, default=None, help="write counters JSON here"
     )
+    p_chaos.add_argument(
+        "--no-codegen",
+        action="store_true",
+        help="run the interpreted triggers instead of the compiled ones",
+    )
 
     p_stats = sub.add_parser(
         "stats", help="run one engine with operation counters enabled"
@@ -503,6 +576,11 @@ def main(argv: list[str] | None = None) -> int:
         help="run structure invariant checks after every mutation (slow)",
     )
     p_stats.add_argument("--json", action="store_true", help="machine-readable output")
+    p_stats.add_argument(
+        "--no-codegen",
+        action="store_true",
+        help="run the interpreted triggers instead of the compiled ones",
+    )
 
     p_diff = sub.add_parser(
         "bench-diff", help="diff two benchmark reports (perf-regression gate)"
@@ -534,6 +612,11 @@ def main(argv: list[str] | None = None) -> int:
     p_shard.add_argument(
         "--repeats", type=int, default=3, help="timed repeats per cell (best kept)"
     )
+    p_shard.add_argument(
+        "--no-codegen",
+        action="store_true",
+        help="run the interpreted triggers instead of the compiled ones",
+    )
 
     p_compare = sub.add_parser("compare", help="run all engines on one stream")
     p_compare.add_argument("query", choices=[n for n in query_names()] + [n.lower() for n in query_names()])
@@ -550,6 +633,7 @@ def main(argv: list[str] | None = None) -> int:
     handler = {
         "list": cmd_list,
         "classify": cmd_classify,
+        "codegen": cmd_codegen,
         "run": cmd_run,
         "recover": cmd_recover,
         "chaos": cmd_chaos,

@@ -45,7 +45,7 @@ from repro.core.rpai import RPAITree
 from repro.obs import SINK as _SINK
 from repro.trees.fenwick import FenwickTree
 
-__all__ = ["AdaptiveIndex"]
+__all__ = ["AdaptiveIndex", "MAX_DENSE_KEY"]
 
 #: Initial dense universe; grows by doubling up to the cap below.
 _INITIAL_CAPACITY = 1024
@@ -53,6 +53,12 @@ _INITIAL_CAPACITY = 1024
 #: a 2**17-slot float list (~1 MiB) is the point where the flat array
 #: stops being obviously cheaper than a tree over the live keys.
 _MAX_UNIVERSE = 1 << 17
+
+#: Public alias of the dense-universe bound: the trigger code generator
+#: (:mod:`repro.query.codegen`) embeds this literal in its inlined
+#: Fenwick fast path, which must accept exactly the keys ``_as_dense``
+#: accepts for plain ints.
+MAX_DENSE_KEY = _MAX_UNIVERSE
 
 
 def _as_dense(key: Any) -> int | None:

@@ -199,6 +199,13 @@ def _restore_index_engine(engine, state: dict) -> None:
         engine.group_indexes = state["group_indexes"]
     if "quarantine" in state:
         engine._quarantine = state["quarantine"]
+    # Compiled triggers are instance attributes and never pickle (the
+    # state dicts above are pure data); re-specialize only after the
+    # restored aggr_index is in place, so the compile-time backend
+    # branch reflects the restored index's live backend.
+    from repro.query import codegen
+
+    codegen.maybe_specialize(engine)
 
 
 def _probe(index, op: str, probe: float) -> float:
@@ -665,6 +672,16 @@ class GroupedRangeIndexEngine(IncrementalEngine):
     """
 
     name = "rpai"
+
+    #: Why :mod:`repro.query.codegen` has no emitter for this engine
+    #: (surfaced by ``repro codegen <query>``): every update fans out
+    #: over the live per-group indexes, so the trigger body is a loop
+    #: over runtime state, not a fixed sequence of index operations.
+    codegen_unsupported_reason = (
+        "grouped range plans fan every update out over the live "
+        "per-group indexes; the trigger body depends on runtime group "
+        "membership"
+    )
 
     def __init__(
         self, plan: QueryPlan, index_cls: Type = RPAITree, name: str | None = None

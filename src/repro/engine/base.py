@@ -190,6 +190,14 @@ class IncrementalEngine(abc.ABC):
     #: human-readable strategy name used in benchmark output
     name: str = "engine"
 
+    #: how this engine's triggers execute: ``"interpreted"`` (the class
+    #: methods below), ``"compiled"`` (specialized instance triggers
+    #: installed by :mod:`repro.query.codegen`), or ``"deopted"``
+    #: (compiled triggers dropped after a compile-time assumption broke,
+    #: e.g. the adaptive index backend migrated).  The class default is
+    #: shadowed by an instance attribute when codegen installs/deopts.
+    trigger_mode: str = "interpreted"
+
     #: optional input-validation boundary (see :class:`Quarantine`);
     #: ``None`` (the default) keeps the trigger path unguarded.
     _quarantine: Quarantine | None = None

@@ -118,6 +118,17 @@ class ConjunctiveIndexEngine(IncrementalEngine):
 
     name = "rpai"
 
+    #: Why :mod:`repro.query.codegen` has no emitter for this engine
+    #: (surfaced by ``repro codegen <query>``): the cross-relation term
+    #: decomposition re-evaluates every term against all per-relation
+    #: factor sums, so there is no single-relation trigger body to
+    #: monomorphize — the interpreted loop *is* the algorithm.
+    codegen_unsupported_reason = (
+        "multi-relation conjunctive plans re-combine per-relation factor "
+        "sums across all terms; no single-relation trigger body to "
+        "specialize"
+    )
+
     def __init__(self, plan: QueryPlan, index_cls: type = RPAITree) -> None:
         if plan.strategy is not Strategy.RPAI_CONJUNCTIVE:
             raise UnsupportedQueryError(

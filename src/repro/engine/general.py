@@ -650,6 +650,11 @@ class GeneralAlgorithmEngine(IncrementalEngine):
         (self._res_sum, self._res_count, self._res_repr, self._result) = state["results"]
         if "quarantine" in state:
             self._quarantine = state["quarantine"]
+        # Compiled triggers (instance attributes) never pickle; rebuild
+        # them against the restored state when codegen is enabled.
+        from repro.query import codegen
+
+        codegen.maybe_specialize(self)
 
     def _recompute(self) -> float:
         """Section 4.2.4: iterate the result map, re-evaluating the

@@ -124,9 +124,17 @@ def build_engine(query_name: str, strategy: str) -> IncrementalEngine:
             raise KeyError(f"no DBToaster baseline for {name!r}") from None
     if strategy == "rpai":
         try:
-            return _RPAI[name]()
+            engine = _RPAI[name]()
         except KeyError:
             raise KeyError(f"no RPAI engine for {name!r}") from None
+        # Codegen stage of the pipeline: swap the generic engines'
+        # interpreted triggers for per-(query, backend) compiled ones.
+        # Hand-written engines have no emitter and stay interpreted
+        # (specialize is a counted no-op for them).
+        from repro.query import codegen
+
+        codegen.maybe_specialize(engine)
+        return engine
     raise KeyError(f"unknown strategy {strategy!r}; choose from {STRATEGIES}")
 
 

@@ -72,6 +72,14 @@ Counter naming convention (``<structure or layer>.<operation>``):
 ``faults.snapshot_corruptions``         injected snapshot-file corruptions
 ``faults.bad_events``                   injected schema-violating events
 ``selfcheck.validations``               invariant walks performed
+``codegen.cache_hits/.cache_misses``    specialized-trigger source served from
+                                        / compiled past the (query, backend)
+                                        cache
+``codegen.installed``                   compiled triggers bound onto engines
+``codegen.unsupported``                 engines with no emitter left
+                                        interpreted (counted no-op)
+``codegen.deopts``                      compiled triggers torn down at runtime
+``codegen.deopt.<reason>``              deopts by cause (``backend_migrated``)
 ======================================  =======================================
 
 Value distributions (count/total/min/max, via :meth:`ObsSink.observe`):
@@ -83,8 +91,10 @@ negative shift — the Section 3.2.4 quantity), ``treemap.shift_moved``,
 ``shard.batch_size`` (per-shard routed chunk sizes), ``shard.skew``
 (largest shard's share of a routed batch, normalized so 1.0 = even),
 ``shard.merge_seconds``, ``wal.record_events`` (events per WAL record),
-``wal.records_replayed`` (log-tail length per recovery) and
-``wal.truncated_bytes`` (garbage removed per tail heal).
+``wal.records_replayed`` (log-tail length per recovery),
+``wal.truncated_bytes`` (garbage removed per tail heal) and
+``codegen.compile_seconds`` (wall-clock per trigger compilation —
+cache hits pay none of it).
 """
 
 from __future__ import annotations

@@ -1,0 +1,863 @@
+"""Per-query trigger codegen: compile (query, backend) pairs to
+specialized Python triggers.
+
+The interpreted engines pay a per-event tax that has nothing to do with
+the index kernels PR 3 made fast: closure chains compiled from the AST
+(`_compile_row_expr`), dict-dispatched comparators (``operator.le``
+behind ``_COMPARATORS``), aggregate dispatch on ``func`` strings, and —
+for the adaptive backend — a dense-key re-check inside every
+``AdaptiveIndex.add``.  DBToaster's lesson (PAPERS.md) is that an IVM
+system earns its constant factors by *compiling* each query's trigger;
+this module does exactly that for the generic engines:
+
+* predicate tests become plain comparisons (``_k <= _g``),
+* bound-variable extractors become direct row indexing (``_row['A']``),
+* aggregate dispatch is monomorphized (a SUM scalar is ``.total``),
+* the :class:`~repro.core.adaptive.AdaptiveIndex` backend branch is
+  resolved at compile time: dense-int keys hit the Fenwick array
+  directly, anything else falls through to the interpreted
+  ``AdaptiveIndex.add`` (which migrates with its usual counters) and
+  the trigger **deopts** back to the interpreted class methods at the
+  end of the invocation (see :func:`repro.query.codegen_runtime.deopt`).
+
+Generated source is ``compile()``'d once and cached per
+``(engine class, query AST, backend)`` key — the AST nodes are frozen
+dataclasses, so the key is hashable and exact.  Installation binds the
+compiled functions as *instance* attributes (``engine.on_event`` /
+``engine.on_batch``); the class-level interpreted triggers remain
+untouched and serve as the deopt target.  The generated bodies
+replicate the interpreted triggers' operation order and obs-counter
+sites bit-for-bit: the differential suite asserts identical result
+traces *and* identical rotation/probe counters, and the chaos/sharding
+harnesses run unchanged because the quarantine prologue, WAL wrapping
+(instance attributes are looked up per call) and the
+``shard_partial``/``shard_probe`` class methods are preserved.
+
+Engines pickle through their explicit ``__getstate__`` (pure data), so
+compiled triggers never enter a snapshot; ``__setstate__`` re-installs
+them, which is how codegen'd triggers survive the multiprocess workers'
+``pickle.loads`` restore path.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import types
+from typing import Any, Callable
+
+from repro.core.adaptive import MAX_DENSE_KEY, AdaptiveIndex
+from repro.engine.aggr_index import PointIndexEngine, RangeIndexEngine
+from repro.engine.general import GeneralAlgorithmEngine, _peel_constant_scale
+from repro.obs import SINK as _SINK
+from repro.query import codegen_runtime as _rt
+from repro.query.ast import (
+    AggrCall,
+    AggrQuery,
+    Arith,
+    ColumnRef,
+    Comparison,
+    Const,
+    Expr,
+    SubqueryExpr,
+)
+from repro.query.planner import codegen_key
+
+__all__ = [
+    "codegen_enabled",
+    "set_codegen",
+    "maybe_specialize",
+    "specialize",
+    "uninstall",
+    "generated_source",
+    "clear_cache",
+    "UnsupportedTriggerError",
+]
+
+
+class UnsupportedTriggerError(Exception):
+    """The engine/query shape has no specialized trigger emitter."""
+
+
+def _env_default() -> bool:
+    return os.environ.get("REPRO_CODEGEN", "1").strip().lower() not in (
+        "",
+        "0",
+        "false",
+        "no",
+    )
+
+
+#: Process-wide default, initialized from ``REPRO_CODEGEN`` (on unless
+#: explicitly disabled).  Multiprocess shard workers inherit it via
+#: fork, and the CLI's ``--no-codegen`` flips it (plus the env var, for
+#: spawn-started children).
+_ENABLED = _env_default()
+
+
+def codegen_enabled() -> bool:
+    return _ENABLED
+
+
+def set_codegen(flag: bool) -> None:
+    """Flip the process-wide codegen default (the CLI escape hatch)."""
+    global _ENABLED
+    _ENABLED = bool(flag)
+
+
+class _Entry:
+    __slots__ = ("key", "source", "code")
+
+    def __init__(self, key: tuple, source: str, code: Any) -> None:
+        self.key = key
+        self.source = source
+        self.code = code
+
+
+#: key -> _Entry (or the _UNSUPPORTED sentinel for negative caching).
+_CACHE: dict[tuple, Any] = {}
+_UNSUPPORTED = object()
+
+
+def clear_cache() -> None:
+    _CACHE.clear()
+
+
+# ---------------------------------------------------------------------------
+# Expression emitters
+# ---------------------------------------------------------------------------
+
+
+def _emit_row_expr(expr: Expr | None, alias: str, row: str) -> str:
+    """Source for a single-row expression, mirroring the closure
+    semantics of :func:`repro.engine.general._compile_row_expr` (same
+    operators, same evaluation order)."""
+    if expr is None:
+        return "1"
+    if isinstance(expr, Const):
+        return repr(expr.value)
+    if isinstance(expr, ColumnRef):
+        if expr.relation != alias:
+            raise UnsupportedTriggerError(f"column {expr} is not of alias {alias!r}")
+        return f"{row}[{expr.column!r}]"
+    if isinstance(expr, Arith):
+        left = _emit_row_expr(expr.left, alias, row)
+        right = _emit_row_expr(expr.right, alias, row)
+        return f"({left} {expr.op} {right})"
+    raise UnsupportedTriggerError(f"cannot emit row expression {expr!r}")
+
+
+def _scalar_value_src(name: str, func: str) -> str:
+    """Inline read of an ``_UncorrelatedScalar`` bound as global
+    ``name`` — monomorphized on the aggregate function, matching
+    ``_MaintainedAggregate.value`` exactly."""
+    if func == "SUM":
+        return f"{name}.aggregate.total"
+    if func == "COUNT":
+        return f"{name}.aggregate.count"
+    if func == "AVG":
+        return (
+            f"({name}.aggregate.total / {name}.aggregate.count "
+            f"if {name}.aggregate.count else 0)"
+        )
+    return f"{name}.value()"  # MIN/MAX: MinMaxView lookup stays a call
+
+
+class _ScalarInfo:
+    """Static description of one uncorrelated scalar subquery."""
+
+    __slots__ = ("name", "func", "relation", "arg_src")
+
+    def __init__(self, name: str, sub: AggrQuery) -> None:
+        call = sub.select[0].expr
+        if not isinstance(call, AggrCall):  # _UncorrelatedScalar enforces this
+            raise UnsupportedTriggerError(f"unsupported scalar select {call}")
+        self.name = name
+        self.func = call.func
+        self.relation = sub.relations[0].name
+        alias = sub.relations[0].alias
+        self.arg_src = _emit_row_expr(call.arg, alias, "_row")
+
+
+def _scalar_infos(scalars: dict[AggrQuery, Any]) -> dict[AggrQuery, _ScalarInfo]:
+    return {
+        sub: _ScalarInfo(f"_sc{i}", sub) for i, sub in enumerate(scalars)
+    }
+
+
+def _emit_scalar_updates(
+    lines: list[str], indent: str, infos: dict[AggrQuery, _ScalarInfo]
+) -> None:
+    """Per-event scalar routing, streamed exactly like the interpreted
+    loop over ``_scalars.items()`` (value computed, then ``update``)."""
+    for i, info in enumerate(infos.values()):
+        lines.append(f"{indent}if _rel == {info.relation!r}:")
+        if info.func in ("SUM", "COUNT", "AVG"):
+            acc = f"_a{i}"
+            lines.append(f"{indent}    {acc} = {info.name}.aggregate")
+            lines.append(f"{indent}    {acc}.total += ({info.arg_src}) * _w")
+            lines.append(f"{indent}    {acc}.count += _w")
+        else:
+            lines.append(f"{indent}    {info.name}.on_row(_row, _w)")
+
+
+def _emit_fixed_expr(expr: Expr, infos: dict[AggrQuery, _ScalarInfo]) -> str:
+    """The fixed probe side ``v``: constants, arithmetic and scalar
+    subquery reads (mirrors ``_FixedSide.value``)."""
+    if isinstance(expr, Const):
+        return repr(expr.value)
+    if isinstance(expr, Arith):
+        left = _emit_fixed_expr(expr.left, infos)
+        right = _emit_fixed_expr(expr.right, infos)
+        return f"({left} {expr.op} {right})"
+    if isinstance(expr, SubqueryExpr):
+        info = infos[expr.query]
+        return _scalar_value_src(info.name, info.func)
+    raise UnsupportedTriggerError(f"cannot emit fixed expression {expr!r}")
+
+
+def _probe_src(op: str, index: str, probe: str) -> str:
+    """Monomorphized ``_probe`` dispatch (repro.engine.aggr_index)."""
+    if op == "=":
+        return f"{index}.get({probe}, 0)"
+    if op == "<":
+        return f"({index}.total_sum() - {index}.get_sum({probe}, inclusive=True))"
+    if op == "<=":
+        return f"({index}.total_sum() - {index}.get_sum({probe}, inclusive=False))"
+    if op == ">":
+        return f"{index}.get_sum({probe}, inclusive=False)"
+    if op == ">=":
+        return f"{index}.get_sum({probe}, inclusive=True)"
+    raise UnsupportedTriggerError(f"unsupported probe operator {op!r}")
+
+
+# ---------------------------------------------------------------------------
+# Adaptive (Fenwick) fast path
+# ---------------------------------------------------------------------------
+
+_FENWICK_PROLOGUE = ["_dense = _ai._dense", "_fw = _ai._backend"]
+
+
+def _emit_index_add(
+    lines: list[str], indent: str, flavor: str, key: str, delta: str
+) -> None:
+    """One ``aggr_index.add(key, delta)``.
+
+    ``fenwick`` flavor resolves the AdaptiveIndex backend branch at
+    compile time: plain in-range ints hit the Fenwick array directly
+    (the common case for equality-correlation keys); anything else
+    falls through to the full ``AdaptiveIndex.add`` — which handles
+    bools, int-valued floats and migration with identical counters —
+    and refreshes the hoisted backend locals.  ``key`` must be a local
+    name (it is evaluated more than once).
+    """
+    if flavor == "fenwick":
+        lines.append(
+            f"{indent}if _dense and type({key}) is int "
+            f"and 0 <= {key} < {MAX_DENSE_KEY}:"
+        )
+        lines.append(f"{indent}    if {key} >= _fw.capacity:")
+        lines.append(f"{indent}        _ai._ensure_capacity({key})")
+        lines.append(f"{indent}    _fw.add({key}, {delta})")
+        lines.append(f"{indent}else:")
+        lines.append(f"{indent}    _ai.add({key}, {delta})")
+        lines.append(f"{indent}    _dense = _ai._dense")
+        lines.append(f"{indent}    _fw = _ai._backend")
+    else:
+        lines.append(f"{indent}_ai.add({key}, {delta})")
+
+
+def _emit_deopt_check(lines: list[str], indent: str, flavor: str) -> None:
+    if flavor == "fenwick":
+        lines.append(f"{indent}if not _ai._dense:")
+        lines.append(f"{indent}    _deopt(self, 'backend_migrated')")
+
+
+def _backend_flavor(index: Any) -> str:
+    if isinstance(index, AdaptiveIndex):
+        return "fenwick" if index._dense else "adaptive-rpai"
+    return type(index).__name__.lower()
+
+
+# ---------------------------------------------------------------------------
+# PointIndexEngine (PAI_EQUALITY — EQ)
+# ---------------------------------------------------------------------------
+
+
+def _point_key(engine: PointIndexEngine) -> tuple:
+    return ("point",) + codegen_key(engine._plan, _backend_flavor(engine.aggr_index))
+
+
+def _point_emit(engine: PointIndexEngine) -> str:
+    query = engine._plan.query
+    spec = engine.spec
+    alias = query.relations[0].alias
+    relation = engine.relation
+    flavor = _backend_flavor(engine.aggr_index)
+    fenwick = flavor == "fenwick"
+    infos = _scalar_infos(engine._fixed._scalars)
+
+    cols = engine._group_cols
+    if len(cols) == 1:
+        group_src = f"_row[{cols[0]!r}]"
+    else:
+        group_src = "(" + ", ".join(f"_row[{c!r}]" for c in cols) + ")"
+    inner_alias = spec.inner_col.relation
+    inner_src = _emit_row_expr(spec.inner_arg, inner_alias, "_row")
+    scale, call = _peel_constant_scale(query.select[0].expr)
+    res_src = _emit_row_expr(call.arg, alias, "_row")
+    fixed_src = _emit_fixed_expr(spec.fixed_expr, infos)
+    probe = _probe_src(spec.outer_op, "_ai", "_pv")
+
+    def apply_body(lines: list[str], indent: str) -> None:
+        # Mirrors PointIndexEngine._apply_group line for line.
+        lines.append(f"{indent}if _S.enabled:")
+        lines.append(f"{indent}    _S.inc('engine.point_applies')")
+        lines.append(f"{indent}_old_rhs = _bm.get(_group, 0)")
+        lines.append(f"{indent}_old_res = _rm.get(_group, 0)")
+        lines.append(f"{indent}_new_rhs = _old_rhs + _ird")
+        lines.append(f"{indent}_new_res = _old_res + _res")
+        lines.append(f"{indent}if _old_res != 0:")
+        _emit_index_add(lines, indent + "    ", flavor, "_old_rhs", "-_old_res")
+        lines.append(f"{indent}if _new_res != 0:")
+        _emit_index_add(lines, indent + "    ", flavor, "_new_rhs", "_new_res")
+        lines.append(f"{indent}_bm.add(_group, _ird)")
+        lines.append(f"{indent}_rm.add(_group, _res)")
+
+    def result_tail(lines: list[str]) -> None:
+        lines.append("    if _S.enabled:")
+        lines.append("        _S.inc('engine.results')")
+        lines.append("        _S.inc('engine.result_probes')")
+        lines.append(f"    _pv = {fixed_src}")
+        lines.append(f"    return {scale!r} * {probe}")
+
+    lines: list[str] = []
+    lines.append("def on_event(self, event):")
+    lines.append("    if _S.enabled:")
+    lines.append("        _S.inc('engine.events')")
+    lines.append("    guard = self._quarantine")
+    lines.append("    if guard is not None and not guard.admit(event):")
+    lines.append("        return self.result()")
+    lines.append("    _rel = event.relation")
+    lines.append("    _row = event.row")
+    lines.append("    _w = event.weight")
+    lines.append("    _ai = self.aggr_index")
+    _emit_scalar_updates(lines, "    ", infos)
+    lines.append(f"    if _rel == {relation!r}:")
+    lines.append(f"        _group = {group_src}")
+    lines.append(f"        _ird = ({inner_src}) * _w")
+    lines.append(f"        _res = ({res_src}) * _w")
+    lines.append("        _bm = self.bound_map")
+    lines.append("        _rm = self.res_map")
+    if fenwick:
+        for stmt in _FENWICK_PROLOGUE:
+            lines.append(f"        {stmt}")
+    apply_body(lines, "        ")
+    _emit_deopt_check(lines, "        ", flavor)
+    result_tail(lines)
+    lines.append("")
+
+    lines.append("def on_batch(self, events):")
+    lines.append("    if _S.enabled:")
+    lines.append("        _S.inc('engine.batches')")
+    lines.append("        _S.observe('engine.batch_size', len(events))")
+    lines.append("    guard = self._quarantine")
+    lines.append("    if guard is not None:")
+    lines.append("        events = guard.admit_batch(events)")
+    lines.append("        if not events:")
+    lines.append("            return self.result()")
+    lines.append("    _net = {}")
+    lines.append("    for event in events:")
+    lines.append("        _rel = event.relation")
+    lines.append("        _row = event.row")
+    lines.append("        _w = event.weight")
+    _emit_scalar_updates(lines, "        ", infos)
+    lines.append(f"        if _rel != {relation!r}:")
+    lines.append("            continue")
+    lines.append(f"        _group = {group_src}")
+    lines.append(f"        _ird = ({inner_src}) * _w")
+    lines.append(f"        _res = ({res_src}) * _w")
+    lines.append("        _entry = _net.get(_group)")
+    lines.append("        if _entry is None:")
+    lines.append("            _net[_group] = [_ird, _res]")
+    lines.append("        else:")
+    lines.append("            _entry[0] += _ird")
+    lines.append("            _entry[1] += _res")
+    lines.append("    _ai = self.aggr_index")
+    lines.append("    _bm = self.bound_map")
+    lines.append("    _rm = self.res_map")
+    if fenwick:
+        for stmt in _FENWICK_PROLOGUE:
+            lines.append(f"    {stmt}")
+    lines.append("    for _group, (_ird, _res) in _net.items():")
+    lines.append("        if _ird == 0 and _res == 0:")
+    lines.append("            continue")
+    apply_body(lines, "        ")
+    _emit_deopt_check(lines, "    ", flavor)
+    result_tail(lines)
+    return "\n".join(lines) + "\n"
+
+
+def _point_bind(engine: PointIndexEngine) -> dict[str, Any]:
+    return {
+        f"_sc{i}": scalar
+        for i, scalar in enumerate(engine._fixed._scalars.values())
+    }
+
+
+# ---------------------------------------------------------------------------
+# RangeIndexEngine (RPAI_INEQUALITY — VWAP)
+# ---------------------------------------------------------------------------
+
+
+def _range_key(engine: RangeIndexEngine) -> tuple:
+    return ("range",) + codegen_key(engine._plan, _backend_flavor(engine.aggr_index))
+
+
+def _range_emit(engine: RangeIndexEngine) -> str:
+    query = engine._plan.query
+    spec = engine.spec
+    alias = query.relations[0].alias
+    relation = engine.relation
+    infos = _scalar_infos(engine._fixed._scalars)
+
+    col = repr(engine._key_col)
+    key_src = f"(-_row[{col}])" if engine._key_sign == -1 else f"_row[{col}]"
+    inner_alias = spec.inner_col.relation
+    inner_src = _emit_row_expr(spec.inner_arg, inner_alias, "_row")
+    scale, call = _peel_constant_scale(query.select[0].expr)
+    res_src = _emit_row_expr(call.arg, alias, "_row")
+    fixed_src = _emit_fixed_expr(spec.fixed_expr, infos)
+    probe = _probe_src(spec.outer_op, "_ai", "_pv")
+    inclusive_inner = engine._inclusive_inner
+
+    def apply_body(lines: list[str], indent: str) -> None:
+        # Mirrors RangeIndexEngine._apply_outer with the inclusive/
+        # strict inner-θ branch resolved at compile time.
+        lines.append(f"{indent}if _S.enabled:")
+        lines.append(f"{indent}    _S.inc('engine.range_applies')")
+        lines.append(f"{indent}_old = _bm.get(_key, 0)")
+        lines.append(f"{indent}_pfx = _bm.get_sum(_key, inclusive=False)")
+        if inclusive_inner:
+            lines.append(f"{indent}_ai.shift_keys(_pfx, _vol, inclusive=False)")
+            lines.append(f"{indent}_bm.add(_key, _vol)")
+            lines.append(f"{indent}if _res != 0:")
+            lines.append(f"{indent}    _ai.add(_pfx + _old + _vol, _res)")
+        else:
+            lines.append(
+                f"{indent}_ai.shift_keys(_pfx, _vol, inclusive=_old == 0)"
+            )
+            lines.append(f"{indent}_bm.add(_key, _vol)")
+            lines.append(f"{indent}if _res != 0:")
+            lines.append(f"{indent}    _ai.add(_pfx, _res)")
+
+    def result_tail(lines: list[str]) -> None:
+        lines.append("    if _S.enabled:")
+        lines.append("        _S.inc('engine.results')")
+        lines.append("        _S.inc('engine.result_probes')")
+        lines.append(f"    _pv = {fixed_src}")
+        lines.append(f"    return {scale!r} * {probe}")
+
+    lines: list[str] = []
+    lines.append("def on_event(self, event):")
+    lines.append("    if _S.enabled:")
+    lines.append("        _S.inc('engine.events')")
+    lines.append("    guard = self._quarantine")
+    lines.append("    if guard is not None and not guard.admit(event):")
+    lines.append("        return self.result()")
+    lines.append("    _rel = event.relation")
+    lines.append("    _row = event.row")
+    lines.append("    _w = event.weight")
+    lines.append("    _ai = self.aggr_index")
+    _emit_scalar_updates(lines, "    ", infos)
+    lines.append(f"    if _rel == {relation!r}:")
+    lines.append(f"        _key = {key_src}")
+    lines.append(f"        _vol = ({inner_src}) * _w")
+    lines.append(f"        _res = ({res_src}) * _w")
+    lines.append("        _bm = self.bound_map")
+    apply_body(lines, "        ")
+    result_tail(lines)
+    lines.append("")
+
+    lines.append("def on_batch(self, events):")
+    lines.append("    if _S.enabled:")
+    lines.append("        _S.inc('engine.batches')")
+    lines.append("        _S.observe('engine.batch_size', len(events))")
+    lines.append("    guard = self._quarantine")
+    lines.append("    if guard is not None:")
+    lines.append("        events = guard.admit_batch(events)")
+    lines.append("        if not events:")
+    lines.append("            return self.result()")
+    lines.append("    _net = {}")
+    lines.append("    for event in events:")
+    lines.append("        _rel = event.relation")
+    lines.append("        _row = event.row")
+    lines.append("        _w = event.weight")
+    _emit_scalar_updates(lines, "        ", infos)
+    lines.append(f"        if _rel != {relation!r}:")
+    lines.append("            continue")
+    lines.append(f"        _key = {key_src}")
+    lines.append(f"        _vol = ({inner_src}) * _w")
+    lines.append(f"        _res = ({res_src}) * _w")
+    lines.append("        _entry = _net.get(_key)")
+    lines.append("        if _entry is None:")
+    lines.append("            _net[_key] = [_vol, _res]")
+    lines.append("        else:")
+    lines.append("            _entry[0] += _vol")
+    lines.append("            _entry[1] += _res")
+    lines.append("    _ai = self.aggr_index")
+    lines.append("    _bm = self.bound_map")
+    lines.append("    for _key, (_vol, _res) in _net.items():")
+    lines.append("        if _vol == 0 and _res == 0:")
+    lines.append("            continue")
+    apply_body(lines, "        ")
+    result_tail(lines)
+    return "\n".join(lines) + "\n"
+
+
+def _range_bind(engine: RangeIndexEngine) -> dict[str, Any]:
+    return {
+        f"_sc{i}": scalar
+        for i, scalar in enumerate(engine._fixed._scalars.values())
+    }
+
+
+# ---------------------------------------------------------------------------
+# GeneralAlgorithmEngine (SQ1 / SQ2)
+# ---------------------------------------------------------------------------
+
+
+class _CorrInfo:
+    """Static description of one correlated subquery (Algorithm 3)."""
+
+    __slots__ = ("name", "func", "relation", "theta", "g_expr",
+                 "inner_key_src", "inner_arg_src", "scale")
+
+    def __init__(
+        self, name: str, sub: AggrQuery, correlated: Any, outer_alias: str
+    ) -> None:
+        self.name = name
+        self.func = correlated.func
+        if self.func not in ("SUM", "COUNT", "AVG"):
+            raise UnsupportedTriggerError(
+                f"correlated {self.func} needs the ordered bound map walk"
+            )
+        self.relation = correlated.relation
+        self.theta = correlated.theta
+        self.scale = correlated.scale
+        inner_alias = sub.relations[0].alias
+        pred = sub.where
+        assert isinstance(pred, Comparison)  # _CorrelatedSubquery enforces
+        f_expr, _theta, g_expr = correlated._split_predicate(
+            pred, inner_alias, outer_alias
+        )
+        self.g_expr = g_expr
+        self.inner_key_src = _emit_row_expr(f_expr, inner_alias, "_row")
+        call = sub.select[0].expr
+        if isinstance(call, Arith):  # constant-scaled aggregate
+            _scale, call = _peel_constant_scale(call)
+        assert isinstance(call, AggrCall)
+        self.inner_arg_src = _emit_row_expr(call.arg, inner_alias, "_row")
+
+    def value_src(self, g_src: str) -> str:
+        """Inline of ``_CorrelatedSubquery.value(g)``."""
+        scale = repr(self.scale)
+        if self.func == "SUM":
+            return f"({scale} * {self.name}.free_sum[{g_src}])"
+        if self.func == "COUNT":
+            return f"({scale} * {self.name}.free_count[{g_src}])"
+        return (
+            f"({scale} * (({self.name}.free_sum[{g_src}] / "
+            f"{self.name}.free_count[{g_src}]) "
+            f"if {self.name}.free_count[{g_src}] else 0))"
+        )
+
+
+def _ga_statics(engine: GeneralAlgorithmEngine):
+    """Static emission inputs for the general algorithm; raises
+    :class:`UnsupportedTriggerError` on shapes that need the
+    interpreted paths (correlated MIN/MAX)."""
+    query = engine.query
+    alias = engine.alias
+    infos = _scalar_infos(engine._scalars)
+    corr_infos: dict[AggrQuery, _CorrInfo] = {}
+    for i, (sub, correlated) in enumerate(engine._correlated.items()):
+        corr_infos[sub] = _CorrInfo(f"_c{i}", sub, correlated, alias)
+
+    def side_src(expr: Expr, row: str) -> str:
+        if isinstance(expr, Const):
+            return repr(expr.value)
+        if isinstance(expr, ColumnRef):
+            if expr.relation != alias:
+                raise UnsupportedTriggerError(f"unexpected alias in {expr}")
+            return f"{row}[{expr.column!r}]"
+        if isinstance(expr, Arith):
+            return (
+                f"({side_src(expr.left, row)} {expr.op} "
+                f"{side_src(expr.right, row)})"
+            )
+        if isinstance(expr, SubqueryExpr):
+            if expr.query in corr_infos:
+                info = corr_infos[expr.query]
+                g_src = _emit_row_expr(info.g_expr, alias, row)
+                return info.value_src(g_src)
+            info = infos[expr.query]
+            return _scalar_value_src(info.name, info.func)
+        raise UnsupportedTriggerError(f"unsupported predicate operand {expr!r}")
+
+    predicates = []
+    for conjunct in query.conjuncts():
+        if not isinstance(conjunct, Comparison):
+            raise UnsupportedTriggerError("non-conjunctive predicate")
+        op = "!=" if conjunct.op == "<>" else conjunct.op
+        op = "==" if op == "=" else op
+        predicates.append(
+            f"({side_src(conjunct.left, '_orow')} {op} "
+            f"{side_src(conjunct.right, '_orow')})"
+        )
+    return infos, corr_infos, predicates
+
+
+def _ga_key(engine: GeneralAlgorithmEngine) -> tuple:
+    return ("general", engine.query, "ga")
+
+
+def _ga_emit(engine: GeneralAlgorithmEngine) -> str:
+    query = engine.query
+    relation = engine.relation
+    alias = engine.alias
+    infos, corr_infos, predicates = _ga_statics(engine)
+
+    cols = engine._group_columns
+    group_src = "(" + ", ".join(f"_row[{c!r}]" for c in cols) + ("," if len(cols) == 1 else "") + ")"
+    _scale, call = _peel_constant_scale(query.select[0].expr)
+    res_arg_src = _emit_row_expr(call.arg, alias, "_row")
+    theta_ops = {"=": "==", "<>": "!="}
+
+    def emit_free_pass(lines: list[str], indent: str, info: _CorrInfo,
+                       val: str, wgt: str) -> None:
+        op = theta_ops.get(info.theta, info.theta)
+        lines.append(f"{indent}_fs = {info.name}.free_sum")
+        lines.append(f"{indent}_fc = {info.name}.free_count")
+        lines.append(f"{indent}for _g in _fs:")
+        lines.append(f"{indent}    if _k {op} _g:")
+        lines.append(f"{indent}        _fs[_g] += {val}")
+        lines.append(f"{indent}        _fc[_g] += {wgt}")
+
+    def emit_recompute(lines: list[str]) -> None:
+        # Mirrors GeneralAlgorithmEngine._recompute with the predicate
+        # closures unrolled to plain comparisons.
+        lines.append("    if _S.enabled:")
+        lines.append("        _S.inc('engine.result_recomputes')")
+        lines.append("        _S.observe('engine.result_map_size', len(self._res_sum))")
+        lines.append("    _total = 0")
+        lines.append("    _count = 0")
+        lines.append("    _rcnt = self._res_count")
+        lines.append("    _rrep = self._res_repr")
+        lines.append("    for _gkey, _gsum in self._res_sum.items():")
+        lines.append("        _orow = _rrep[_gkey]")
+        for pred in predicates:
+            lines.append(f"        if not {pred}:")
+            lines.append("            continue")
+        lines.append("        _total += _gsum")
+        lines.append("        _count += _rcnt[_gkey]")
+        if engine._result_func == "SUM":
+            lines.append(f"    _result = {engine._result_scale!r} * _total")
+        elif engine._result_func == "COUNT":
+            lines.append(f"    _result = {engine._result_scale!r} * _count")
+        else:
+            lines.append(
+                f"    _result = {engine._result_scale!r} * "
+                "(_total / _count if _count else 0)"
+            )
+        lines.append("    self._result = _result")
+        lines.append("    return _result")
+
+    lines: list[str] = []
+    lines.append("def on_event(self, event):")
+    lines.append("    if _S.enabled:")
+    lines.append("        _S.inc('engine.events')")
+    lines.append("    guard = self._quarantine")
+    lines.append("    if guard is not None and not guard.admit(event):")
+    lines.append("        return self.result()")
+    lines.append("    _rel = event.relation")
+    lines.append("    _row = event.row")
+    lines.append("    _w = event.weight")
+    _emit_scalar_updates(lines, "    ", infos)
+    for info in corr_infos.values():
+        lines.append(f"    if _rel == {info.relation!r}:")
+        lines.append(f"        _k = {info.inner_key_src}")
+        lines.append(f"        _v = ({info.inner_arg_src}) * _w")
+        lines.append(f"        {info.name}.bound_sum.add(_k, _v)")
+        lines.append(f"        {info.name}.bound_count.add(_k, _w)")
+        emit_free_pass(lines, "        ", info, "_v", "_w")
+    lines.append(f"    if _rel == {relation!r}:")
+    lines.append(f"        _key = {group_src}")
+    lines.append(f"        _val = {res_arg_src}")
+    lines.append("        self._apply_outer_group(_key, _val * _w, _w)")
+    emit_recompute(lines)
+    lines.append("")
+
+    lines.append("def on_batch(self, events):")
+    lines.append("    if _S.enabled:")
+    lines.append("        _S.inc('engine.batches')")
+    lines.append("        _S.observe('engine.batch_size', len(events))")
+    lines.append("    guard = self._quarantine")
+    lines.append("    if guard is not None:")
+    lines.append("        events = guard.admit_batch(events)")
+    lines.append("        if not events:")
+    lines.append("            return self.result()")
+    for i in range(len(corr_infos)):
+        lines.append(f"    _net{i} = {{}}")
+    lines.append("    _onet = {}")
+    lines.append("    _oorder = []")
+    lines.append("    for event in events:")
+    lines.append("        _rel = event.relation")
+    lines.append("        _row = event.row")
+    lines.append("        _w = event.weight")
+    _emit_scalar_updates(lines, "        ", infos)
+    for i, info in enumerate(corr_infos.values()):
+        lines.append(f"        if _rel == {info.relation!r}:")
+        lines.append(f"            _k = {info.inner_key_src}")
+        lines.append(f"            _v = ({info.inner_arg_src}) * _w")
+        lines.append(f"            _entry = _net{i}.get(_k)")
+        lines.append("            if _entry is None:")
+        lines.append(f"                _net{i}[_k] = [_v, _w]")
+        lines.append("            else:")
+        lines.append("                _entry[0] += _v")
+        lines.append("                _entry[1] += _w")
+    lines.append(f"        if _rel == {relation!r}:")
+    lines.append(f"            _key = {group_src}")
+    lines.append(f"            _val = {res_arg_src}")
+    lines.append("            _entry = _onet.get(_key)")
+    lines.append("            if _entry is None:")
+    lines.append("                _onet[_key] = [_val * _w, _w]")
+    lines.append("                _oorder.append(_key)")
+    lines.append("            else:")
+    lines.append("                _entry[0] += _val * _w")
+    lines.append("                _entry[1] += _w")
+    lines.append("    if _S.enabled and events:")
+    nets = " + ".join(
+        [f"len(_net{i})" for i in range(len(corr_infos))] + ["len(_onet)"]
+    )
+    lines.append(f"        _S.observe('engine.batch_coalesced_keys', {nets})")
+    for i, info in enumerate(corr_infos.values()):
+        lines.append(f"    for _k, (_v, _wn) in _net{i}.items():")
+        lines.append("        if _v == 0 and _wn == 0:")
+        lines.append("            continue")
+        lines.append(f"        {info.name}.bound_sum.add(_k, _v)")
+        lines.append(f"        {info.name}.bound_count.add(_k, _wn)")
+        emit_free_pass(lines, "        ", info, "_v", "_wn")
+    lines.append("    _rcnt = self._res_count")
+    lines.append("    for _key in _oorder:")
+    lines.append("        _sd, _cd = _onet[_key]")
+    lines.append("        if _cd == 0 and _key not in _rcnt:")
+    lines.append("            continue")
+    lines.append("        if _sd == 0 and _cd == 0:")
+    lines.append("            continue")
+    lines.append("        self._apply_outer_group(_key, _sd, int(_cd))")
+    emit_recompute(lines)
+    return "\n".join(lines) + "\n"
+
+
+def _ga_bind(engine: GeneralAlgorithmEngine) -> dict[str, Any]:
+    bindings: dict[str, Any] = {
+        f"_sc{i}": scalar for i, scalar in enumerate(engine._scalars.values())
+    }
+    bindings.update(
+        {f"_c{i}": c for i, c in enumerate(engine._correlated.values())}
+    )
+    return bindings
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+_EMITTERS: dict[type, tuple[Callable, Callable, Callable]] = {
+    PointIndexEngine: (_point_key, _point_emit, _point_bind),
+    RangeIndexEngine: (_range_key, _range_emit, _range_bind),
+    GeneralAlgorithmEngine: (_ga_key, _ga_emit, _ga_bind),
+}
+
+
+def maybe_specialize(engine) -> bool:
+    """Install a compiled trigger when the process-wide default says so
+    (the registry/restore entry point)."""
+    if not _ENABLED:
+        return False
+    return specialize(engine)
+
+
+def specialize(engine) -> bool:
+    """Compile-and-install the specialized trigger for ``engine``.
+
+    Returns True when compiled triggers were installed; False (with the
+    ``codegen.unsupported`` counter bumped) when the engine class or
+    query shape has no emitter.  Installation is idempotent: the
+    compiled code object is cached per (engine class, query, backend)
+    key, so further engines of the same shape only pay a dict lookup
+    and an ``exec`` of the cached code object.
+    """
+    emitters = _EMITTERS.get(type(engine))
+    if emitters is None:
+        if _SINK.enabled:
+            _SINK.inc("codegen.unsupported")
+        return False
+    key_fn, emit_fn, bind_fn = emitters
+    try:
+        key = key_fn(engine)
+    except UnsupportedTriggerError:
+        if _SINK.enabled:
+            _SINK.inc("codegen.unsupported")
+        return False
+    entry = _CACHE.get(key)
+    if entry is _UNSUPPORTED:
+        if _SINK.enabled:
+            _SINK.inc("codegen.unsupported")
+        return False
+    if entry is None:
+        if _SINK.enabled:
+            _SINK.inc("codegen.cache_misses")
+        start = time.perf_counter()
+        try:
+            source = emit_fn(engine)
+        except UnsupportedTriggerError:
+            _CACHE[key] = _UNSUPPORTED
+            if _SINK.enabled:
+                _SINK.inc("codegen.unsupported")
+            return False
+        code = compile(source, f"<codegen:{key[0]}:{key[-1]}>", "exec")
+        entry = _CACHE[key] = _Entry(key, source, code)
+        if _SINK.enabled:
+            _SINK.observe("codegen.compile_seconds", time.perf_counter() - start)
+    else:
+        if _SINK.enabled:
+            _SINK.inc("codegen.cache_hits")
+    namespace: dict[str, Any] = {"_S": _SINK, "_deopt": _rt.deopt}
+    namespace.update(bind_fn(engine))
+    exec(entry.code, namespace)
+    engine.on_event = types.MethodType(namespace["on_event"], engine)
+    engine.on_batch = types.MethodType(namespace["on_batch"], engine)
+    engine.trigger_mode = _rt.COMPILED
+    engine._codegen_key = key
+    if _SINK.enabled:
+        _SINK.inc("codegen.installed")
+    return True
+
+
+def uninstall(engine) -> None:
+    """Remove compiled triggers from ``engine`` (interpreted mode)."""
+    _rt.uninstall(engine)
+
+
+def generated_source(engine) -> str | None:
+    """The trigger source compiled for ``engine``, or None when the
+    engine runs interpreted."""
+    key = getattr(engine, "_codegen_key", None)
+    if key is None:
+        return None
+    entry = _CACHE.get(key)
+    if entry is None or entry is _UNSUPPORTED:
+        return None
+    return entry.source

@@ -58,6 +58,7 @@ __all__ = [
     "classify",
     "asymptotic_cost",
     "preferred_backend",
+    "codegen_key",
 ]
 
 
@@ -470,3 +471,19 @@ def preferred_backend(plan: QueryPlan) -> str:
     if plan.strategy is Strategy.PAI_EQUALITY:
         return "adaptive"
     return "rpai"
+
+
+def codegen_key(plan: QueryPlan, backend: str) -> tuple:
+    """Cache key of a specialized trigger for ``plan`` on ``backend``.
+
+    The key pins everything the generated source depends on: the
+    strategy (which engine shape the emitter targets), the full query
+    AST (frozen dataclasses — predicates, extractors, and, through the
+    relation references, the schema roles), and the live backend flavor
+    (the :class:`~repro.core.adaptive.AdaptiveIndex` branch is resolved
+    at compile time, so a Fenwick-resident index and a migrated one
+    compile to different triggers).  Two engines over the same
+    (query, backend) pair therefore share one compiled code object —
+    shard replicas hit the cache built by the template engine.
+    """
+    return (plan.strategy.value, plan.query, backend)

@@ -149,6 +149,109 @@ class TestStructuralChecks:
         assert any("runs[b=100]" in c.metric for c in result.failures)
 
 
+def make_sharding_report(
+    *,
+    scale=1.0,
+    scaling_valid=True,
+    speedups=(1.0, 1.8, 3.2),
+    events_per_second=(1000.0, 1800.0, 3200.0),
+    differential_ok=True,
+    workloads=("VWAP",),
+):
+    worker_counts = [1, 2, 4][: len(speedups)]
+    report = {
+        "scale": scale,
+        "worker_counts": worker_counts,
+        "scaling_valid": scaling_valid,
+        "workloads": {},
+    }
+    for name in workloads:
+        report["workloads"][name] = {
+            "runs": [
+                {
+                    "workers": w,
+                    "events_per_second": eps,
+                    "speedup_vs_1_worker": s,
+                }
+                for w, eps, s in zip(worker_counts, events_per_second, speedups)
+            ],
+            "differential_ok": differential_ok,
+            "speedup_4_vs_1": speedups[-1],
+        }
+    return report
+
+
+class TestShardingShape:
+    def test_identical_reports_pass(self):
+        result = compare_reports(make_sharding_report(), make_sharding_report())
+        assert result.ok
+        assert any(c.metric == "speedup[w=4]" for c in result.checks)
+
+    def test_speedup_regression_fails_when_scaling_valid(self):
+        base = make_sharding_report(speedups=(1.0, 1.8, 3.2))
+        cand = make_sharding_report(speedups=(1.0, 1.8, 0.4))
+        result = compare_reports(base, cand, tolerance=0.25)
+        assert any(c.metric == "speedup[w=4]" for c in result.failures)
+
+    def test_scaling_invalid_candidate_suppresses_speedup(self):
+        # The satellite fix: a 1-core CI host reports scaling_valid
+        # false and sub-1.0 "speedups" — that must skip, not fail.
+        base = make_sharding_report(speedups=(1.0, 1.8, 3.2))
+        cand = make_sharding_report(
+            scaling_valid=False, speedups=(1.0, 0.45, 0.4)
+        )
+        result = compare_reports(base, cand, tolerance=0.25)
+        assert result.ok
+        assert not any("speedup[w=" in c.metric for c in result.checks)
+        assert any(
+            c.metric == "speedup_vs_1_worker" and c.status == "skip"
+            for c in result.checks
+        )
+
+    def test_scaling_invalid_baseline_suppresses_speedup(self):
+        base = make_sharding_report(scaling_valid=False, speedups=(1.0, 0.5, 0.4))
+        cand = make_sharding_report(speedups=(1.0, 1.8, 3.2))
+        assert compare_reports(base, cand).ok
+
+    def test_scaling_invalid_keeps_single_worker_throughput_gate(self):
+        base = make_sharding_report(
+            scaling_valid=False, events_per_second=(1000.0, 500.0, 400.0)
+        )
+        cand = make_sharding_report(
+            scaling_valid=False, events_per_second=(100.0, 500.0, 400.0)
+        )
+        result = compare_reports(base, cand, tolerance=0.25)
+        assert any(c.metric == "events_per_second[w=1]" for c in result.failures)
+        assert not any(
+            c.metric == "events_per_second[w=4]" for c in result.checks
+        )
+
+    def test_differential_flip_fails_even_when_scaling_invalid(self):
+        base = make_sharding_report(scaling_valid=False)
+        cand = make_sharding_report(scaling_valid=False, differential_ok=False)
+        result = compare_reports(base, cand)
+        assert any(c.metric == "differential_ok" for c in result.failures)
+
+    def test_missing_worker_count_fails(self):
+        base = make_sharding_report()
+        cand = make_sharding_report()
+        cand["workloads"]["VWAP"]["runs"].pop()
+        result = compare_reports(base, cand)
+        assert any("runs[w=4]" in c.metric for c in result.failures)
+
+    def test_committed_sharding_artifact_diffs_cleanly(self):
+        from pathlib import Path
+
+        path = Path(__file__).resolve().parents[2] / "BENCH_sharding.json"
+        report = load_report(path)
+        result = compare_reports(report, report)
+        assert result.ok
+        assert any(
+            c.metric == "speedup_vs_1_worker" and c.status == "skip"
+            for c in result.checks
+        ) == (not report["scaling_valid"])
+
+
 class TestFormattingAndIO:
     def test_format_diff_pass_and_fail(self):
         ok = compare_reports(make_report(), make_report())

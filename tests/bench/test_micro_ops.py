@@ -114,6 +114,73 @@ class TestMicroOps:
         _bench(benchmark, run, setup=setup)
 
 
+class TestTriggerModes:
+    """Compiled vs interpreted trigger micro-benchmarks.
+
+    One cell per (query, trigger mode): the same fixed event stream
+    driven through ``on_event``.  Localizes which *query's* generated
+    trigger moved when the ``bench_codegen.py`` macro gate trips, the
+    same way the index cells above localize structure regressions.
+    """
+
+    EVENTS = 300
+    QUERIES = ("EQ", "VWAP", "SQ1")
+
+    @staticmethod
+    def _stream(query):
+        from repro.__main__ import _default_stream
+
+        return list(_default_stream(query, TestTriggerModes.EVENTS, SEED))
+
+    @staticmethod
+    def _engine(query, compiled):
+        from repro.engine.registry import build_engine
+        from repro.query import codegen
+
+        prior = codegen.codegen_enabled()
+        codegen.set_codegen(compiled)
+        try:
+            return build_engine(query, "rpai")
+        finally:
+            codegen.set_codegen(prior)
+
+    @pytest.fixture(params=QUERIES, ids=str)
+    def query(self, request):
+        return request.param
+
+    @pytest.fixture(params=[False, True], ids=["interpreted", "compiled"])
+    def compiled(self, request):
+        return request.param
+
+    def test_on_event(self, benchmark, query, compiled):
+        events = self._stream(query)
+
+        def setup():
+            return (self._engine(query, compiled),), {}
+
+        def run(engine):
+            for event in events:
+                engine.on_event(event)
+            return engine.result()
+
+        _bench(benchmark, run, setup=setup)
+
+    def test_trigger_modes_agree_on_the_workload(self):
+        """Same discipline as the backend check below: both modes must
+        do identical logical work or the cells time different things."""
+        for query in self.QUERIES:
+            events = self._stream(query)
+            results = {}
+            for compiled in (False, True):
+                engine = self._engine(query, compiled)
+                expected = "compiled" if compiled else "interpreted"
+                assert engine.trigger_mode == expected, (query, expected)
+                for event in events:
+                    engine.on_event(event)
+                results[compiled] = repr(engine.result())
+            assert results[True] == results[False], query
+
+
 def test_backends_agree_on_the_workload():
     """The micro-suite streams must produce identical state everywhere —
     otherwise the benchmarks time different work."""

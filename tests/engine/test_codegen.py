@@ -1,0 +1,316 @@
+"""Differential tests for the trigger-codegen stage.
+
+The contract (docs/rpai_internals.md §12): a compiled trigger is a
+*constant-factor* specialization — for every registry query the
+compiled engine must be **bit-identical** to the interpreted one at
+every event, every batch boundary, under invariant self-checks, under
+sharding (serial and multiprocess), through pickling into workers,
+under a seeded chaos plan, and after a guarded deopt.  Any divergence,
+including in the obs counters outside the ``codegen.*`` family itself,
+is a correctness bug in the emitter, not noise.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import pytest
+
+from repro import obs
+from repro.engine.registry import build_engine, build_sharded_engine
+from repro.query import codegen
+from repro.storage.stream import Event, Stream
+
+from tests.engine.test_differential import CASES
+from tests.engine.test_sharding import stream_for
+
+# Queries the emitters cover; everything else stays interpreted.
+COMPILED = ("EQ", "SQ1", "SQ2", "VWAP")
+ALL_QUERIES = sorted(CASES)
+
+
+@pytest.fixture(autouse=True)
+def _restore_codegen_state():
+    """Codegen toggles are process-global (module flag + env var for
+    spawned workers); never leak a test's setting into the suite."""
+    prior = codegen.codegen_enabled()
+    prior_env = os.environ.get("REPRO_CODEGEN")
+    yield
+    codegen.set_codegen(prior)
+    if prior_env is None:
+        os.environ.pop("REPRO_CODEGEN", None)
+    else:
+        os.environ["REPRO_CODEGEN"] = prior_env
+
+
+def build(name: str, *, compiled: bool):
+    codegen.set_codegen(compiled)
+    return build_engine(name, "rpai")
+
+
+class TestDifferential:
+    """compiled trace == interpreted trace, bit for bit."""
+
+    @pytest.mark.parametrize("name", ALL_QUERIES)
+    def test_per_event_trace_identical(self, name):
+        stream = CASES[name]()
+        reference = build(name, compiled=False).results_trace(stream)
+        engine = build(name, compiled=True)
+        expected_mode = "compiled" if name in COMPILED else "interpreted"
+        assert engine.trigger_mode == expected_mode
+        assert engine.results_trace(stream) == reference
+
+    @pytest.mark.parametrize("name", ALL_QUERIES)
+    @pytest.mark.parametrize("batch_size", (3, 32))
+    def test_batched_trace_identical(self, name, batch_size):
+        stream = CASES[name]()
+        reference = build(name, compiled=False).batched_results_trace(
+            stream, batch_size
+        )
+        actual = build(name, compiled=True).batched_results_trace(
+            stream, batch_size
+        )
+        assert actual == reference
+
+    @pytest.mark.parametrize("name", COMPILED)
+    def test_trace_identical_under_selfcheck(self, name):
+        """Self-checks walk the structures after every mutation — a
+        compiled trigger that skipped an index maintenance step or
+        mutated state out of order trips them immediately."""
+        stream = CASES[name]()
+        reference = build(name, compiled=False).results_trace(stream)
+        obs.enable_selfcheck()
+        try:
+            engine = build(name, compiled=True)
+            assert engine.trigger_mode == "compiled"
+            assert engine.results_trace(stream) == reference
+        finally:
+            obs.disable_selfcheck()
+
+    @pytest.mark.parametrize("name", COMPILED)
+    def test_counters_identical(self, name):
+        """One instrumented pass per mode: every counter outside the
+        ``codegen.*`` family (rotations, probes, migrations, shifts)
+        must match exactly — the specialization may not change what
+        algorithmic work happens, only how fast Python executes it."""
+        stream = CASES[name]()
+
+        def counters(compiled: bool) -> dict:
+            obs.enable()
+            obs.reset()
+            try:
+                engine = build(name, compiled=compiled)
+                engine.process(stream)
+                snap = obs.snapshot()["counters"]
+            finally:
+                obs.disable()
+            return {
+                key: value
+                for key, value in snap.items()
+                if not key.startswith("codegen.")
+            }
+
+        assert counters(True) == counters(False)
+
+
+class TestCache:
+    def test_second_engine_hits_the_cache(self):
+        codegen.clear_cache()
+        obs.enable()
+        obs.reset()
+        try:
+            build("EQ", compiled=True)
+            after_first = obs.snapshot()["counters"]
+            build("EQ", compiled=True)
+            after_second = obs.snapshot()["counters"]
+        finally:
+            obs.disable()
+        assert after_first.get("codegen.cache_misses") == 1
+        assert after_first.get("codegen.installed") == 1
+        assert after_first.get("codegen.cache_hits") is None
+        assert after_second.get("codegen.cache_hits") == 1
+        assert after_second.get("codegen.cache_misses") == 1
+        assert after_second.get("codegen.installed") == 2
+
+    def test_negative_cache_sentinel_counts_unsupported(self):
+        codegen.clear_cache()
+        engine = build("EQ", compiled=True)
+        key = engine._codegen_key
+        codegen.uninstall(engine)
+        codegen._CACHE[key] = codegen._UNSUPPORTED
+        try:
+            obs.enable()
+            obs.reset()
+            try:
+                assert codegen.specialize(engine) is False
+                counters = obs.snapshot()["counters"]
+            finally:
+                obs.disable()
+            assert engine.trigger_mode == "interpreted"
+            assert counters.get("codegen.unsupported") == 1
+        finally:
+            codegen.clear_cache()
+
+    def test_engines_without_emitter_are_counted_not_crashed(self):
+        obs.enable()
+        obs.reset()
+        try:
+            engine = build("MST", compiled=True)
+            counters = obs.snapshot()["counters"]
+        finally:
+            obs.disable()
+        assert engine.trigger_mode == "interpreted"
+        assert counters.get("codegen.unsupported") == 1
+
+    def test_generated_source_roundtrip(self):
+        engine = build("VWAP", compiled=True)
+        source = codegen.generated_source(engine)
+        assert source is not None
+        assert "def on_event(" in source and "def on_batch(" in source
+        assert codegen.generated_source(build("VWAP", compiled=False)) is None
+
+
+class TestDeopt:
+    # EQ's aggregate index is keyed by the per-group RHS sums (SUM(B)
+    # per A), which start dense (Fenwick).  An unmatched delete drives
+    # one group's sum negative — a key the dense universe cannot hold —
+    # migrating the backend to RPAI mid-stream.
+    MIGRATOR = Event("R", {"A": 77, "B": 5}, -1)
+
+    def test_backend_migration_deopts_and_stays_correct(self):
+        """The compiled trigger must apply the migrating event
+        correctly, tear itself down at the end of the invocation, and
+        keep producing the interpreted trace afterwards."""
+        prefix = list(CASES["EQ"]())
+        suffix = [Event("R", {"A": 17, "B": 2}, +1),
+                  Event("R", {"A": 17, "B": 2}, -1),
+                  Event("R", {"A": 77, "B": 5}, +1)]
+        events = prefix + [self.MIGRATOR] + prefix[: len(prefix) // 2] + suffix
+
+        reference = build("EQ", compiled=False).results_trace(Stream(events))
+        engine = build("EQ", compiled=True)
+        assert engine.trigger_mode == "compiled"
+        obs.enable()
+        obs.reset()
+        try:
+            trace = [engine.on_event(event) for event in events]
+            counters = obs.snapshot()["counters"]
+        finally:
+            obs.disable()
+        assert trace == reference
+        assert engine.trigger_mode == "deopted"
+        assert counters.get("codegen.deopts") == 1
+        assert counters.get("codegen.deopt.backend_migrated") == 1
+        assert counters.get("backend.migrations") == 1
+
+    def test_batched_migration_deopts_and_stays_correct(self):
+        events = list(CASES["EQ"]())
+        events.insert(len(events) // 2, self.MIGRATOR)
+        stream = Stream(events)
+        reference = build("EQ", compiled=False).batched_results_trace(stream, 16)
+        engine = build("EQ", compiled=True)
+        assert engine.batched_results_trace(stream, 16) == reference
+        assert engine.trigger_mode == "deopted"
+
+
+class TestPickleAndSharding:
+    @pytest.mark.parametrize("name", COMPILED)
+    def test_pickle_roundtrip_reinstalls_compiled_trigger(self, name):
+        events = list(CASES[name]())
+        half = len(events) // 2
+        reference = build(name, compiled=False)
+        # Build the compiled engine second: build() leaves the module
+        # flag set, and the restore path must see codegen enabled.
+        engine = build(name, compiled=True)
+        for event in events[:half]:
+            engine.on_event(event)
+            reference.on_event(event)
+        restored = pickle.loads(pickle.dumps(engine))
+        assert restored.trigger_mode == "compiled"
+        for event in events[half:]:
+            assert restored.on_event(event) == reference.on_event(event)
+
+    def test_pickle_under_no_codegen_stays_interpreted(self):
+        engine = build("EQ", compiled=False)
+        assert pickle.loads(pickle.dumps(engine)).trigger_mode == "interpreted"
+
+    @pytest.mark.parametrize("name", ("EQ", "VWAP"))
+    @pytest.mark.parametrize("shards", (1, 2, 3))
+    def test_serial_sharded_trace_identical(self, name, shards):
+        stream = stream_for(name)
+        codegen.set_codegen(False)
+        reference = build_engine(name, "rpai").results_trace(stream)
+        codegen.set_codegen(True)
+        engine = build_sharded_engine(
+            name, "rpai", shards=shards, plan_stream=stream
+        )
+        assert engine.results_trace(stream) == reference, (name, shards)
+
+    def test_multiprocess_workers_run_compiled_triggers(self):
+        """K=2 pool: the template engine is pickled into the workers,
+        where codegen re-installs; the batched trace must equal the
+        interpreted unsharded run."""
+        stream = stream_for("EQ")
+        codegen.set_codegen(False)
+        reference = build_engine("EQ", "rpai").batched_results_trace(stream, 32)
+        codegen.set_codegen(True)
+        engine = build_sharded_engine(
+            "EQ", "rpai", shards=2, workers=2, plan_stream=stream
+        )
+        try:
+            assert engine.batched_results_trace(stream, 32) == reference
+        finally:
+            engine.close()
+
+    def test_chaos_run_with_compiled_triggers_matches_clean(self, tmp_path):
+        """One seeded chaos plan (worker kills, dropped/duplicated
+        messages, corrupt snapshots, junk events) through the
+        supervised pool with codegen on: WAL recovery restores engines
+        via pickle, codegen re-installs, and the final result still
+        equals a clean interpreted run."""
+        from tests.engine.test_faults import clean_result, run_chaos
+
+        codegen.set_codegen(False)
+        expected = clean_result("EQ", stream_for("EQ"))
+        codegen.set_codegen(True)
+        os.environ["REPRO_CODEGEN"] = "1"
+        result, counters, _ = run_chaos("EQ", 2, seed=77, tmp_path=tmp_path)
+        assert result == expected
+        assert counters.get("faults.bad_events", 0) >= 1
+
+
+class TestCLI:
+    def test_codegen_subcommand_prints_source(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["codegen", "VWAP"]) == 0
+        out = capsys.readouterr().out
+        assert "trigger  : compiled" in out
+        assert "def on_event(" in out
+
+    def test_codegen_subcommand_unsupported_query(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["codegen", "MST"]) == 0
+        out = capsys.readouterr().out
+        assert "trigger  : interpreted" in out
+
+    def test_run_reports_trigger_mode_and_no_codegen_flag(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["run", "EQ", "--events", "120"]) == 0
+        assert "trigger  : compiled" in capsys.readouterr().out
+        assert main(["run", "EQ", "--events", "120", "--no-codegen"]) == 0
+        assert "trigger  : interpreted" in capsys.readouterr().out
+
+    def test_stats_reports_trigger_mode_and_codegen_counters(self, capsys):
+        import json
+
+        from repro.__main__ import main
+
+        assert main(["stats", "EQ", "--events", "120", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["trigger_mode"] == "compiled"
+        counters = payload["ops"]["counters"]
+        assert counters.get("codegen.installed", 0) >= 1
