@@ -26,11 +26,19 @@ WAL-on (fsync off) configuration stays within ``--wal-gate-factor``
 opt-in costing tens of percent, not a 2x cliff.  The fsync row is
 reported but not gated: it measures the disk, not the code.
 
+When a committed ``BENCH_sharding.json`` exists, the run also gates the
+shard-transport serialization share: the columnar frames the shm rings
+ship must stay at least ``bench_sharding.TRANSPORT_GATE``x smaller per
+event than the retired pickled-event-list pipe transport.  Byte counts
+are deterministic, so this gate applies even when ``scaling_valid`` is
+false.  Skip with ``--skip-transport-gate``.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_compare.py [--full]
         [--baseline PATH] [--out PATH] [--tolerance T] [--rescue R]
         [--wal-gate-factor F] [--skip-wal-gate] [--skip-codegen-gate]
+        [--sharding-baseline PATH] [--skip-transport-gate]
 """
 
 from __future__ import annotations
@@ -157,6 +165,17 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="skip the compiled-vs-interpreted trigger gate",
     )
+    parser.add_argument(
+        "--sharding-baseline",
+        type=Path,
+        default=REPO_ROOT / "BENCH_sharding.json",
+        help="committed sharding report whose transport section to gate against",
+    )
+    parser.add_argument(
+        "--skip-transport-gate",
+        action="store_true",
+        help="skip the columnar-frame serialization-share gate",
+    )
     args = parser.parse_args(argv)
 
     if not args.baseline.exists():
@@ -220,7 +239,42 @@ def main(argv: list[str] | None = None) -> int:
         verdict = "OK" if wal_ok else "FAIL"
         print(f"  gate           : slowdown {wal['slowdown_wal']:.2f}x "
               f"<= {args.wal_gate_factor:.2f}x ... {verdict}")
-    return 0 if (report.ok and codegen_ok and wal_ok) else 1
+
+    transport_ok = True
+    if not args.skip_transport_gate and args.sharding_baseline.exists():
+        # Serialization share: recompute the deterministic bytes/event
+        # accounting (no timing, cheap) and gate that columnar frames
+        # still beat the retired pickled-list transport by the committed
+        # factor.  Byte counts do not depend on cores or clock speed, so
+        # this gates even on hosts where scaling_valid is false.
+        from bench_sharding import TRANSPORT_GATE, build_streams, measure_transport
+
+        baseline_transport = load_report(args.sharding_baseline).get("transport", {})
+        # Always at full workload scale — smoke-sized per-shard chunks
+        # can't amortize frame headers and would measure the chunk size,
+        # not the transport (matches bench_sharding's transport section).
+        scale = 1.0
+        print()
+        print(
+            "[bench-compare] shard transport gate "
+            f"(columnar frames vs pickled lists, >= {TRANSPORT_GATE}x):"
+        )
+        for query, stream in build_streams(scale).items():
+            entry = measure_transport(query, stream)
+            committed = baseline_transport.get(query, {}).get(
+                "bytes_per_event_reduction"
+            )
+            verdict = "OK" if entry["gate_met"] else "FAIL"
+            print(
+                f"  {query:<5}: {entry['pipe_pickle_bytes_per_event']:>8} B/ev -> "
+                f"{entry['frame_bytes_per_event']:>7} B/ev  "
+                f"{entry['bytes_per_event_reduction']:>5}x"
+                + (f" (committed {committed}x)" if committed is not None else "")
+                + f" ... {verdict}"
+            )
+            transport_ok &= entry["gate_met"]
+
+    return 0 if (report.ok and codegen_ok and wal_ok and transport_ok) else 1
 
 
 if __name__ == "__main__":

@@ -54,6 +54,11 @@ WORKER_COUNTS = [1, 2, 4]
 #: per-shard shipping unit: big enough to amortize one pipe round trip,
 #: small enough to keep the merge cadence realistic for a stream.
 BATCH_SIZE = 500
+#: the columnar frame transport must ship at least this many times
+#: fewer bytes per event than the retired pickled-event-list transport.
+#: Byte counts are deterministic, so this gate applies even on hosts
+#: where ``scaling_valid`` is false.
+TRANSPORT_GATE = 5.0
 
 
 def scaled(n: int, scale: float, minimum: int = 40) -> int:
@@ -177,6 +182,65 @@ def bench_shard_ops(query: str, stream: Stream) -> dict:
     return out
 
 
+def measure_transport(query: str, stream: Stream) -> dict:
+    """Bytes-per-event of the old pipe transport (per-shard pickled
+    event lists — what PR 4 shipped) versus the columnar frame bytes
+    the shm rings carry now, over identical routed batches.
+
+    Both byte counts come from the very same per-shard chunks the live
+    executor would ship, so the ratio is the real wire saving, not a
+    synthetic encode comparison."""
+    import pickle
+
+    from repro.engine.sharding import plan_router
+    from repro.storage.colbatch import ColumnarFrame
+    from repro.storage.schema import WORKLOAD_SCHEMAS
+
+    template = build_engine(query, "rpai")
+    router = plan_router(template, 4, stream)
+    spec = template.shard_routing_spec()
+    events = list(stream)
+    pickled_bytes = 0
+    frame_bytes = 0
+    chunks = 0
+    for start in range(0, len(events), BATCH_SIZE):
+        batch = events[start : start + BATCH_SIZE]
+        if spec is None:
+            parts = router.split(batch)
+        else:
+            parts = router.split_frame(
+                ColumnarFrame.from_events(batch, schemas=WORKLOAD_SCHEMAS), spec
+            )
+        for part in parts:
+            if not len(part):
+                continue
+            chunks += 1
+            if isinstance(part, ColumnarFrame):
+                frame, part_events = part, part.events()
+            else:
+                frame, part_events = (
+                    ColumnarFrame.from_events(part, schemas=WORKLOAD_SCHEMAS),
+                    list(part),
+                )
+            pickled_bytes += len(
+                pickle.dumps(part_events, protocol=pickle.HIGHEST_PROTOCOL)
+            )
+            frame_bytes += len(frame.to_bytes())
+    reduction = pickled_bytes / frame_bytes if frame_bytes else 0.0
+    return {
+        "shards": router.shards,
+        "chunks": chunks,
+        "events": len(events),
+        "pipe_pickle_bytes": pickled_bytes,
+        "frame_bytes": frame_bytes,
+        "pipe_pickle_bytes_per_event": round(pickled_bytes / max(1, len(events)), 2),
+        "frame_bytes_per_event": round(frame_bytes / max(1, len(events)), 2),
+        "bytes_per_event_reduction": round(reduction, 2),
+        "gate": TRANSPORT_GATE,
+        "gate_met": reduction >= TRANSPORT_GATE,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -239,6 +303,27 @@ def main(argv: list[str] | None = None) -> int:
             query, build_streams(scale)[query]
         )
 
+    # Transport accounting is deterministic byte-counting — it gates on
+    # every host, including ones where scaling_valid is false.  It always
+    # runs at >= full workload scale (cheap: no processes, no timing):
+    # smoke-scale streams split four ways leave per-shard chunks too
+    # small to amortize frame headers, which would measure the chunk
+    # size, not the transport.
+    report["transport"] = {}
+    report["transport_scale"] = max(scale, 1.0)
+    transport_ok = True
+    for query, stream in build_streams(max(scale, 1.0)).items():
+        entry = measure_transport(query, stream)
+        report["transport"][query] = entry
+        print(
+            f"[sharding] {query} transport: "
+            f"{entry['pipe_pickle_bytes_per_event']} B/ev pickled lists -> "
+            f"{entry['frame_bytes_per_event']} B/ev frames "
+            f"({entry['bytes_per_event_reduction']}x, gate {TRANSPORT_GATE}x "
+            f"{'OK' if entry['gate_met'] else 'FAIL'})"
+        )
+        transport_ok &= entry["gate_met"]
+
     vwap = report["workloads"]["VWAP"]
     target = 1.6
     report["vwap_scaling_target"] = target
@@ -251,6 +336,12 @@ def main(argv: list[str] | None = None) -> int:
 
     args.out.write_text(json.dumps(report, indent=2, allow_nan=False) + "\n")
     print(f"[sharding] wrote {args.out}")
+    if not transport_ok:
+        print(
+            f"[sharding] transport gate FAILED: columnar frames must ship "
+            f">= {TRANSPORT_GATE}x fewer bytes/event than pickled lists"
+        )
+        return 1
     return 0
 
 

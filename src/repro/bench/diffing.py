@@ -39,6 +39,15 @@ measuring 0.4x "speedup" at 4 workers is the machine, not a
 regression.  The ``differential_ok`` flag (sharded result equals the
 serial reference) is scale- and core-independent, so it flipping from
 true to false fails unconditionally.
+
+Sharding reports also carry a top-level ``transport`` section: per
+query, the bytes-per-event of the retired pickled-event-list pipe
+transport versus the columnar frame bytes the shm rings ship, and the
+``bytes_per_event_reduction`` ratio with its ``gate`` (frames must ship
+at least that many times fewer bytes).  Byte counts are deterministic —
+no cores, no clock — so the transport gate applies even when
+``scaling_valid`` is false; a candidate whose reduction drops below the
+gate fails on any host.
 """
 
 from __future__ import annotations
@@ -323,6 +332,40 @@ def compare_reports(
                     "scale mismatch — absolute throughput not comparable",
                 )
             )
+
+    # Transport (serialization-share) entries from BENCH_sharding.json:
+    # byte counts are deterministic, so — unlike parallel speedups —
+    # these gate even when either report's scaling_valid is false.
+    cand_transport = candidate.get("transport", {})
+    for name, base_entry in baseline.get("transport", {}).items():
+        cand_entry = cand_transport.get(name)
+        if cand_entry is None:
+            report.checks.append(
+                Check(name, "transport", True, False, "fail", "transport entry missing")
+            )
+            continue
+        _ratio_check(
+            report,
+            name,
+            "transport.bytes_reduction",
+            base_entry["bytes_per_event_reduction"],
+            cand_entry["bytes_per_event_reduction"],
+        )
+        gate = base_entry.get("gate", 5.0)
+        met = cand_entry["bytes_per_event_reduction"] >= gate
+        report.checks.append(
+            Check(
+                name,
+                f"transport.gate[{gate}x]",
+                True,
+                met,
+                "pass" if met else "fail",
+                ""
+                if met
+                else "columnar frames no longer beat pickled event lists "
+                "by the gate factor",
+            )
+        )
 
     cand_warm = candidate.get("warm_start", {})
     for name, base_entry in baseline.get("warm_start", {}).items():

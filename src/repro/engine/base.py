@@ -247,6 +247,17 @@ class IncrementalEngine(abc.ABC):
             output = self.on_event(event)
         return output
 
+    def on_frame(self, frame) -> Result:
+        """Apply one :class:`~repro.storage.colbatch.ColumnarFrame`.
+
+        The default decodes and delegates to :meth:`on_batch` (which
+        keeps the quarantine and obs behavior of that path).  Engines
+        with a columnar fast path — netting weights per key straight
+        from the typed columns — override this; the contract is exact
+        result equality with ``on_batch(frame.events())``.
+        """
+        return self.on_batch(frame.events())
+
     def attach_quarantine(
         self,
         schemas: Mapping[str, Any],
@@ -365,6 +376,18 @@ class IncrementalEngine(abc.ABC):
         contribution is not double counted by the merge.
         """
         raise NotImplementedError(f"{type(self).__name__} is not shardable")
+
+    def shard_routing_spec(self) -> dict | None:
+        """Column-level form of :meth:`shard_routing_key` for the
+        vectorized frame split (``ShardRouter.split_frame``).
+
+        Returns ``{relation: rule}`` with a ``"*"`` default rule — see
+        ``split_frame`` for the rule vocabulary — or ``None`` when no
+        column form exists, in which case the executors fall back to
+        per-event routing.  The contract: for every event, the rule of
+        its relation must yield exactly ``shard_routing_key(event)``.
+        """
+        return None
 
     def shard_partial(self) -> Any:
         """Phase 1: this replica's mergeable summary (picklable)."""

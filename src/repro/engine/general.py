@@ -32,7 +32,7 @@ nested re-evaluation loops.
 from __future__ import annotations
 
 import operator
-from typing import Any, Callable, Mapping
+from typing import Any, Callable, Mapping, Sequence
 
 from repro.errors import UnsupportedQueryError
 from repro.engine.base import IncrementalEngine, Result
@@ -94,6 +94,33 @@ def _compile_row_expr(expr: Expr, alias: str) -> RowFn:
         fn = _ARITH_FN[expr.op]
         return lambda row: fn(left(row), right(row))
     raise UnsupportedQueryError(f"cannot compile row expression {expr!r}")
+
+
+def _compile_col_expr(expr: Expr, alias: str) -> Callable[[Any], list]:
+    """Columnar counterpart of :func:`_compile_row_expr`: compile the
+    same expression into a function of a
+    :class:`~repro.storage.colbatch.ColumnBlock` returning the per-row
+    value list.  Element ``i`` performs exactly the arithmetic the row
+    closure performs on row ``i`` (same operators, same order), so the
+    columnar fast paths stay bit-identical to the event path."""
+    if isinstance(expr, Const):
+        value = expr.value
+        return lambda block: [value] * len(block)
+    if isinstance(expr, ColumnRef):
+        if expr.relation != alias:
+            raise UnsupportedQueryError(
+                f"expected a column of {alias!r}, got {expr}"
+            )
+        column = expr.column
+        return lambda block: block.column(column)
+    if isinstance(expr, Arith):
+        left = _compile_col_expr(expr.left, alias)
+        right = _compile_col_expr(expr.right, alias)
+        fn = _ARITH_FN[expr.op]
+        return lambda block: [
+            fn(a, b) for a, b in zip(left(block), right(block))
+        ]
+    raise UnsupportedQueryError(f"cannot compile column expression {expr!r}")
 
 
 def _peel_constant_scale(expr: Expr) -> tuple[float, Expr]:
@@ -164,10 +191,29 @@ class _UncorrelatedScalar:
         self.arg = (
             _compile_row_expr(call.arg, alias) if call.arg is not None else None
         )
+        self.arg_col = (
+            _compile_col_expr(call.arg, alias) if call.arg is not None else None
+        )
 
     def on_row(self, row: Row, weight: int) -> None:
         value = self.arg(row) if self.arg is not None else 1
         self.aggregate.update(value, weight)
+
+    def column_values(self, block: Any) -> list | None:
+        """Per-row arg values for a :class:`ColumnBlock` (pure — no
+        state change; ``None`` means the count-style constant 1)."""
+        return None if self.arg_col is None else self.arg_col(block)
+
+    def apply_columns(self, values: list | None, weights: Sequence[int]) -> None:
+        """Fold precomputed :meth:`column_values` into the accumulator
+        in row order — exactly the per-event :meth:`on_row` sequence."""
+        update = self.aggregate.update
+        if values is None:
+            for weight in weights:
+                update(1, weight)
+        else:
+            for value, weight in zip(values, weights):
+                update(value, weight)
 
     def value(self) -> float:
         return self.aggregate.value()

@@ -138,6 +138,13 @@ class Q17RpaiEngine(IncrementalEngine):
             return 0  # irrelevant relation: pin anywhere, it is ignored
         return event.row["partkey"]
 
+    def shard_routing_spec(self) -> dict:
+        return {
+            "part": ("column", "partkey"),
+            "lineitem": ("column", "partkey"),
+            "*": ("pin", 0),
+        }
+
     def shard_partial(self):
         return self._total
 
@@ -237,6 +244,14 @@ class Q18RpaiEngine(IncrementalEngine):
         if event.relation not in ("orders", "lineitem"):
             return 0  # irrelevant relation: pin anywhere, it is ignored
         return event.row["orderkey"]
+
+    def shard_routing_spec(self) -> dict:
+        return {
+            "customer": ("broadcast",),
+            "orders": ("column", "orderkey"),
+            "lineitem": ("column", "orderkey"),
+            "*": ("pin", 0),
+        }
 
     def shard_partial(self):
         return dict(self._result)

@@ -263,7 +263,9 @@ def build_sharded_engine(
         )
     if fault_plan is not None:
         raise ValueError("fault injection requires the supervised pool (workers=K)")
-    replicas = [build_engine(query_name, strategy) for _ in range(shards)]
+    # router.shards, not the requested count: a degenerate range plan
+    # (skewed/constant keys) shrinks the router to its effective width.
+    replicas = [build_engine(query_name, strategy) for _ in range(router.shards)]
     return _validated(_durable(ShardedExecutor(template, replicas, router)))
 
 

@@ -52,8 +52,11 @@ from bisect import bisect_right
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.engine.base import IncrementalEngine, Result
+from repro.engine.shmring import DEFAULT_CAPACITY, ShmRing
 from repro.errors import EngineStateError, ShardWorkerError
 from repro.obs import SINK as _SINK
+from repro.storage.colbatch import ColumnarFrame, apply_events
+from repro.storage.schema import WORKLOAD_SCHEMAS
 from repro.storage.stream import Event, Stream
 
 __all__ = [
@@ -65,17 +68,40 @@ __all__ = [
 ]
 
 
+def _normalize_key(key: Any) -> Any:
+    """Collapse numerically-equal routing keys onto one canonical value.
+
+    ``1``, ``1.0`` and ``True`` are equal under ``==`` (and as dict/group
+    keys inside the engines), so they MUST route to the same shard — a
+    mixed-type stream that hashed ``1`` by value but ``1.0`` by
+    ``crc32(repr(...))`` would split one correlation group across
+    replicas and silently corrupt hash-sharded results.  Integral floats
+    and bools become ints; tuples normalize recursively (compound group
+    keys); everything else is returned unchanged.
+    """
+    if isinstance(key, bool):
+        return int(key)
+    if isinstance(key, float) and key.is_integer():
+        return int(key)
+    if isinstance(key, tuple):
+        return tuple(_normalize_key(part) for part in key)
+    return key
+
+
 def stable_hash(key: Any) -> int:
     """Deterministic, process-independent hash for routing keys.
 
     Python's builtin ``hash`` is salted per process (``PYTHONHASHSEED``),
     which would make shard assignment differ between the serial oracle
-    and the worker processes.  Integers route by value; everything else
-    by CRC-32 of its ``repr`` — stable across runs and interpreters.
+    and the worker processes.  Keys are first canonicalized with
+    :func:`_normalize_key` so numerically-equal keys of different types
+    agree; integers then route by value, everything else by CRC-32 of
+    its ``repr`` — stable across runs and interpreters.
     """
-    if isinstance(key, bool) or not isinstance(key, int):
-        return zlib.crc32(repr(key).encode("utf-8"))
-    return key
+    key = _normalize_key(key)
+    if isinstance(key, int):
+        return key
+    return zlib.crc32(repr(key).encode("utf-8"))
 
 
 class ShardRouter:
@@ -113,8 +139,12 @@ class ShardRouter:
                     f"range router over {shards} shards needs {shards - 1} "
                     f"boundaries, got {len(bounds)}"
                 )
-            if any(b > c for b, c in zip(bounds, bounds[1:])):
-                raise EngineStateError("range boundaries must be ascending")
+            if any(b >= c for b, c in zip(bounds, bounds[1:])):
+                raise EngineStateError(
+                    "range boundaries must be strictly ascending (a "
+                    "duplicated boundary would leave its shard empty); "
+                    f"got {bounds!r}"
+                )
             self._boundaries = bounds
         else:
             self._boundaries = None
@@ -122,14 +152,17 @@ class ShardRouter:
         self.mode = mode
         self._key_of = key_of
 
-    def assign(self, event: Event) -> int | None:
-        """Shard index for ``event``; ``None`` means broadcast."""
-        key = self._key_of(event)
+    def assign_key(self, key: Any) -> int | None:
+        """Shard index for a raw routing key; ``None`` broadcasts."""
         if key is None:
             return None
         if self.mode == "hash":
             return stable_hash(key) % self.shards
         return bisect_right(self._boundaries, key)
+
+    def assign(self, event: Event) -> int | None:
+        """Shard index for ``event``; ``None`` means broadcast."""
+        return self.assign_key(self._key_of(event))
 
     def split(self, events: Iterable[Event]) -> list[list[Event]]:
         """Partition ``events`` into per-shard lists, each preserving
@@ -144,6 +177,64 @@ class ShardRouter:
             else:
                 parts[index].append(event)
         return parts
+
+    def split_frame(self, frame: ColumnarFrame, spec: dict) -> list[ColumnarFrame]:
+        """Vectorized partition of a columnar frame into per-shard
+        frames (same order guarantee as :meth:`split`).
+
+        ``spec`` is the engine's
+        :meth:`~repro.engine.base.IncrementalEngine.shard_routing_spec`
+        mapping — ``{relation: rule}`` with a ``"*"`` default — whose
+        rules route a whole block straight off its typed columns, so no
+        row dict is ever materialized:
+
+        * ``("column", name)`` — key is the column value;
+        * ``("scaled_column", name, sign)`` — key is ``sign * value``
+          (the range engines' descending-order trick);
+        * ``("columns", names)`` — compound key tuple;
+        * ``("pin", key)`` — every row routes by the constant key;
+        * ``("broadcast",)`` — every row goes to every shard.
+
+        Pickle-fallback events route individually through
+        :meth:`assign`, and so does any block whose relation has no
+        rule (a defensive decode, not a supported configuration).
+        """
+        block_assign = [
+            self._assign_block(block, spec.get(block.relation, spec.get("*")))
+            for block in frame.blocks
+        ]
+        return frame.partition(self.shards, block_assign, self.assign)
+
+    def _assign_block(self, block, rule) -> int | None | list[int]:
+        if rule is None:  # pragma: no cover - engines always supply "*"
+            return [
+                self.assign(Event(block.relation, block.row(i), block.weights[i]))
+                for i in range(len(block))
+            ]
+        kind = rule[0]
+        if kind == "broadcast":
+            return None
+        if kind == "pin":
+            return self.assign_key(rule[1])
+        if kind == "column":
+            keys = block.column(rule[1])
+            plain_ints = block.kinds[block.names.index(rule[1])] == "i"
+        elif kind == "scaled_column":
+            column, sign = block.column(rule[1]), rule[2]
+            plain_ints = block.kinds[block.names.index(rule[1])] == "i"
+            keys = column if sign == 1 else [sign * value for value in column]
+        elif kind == "columns":
+            keys = list(zip(*(block.column(name) for name in rule[1])))
+            plain_ints = False
+        else:
+            raise EngineStateError(f"unknown routing rule {rule!r}")
+        if self.mode == "hash":
+            shards = self.shards
+            if plain_ints:  # stable_hash(int) is the identity
+                return [value % shards for value in keys]
+            return [stable_hash(key) % shards for key in keys]
+        boundaries = self._boundaries
+        return [bisect_right(boundaries, key) for key in keys]
 
 
 def plan_router(
@@ -160,8 +251,14 @@ def plan_router(
 
     Range mode picks boundaries by pre-scanning ``plan_stream`` for the
     engine's routing keys and cutting at the K-quantiles, so shards see
-    balanced event counts on the planning distribution.  Without a
-    planning stream every key lands in shard 0 (legal, just serial).
+    balanced event counts on the planning distribution.  Skewed or
+    constant key distributions can collapse several quantile cuts onto
+    the same key; rather than keeping duplicate boundaries (empty shards
+    plus one mega-shard, silently), the duplicates are dropped and the
+    router *shrinks to the effective shard count*, recording the
+    degradation on the ``shard.plan_degenerate`` obs counter.  Without a
+    planning stream no boundary can be chosen, which is the fully
+    degenerate case: a single-shard router.
     """
     mode = template.shard_mode
     if shards <= 1 or mode is None:
@@ -175,11 +272,20 @@ def plan_router(
         )
         if key is not None and key != float("-inf")
     )
-    if keys:
-        boundaries = [keys[(len(keys) * i) // shards] for i in range(1, shards)]
-    else:
-        boundaries = [float("inf")] * (shards - 1)
-    return ShardRouter(shards, "range", template.shard_routing_key, boundaries)
+    boundaries: list[Any] = []
+    for index in range(1, shards):
+        cut = keys[(len(keys) * index) // shards] if keys else None
+        # A useful cut must leave at least one planning key strictly
+        # below it (the lower shard would otherwise be born empty):
+        # compare against the lowest key for the first boundary and
+        # against the previous boundary after that.
+        if cut is not None and cut > (boundaries[-1] if boundaries else keys[0]):
+            boundaries.append(cut)
+    effective = len(boundaries) + 1
+    if effective < shards:
+        _SINK.inc("shard.plan_degenerate")
+        _SINK.inc("shard.plan_shards_lost", shards - effective)
+    return ShardRouter(effective, "range", template.shard_routing_key, boundaries)
 
 
 def _merge_result(
@@ -305,16 +411,23 @@ def _raise_worker_error(shard: int, payload: Any) -> None:
     raise ShardWorkerError(str(payload), shard=shard)
 
 
-def _worker_main(conn, query_name: str, strategy: str, shard: int = 0) -> None:
+def _worker_main(
+    conn, query_name: str, strategy: str, shard: int = 0, ring: ShmRing | None = None
+) -> None:
     """Long-lived shard worker: builds its replica locally and serves
-    ``batch`` / ``partial`` / ``probe`` requests until ``stop``.
+    ``frame`` / ``batch`` / ``partial`` / ``probe`` requests until
+    ``stop``.
 
     Runs in a child process — the replica is constructed from the
     registry there, so no engine state ever crosses the fork/spawn
-    boundary; only events, partials and probe answers do.  Failures are
-    reported as structured ``("err", {shard, type, message, traceback})``
-    replies, which the parent re-raises as
-    :class:`~repro.errors.ShardWorkerError`.
+    boundary; only frames, partials and probe answers do.  The bulk
+    lane is the shared-memory ``ring``: a ``("frame", nbytes)`` header
+    on the pipe means "consume the next ``nbytes`` from the ring and
+    decode them as a :class:`~repro.storage.colbatch.ColumnarFrame`";
+    oversized frames arrive inline as ``("frame_inline", frame)``.
+    Failures are reported as structured
+    ``("err", {shard, type, message, traceback})`` replies, which the
+    parent re-raises as :class:`~repro.errors.ShardWorkerError`.
     """
     from repro.engine.registry import build_engine
 
@@ -326,7 +439,14 @@ def _worker_main(conn, query_name: str, strategy: str, shard: int = 0) -> None:
             break
         tag = message[0]
         try:
-            if tag == "batch":
+            if tag == "frame":
+                frame = ColumnarFrame.from_bytes(ring.read(message[1]))
+                apply_events(engine, frame)
+                conn.send(("ok", len(frame)))
+            elif tag == "frame_inline":
+                apply_events(engine, message[1])
+                conn.send(("ok", len(message[1])))
+            elif tag == "batch":
                 engine.on_batch(message[1])
                 conn.send(("ok", len(message[1])))
             elif tag == "partial":
@@ -341,6 +461,8 @@ def _worker_main(conn, query_name: str, strategy: str, shard: int = 0) -> None:
                                    "traceback": ""}))
         except Exception as exc:  # pragma: no cover - surfaced in parent
             conn.send(_error_reply(shard, exc))
+    if ring is not None:
+        ring.close(unlink=False)
     conn.close()
 
 
@@ -348,21 +470,28 @@ class MultiprocessShardedExecutor(IncrementalEngine):
     """K long-lived worker processes, one engine replica each.
 
     The parent routes events with the same :class:`ShardRouter` as the
-    serial executor, ships each shard's coalesced batch over a pipe
-    (the worker applies it through the engine's ``on_batch`` fast
-    path), and merges results with the same two-phase template
-    protocol — so the pool's answers are identical to the serial
-    executor's, which are identical to the unsharded engine's.
+    serial executor, encodes each shard's coalesced batch as a
+    :class:`~repro.storage.colbatch.ColumnarFrame`, ships the frame
+    bytes through a per-worker shared-memory :class:`ShmRing` (only a
+    tiny header crosses the control pipe), and merges results with the
+    same two-phase template protocol — so the pool's answers are
+    identical to the serial executor's, which are identical to the
+    unsharded engine's.  A frame that cannot fit its ring falls back to
+    inline pipe transport; both lanes carry the identical byte form.
 
     Workers are spawned once and reused across batches; call
     :meth:`close` (or use the executor as a context manager) to shut
     them down.  Worker-side obs counters stay in the workers; the
-    parent records routing skew, per-worker batch sizes and merge time.
+    parent records routing skew, per-worker batch sizes, bytes shipped,
+    encode time and merge time.
     """
 
     #: seconds granted to a worker for a cooperative exit before the
     #: parent escalates to ``terminate()`` and then ``kill()``
     _CLOSE_TIMEOUT = 2.0
+
+    #: bytes of shared-memory ring per worker (bulk frame lane)
+    _RING_CAPACITY = DEFAULT_CAPACITY
 
     def __init__(
         self,
@@ -375,6 +504,7 @@ class MultiprocessShardedExecutor(IncrementalEngine):
         self.strategy = strategy
         self.template = template
         self.router = router
+        self._routing_spec = template.shard_routing_spec()
         self.name = f"{template.name}-mp{router.shards}"
         try:
             self._context = multiprocessing.get_context("fork")
@@ -382,6 +512,7 @@ class MultiprocessShardedExecutor(IncrementalEngine):
             self._context = multiprocessing.get_context("spawn")
         self._connections: list[Any] = []
         self._processes: list[Any] = []
+        self._rings: list[ShmRing] = []
         self._closed = False
         try:
             for index in range(router.shards):
@@ -399,27 +530,36 @@ class MultiprocessShardedExecutor(IncrementalEngine):
         their own protocol loop)."""
         return _worker_main
 
-    def _worker_args(self, index: int, child_conn) -> tuple:
-        return (child_conn, self.query_name, self.strategy, index)
+    def _worker_args(self, index: int, child_conn, ring: ShmRing) -> tuple:
+        return (child_conn, self.query_name, self.strategy, index, ring)
 
     def _spawn(self, index: int):
         """Start (or replace) the worker at slot ``index``; returns its
-        parent-side connection."""
+        parent-side connection.  Each incarnation gets a *fresh* ring —
+        a worker that died mid-consume leaves its ring cursors
+        desynchronized, and a new segment is cheaper than repairing
+        them."""
         parent_conn, child_conn = self._context.Pipe()
+        # Created before start() so a fork child inherits the mapping
+        # directly (the spawn fallback re-attaches via pickling).
+        ring = ShmRing(self._RING_CAPACITY)
         process = self._context.Process(
             target=self._worker_target(),
-            args=self._worker_args(index, child_conn),
+            args=self._worker_args(index, child_conn, ring),
             daemon=True,
         )
         process.start()
         child_conn.close()
         if index < len(self._connections):
             self._reap(index)
+            self._rings[index].close()
             self._connections[index] = parent_conn
             self._processes[index] = process
+            self._rings[index] = ring
         else:
             self._connections.append(parent_conn)
             self._processes.append(process)
+            self._rings.append(ring)
         return parent_conn
 
     def _reap(self, index: int) -> None:
@@ -470,6 +610,53 @@ class MultiprocessShardedExecutor(IncrementalEngine):
             conn.send(message)
         return self._gather(range(len(self._connections)))
 
+    def _encode_frame(self, part) -> tuple[ColumnarFrame, bytes]:
+        """Columnar-encode one shard's routed chunk (no-op when routing
+        already produced a frame) and record the transport counters."""
+        start = time.perf_counter() if _SINK.enabled else 0.0
+        frame = (
+            part
+            if isinstance(part, ColumnarFrame)
+            else ColumnarFrame.from_events(part, schemas=WORKLOAD_SCHEMAS)
+        )
+        data = frame.to_bytes()
+        if _SINK.enabled:
+            _SINK.observe("shard.encode_seconds", time.perf_counter() - start)
+            _SINK.inc("shard.bytes_shipped", len(data))
+            _SINK.inc("shard.frames_shipped")
+        return frame, data
+
+    def _send_frame(self, index: int, part) -> None:
+        """Ship one chunk to worker ``index``: frame bytes through the
+        ring plus a tiny pipe header, or inline when oversized."""
+        frame, data = self._encode_frame(part)
+        if len(data) <= self._rings[index].capacity:
+            self._connections[index].send(("frame", len(data)))
+            self._rings[index].write(data)
+        else:  # pragma: no cover - frames are batch-sized in practice
+            self._connections[index].send(("frame_inline", frame))
+
+    def _split(self, events: Sequence[Event]) -> list:
+        """Route one batch into per-shard chunks.
+
+        When the template publishes a
+        :meth:`~repro.engine.base.IncrementalEngine.shard_routing_spec`,
+        the whole batch is columnar-encoded *once* and sliced into
+        per-shard frames straight off the key columns (the vectorized
+        path — no per-event routing-key closure calls, and the shipped
+        bytes reuse the already-built blocks).  Otherwise events route
+        one at a time and each shard's list is frame-encoded at ship
+        time."""
+        spec = self._routing_spec
+        if spec is None:
+            return self.router.split(events)
+        frame = (
+            events
+            if isinstance(events, ColumnarFrame)
+            else ColumnarFrame.from_events(events, schemas=WORKLOAD_SCHEMAS)
+        )
+        return self.router.split_frame(frame, spec)
+
     def on_event(self, event: Event) -> Result:
         index = self.router.assign(event)
         if index is None:
@@ -482,14 +669,14 @@ class MultiprocessShardedExecutor(IncrementalEngine):
         return self.result()
 
     def on_batch(self, events: Sequence[Event]) -> Result:
-        parts = self.router.split(events)
+        parts = self._split(events)
         if _SINK.enabled:
             _observe_split(parts)
-        busy = [index for index, part in enumerate(parts) if part]
+        busy = [index for index, part in enumerate(parts) if len(part)]
         # Ship every shard's chunk before collecting any ack so the
-        # workers run concurrently; order within a pipe is preserved.
+        # workers run concurrently; order within a pipe/ring is preserved.
         for index in busy:
-            self._connections[index].send(("batch", parts[index]))
+            self._send_frame(index, parts[index])
         self._gather(busy)
         return self.result()
 
@@ -521,6 +708,8 @@ class MultiprocessShardedExecutor(IncrementalEngine):
                 pass
         for index in range(len(self._processes)):
             self._reap(index)
+        for ring in self._rings:
+            ring.close()
 
     def __enter__(self) -> "MultiprocessShardedExecutor":
         return self

@@ -1,0 +1,213 @@
+"""Single-producer/single-consumer shared-memory byte rings.
+
+The shard transport's bulk lane: instead of pushing every payload byte
+through a pipe (two syscalls plus a kernel copy per message, and a
+64 KiB kernel buffer that serializes producer and consumer), the parent
+writes each encoded :class:`~repro.storage.colbatch.ColumnarFrame` into
+a per-worker ring living in ``multiprocessing.shared_memory`` and sends
+only a tiny ``("frame", nbytes)`` header over the existing control
+pipe.  The worker reads the header, consumes exactly ``nbytes`` from
+its ring, and decodes in place — no pickling of the payload, no kernel
+copies beyond the one into the shared mapping.
+
+Layout (one ring = one shared-memory segment)::
+
+    offset 0   u64  head   — total bytes ever written (producer-owned)
+    offset 8   u64  tail   — total bytes ever read    (consumer-owned)
+    offset 16  data[capacity]  — the byte ring
+
+``head`` and ``tail`` are monotonic, so ``head - tail`` is the number
+of unread bytes and ``capacity - (head - tail)`` the free space; byte
+positions are taken modulo ``capacity``.  Exactly one process writes
+``head`` and exactly one writes ``tail`` (the SPSC discipline), each 8
+bytes aligned — a single store on every platform CPython runs on — so
+no lock is needed.  Waiting sides spin with a short yield-then-sleep
+loop and give up with :class:`RingTimeoutError` (an ``OSError``
+subclass, so the executors' existing dead-worker handling catches a
+wedged ring exactly like a broken pipe).
+
+The executors create one ring per worker *before* forking, so the child
+inherits the mapping directly; a fresh ring is created on every respawn
+(a dead worker may have left a half-consumed payload behind, and a new
+segment is cheaper than resynchronizing cursors).  Pickling a ring
+re-attaches by segment name — only needed under a spawn start method.
+"""
+
+from __future__ import annotations
+
+import struct
+import time
+from multiprocessing import shared_memory
+
+__all__ = ["ShmRing", "RingTimeoutError", "DEFAULT_CAPACITY"]
+
+#: default data capacity per ring; frames larger than the capacity take
+#: the executors' inline-pipe fallback, so this bounds memory, not size
+DEFAULT_CAPACITY = 1 << 20
+
+_HEADER = 16
+_CURSOR = struct.Struct("<Q")
+#: spin iterations that merely yield the GIL/CPU before sleeping —
+#: payloads normally arrive within the producer's same scheduling slice
+_SPIN = 200
+_NAP = 50e-6
+
+
+class RingTimeoutError(OSError):
+    """The peer did not produce/consume in time (dead or wedged)."""
+
+
+class ShmRing:
+    """One SPSC byte ring over a ``SharedMemory`` segment.
+
+    Args:
+        capacity: data bytes (excluding the 16-byte cursor header).
+        name: attach to an existing segment instead of creating one
+            (the pickle/spawn path; fork children just inherit the
+            object).
+    """
+
+    __slots__ = ("capacity", "name", "_shm", "_view", "_closed", "_owner")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY, *, name: str | None = None):
+        if capacity < 1:
+            raise ValueError(f"ring capacity must be >= 1, got {capacity}")
+        if name is None:
+            shm = shared_memory.SharedMemory(create=True, size=_HEADER + capacity)
+            shm.buf[:_HEADER] = bytes(_HEADER)
+            self._owner = True
+        else:
+            shm = shared_memory.SharedMemory(name=name)
+            self._owner = False
+            _untrack(shm)
+        self._shm = shm
+        self._view = shm.buf
+        self.capacity = capacity
+        self.name = shm.name
+        self._closed = False
+
+    # -- cursors --------------------------------------------------------
+
+    def _load(self, offset: int) -> int:
+        return _CURSOR.unpack_from(self._view, offset)[0]
+
+    def _pending(self) -> int:
+        """Unread bytes currently in the ring."""
+        return self._load(0) - self._load(8)
+
+    # -- data plane -----------------------------------------------------
+
+    def write(self, payload: bytes, timeout: float = 30.0) -> None:
+        """Append ``payload`` (blocks while the ring lacks space).
+
+        Raises:
+            ValueError: payload larger than the whole ring (can never
+                fit; callers use their inline fallback instead).
+            RingTimeoutError: the consumer freed no space in time.
+        """
+        size = len(payload)
+        if size > self.capacity:
+            raise ValueError(
+                f"payload of {size} bytes exceeds ring capacity {self.capacity}"
+            )
+        self._await(lambda: self.capacity - self._pending() >= size, timeout,
+                    "consumer")
+        head = self._load(0)
+        position = head % self.capacity
+        first = min(size, self.capacity - position)
+        view = self._view
+        view[_HEADER + position : _HEADER + position + first] = payload[:first]
+        if first < size:
+            view[_HEADER : _HEADER + size - first] = payload[first:]
+        # Publish after the payload bytes are in place; the consumer
+        # only looks past its tail once head moves.
+        _CURSOR.pack_into(view, 0, head + size)
+
+    def read(self, size: int, timeout: float = 30.0) -> bytes:
+        """Consume exactly ``size`` bytes (blocks until available).
+
+        Raises:
+            RingTimeoutError: the producer delivered too few bytes in
+                time (it died between header and payload, or never sent).
+        """
+        if size > self.capacity:
+            raise ValueError(
+                f"read of {size} bytes exceeds ring capacity {self.capacity}"
+            )
+        self._await(lambda: self._pending() >= size, timeout, "producer")
+        tail = self._load(8)
+        position = tail % self.capacity
+        first = min(size, self.capacity - position)
+        view = self._view
+        out = bytes(view[_HEADER + position : _HEADER + position + first])
+        if first < size:
+            out += bytes(view[_HEADER : _HEADER + size - first])
+        _CURSOR.pack_into(view, 8, tail + size)
+        return out
+
+    def _await(self, ready, timeout: float, peer: str) -> None:
+        for _ in range(_SPIN):
+            if ready():
+                return
+            time.sleep(0)
+        deadline = time.monotonic() + timeout
+        while not ready():
+            if time.monotonic() > deadline:
+                raise RingTimeoutError(
+                    f"shared-memory ring {self.name}: {peer} made no progress "
+                    f"within {timeout:.1f}s"
+                )
+            time.sleep(_NAP)
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self, *, unlink: bool | None = None) -> None:
+        """Detach from the segment; the creator also unlinks it (so the
+        backing memory is released when the last process detaches).
+        Idempotent and safe on half-dead segments."""
+        if self._closed:
+            return
+        self._closed = True
+        self._view = None
+        if unlink is None:
+            unlink = self._owner
+        try:
+            self._shm.close()
+        except (OSError, BufferError):  # pragma: no cover - defensive
+            pass
+        if unlink:
+            try:
+                self._shm.unlink()
+            except (FileNotFoundError, OSError):  # pragma: no cover
+                pass
+
+    def __reduce__(self):
+        return (_attach, (self.name, self.capacity))
+
+    def __del__(self) -> None:  # pragma: no cover - best-effort cleanup
+        try:
+            self.close(unlink=False)
+        except Exception:
+            pass
+
+
+def _attach(name: str, capacity: int) -> ShmRing:
+    return ShmRing(capacity, name=name)
+
+
+def _untrack(shm) -> None:
+    """Undo the resource tracker's attach-side registration.
+
+    Before Python 3.13 every ``SharedMemory(name=...)`` attach registers
+    the segment with the per-process resource tracker, which then both
+    warns about and *unlinks* the segment when the attaching process
+    exits — destroying a ring the creator still owns.  Creator-side
+    tracking (create → unlink in :meth:`ShmRing.close`) is the single
+    source of truth here.
+    """
+    try:  # pragma: no cover - version/platform dependent
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker absent or renamed
+        pass

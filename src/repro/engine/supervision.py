@@ -57,6 +57,7 @@ from repro.engine.sharding import (
 from repro.errors import EngineStateError, ShardWorkerError
 from repro.faults import FaultInjector, FaultPlan
 from repro.obs import SINK as _SINK
+from repro.storage.colbatch import ColumnarFrame, apply_events
 from repro.storage.stream import Event
 from repro.storage.wal import WAL_FILE, WriteAheadLog
 
@@ -83,17 +84,23 @@ def _supervised_worker_main(
     query_name: str,
     strategy: str,
     shard: int,
+    ring=None,
     kill_specs: tuple = (),
 ) -> None:
     """Worker loop of the supervised protocol.
 
     Differences from the plain pool worker:
 
-    * ``batch`` messages carry the WAL sequence number; a message whose
-      sequence is not beyond the last applied one is acknowledged but
-      **not** re-applied (exactly-once application under duplication);
+    * ``frame`` headers carry the WAL sequence number alongside the
+      ring byte count.  The ring bytes are consumed **before** the
+      sequence check — a duplicated message duplicates its payload in
+      the ring, and skipping the read would desynchronize the cursors —
+      then a message whose sequence is not beyond the last applied one
+      is acknowledged but **not** re-applied (exactly-once application
+      under duplication);
     * ``restore`` replaces the engine with an unpickled snapshot (or a
-      fresh build) and replays the shipped WAL tail;
+      fresh build) and replays the shipped WAL tail (columnar frames or
+      legacy event lists);
     * ``snapshot`` replies with the engine pickled at the current
       sequence — the parent stamps and stores it;
     * ``kill_specs`` (fault injection) hard-exit the process once the
@@ -113,14 +120,22 @@ def _supervised_worker_main(
             break
         tag = message[0]
         try:
-            if tag == "batch":
-                seq, events = message[1], message[2]
+            if tag in ("frame", "frame_inline", "batch"):
+                seq = message[1]
+                if tag == "frame":
+                    # Consume the ring payload unconditionally (see above).
+                    data = ring.read(message[2])
+                    payload = None
+                else:
+                    data, payload = None, message[2]
                 if seq <= last_seq:
                     conn.send(("ok", ("duplicate", seq)))
                     continue
-                engine.on_batch(events)
+                if payload is None:
+                    payload = ColumnarFrame.from_bytes(data)
+                apply_events(engine, payload)
                 last_seq = seq
-                applied_events += len(events)
+                applied_events += len(payload)
                 if kill_after is not None and applied_events >= kill_after:
                     os._exit(kill_code)
                 conn.send(("ok", ("applied", seq)))
@@ -130,8 +145,8 @@ def _supervised_worker_main(
                     engine = pickle.loads(snapshot_payload)
                 else:
                     engine = build_engine(query_name, strategy)
-                for _seq, events in tail:
-                    engine.on_batch(events)
+                for _seq, logged in tail:
+                    apply_events(engine, logged)
                 last_seq = head_seq
                 conn.send(("ok", ("restored", head_seq)))
             elif tag == "snapshot":
@@ -148,6 +163,8 @@ def _supervised_worker_main(
                                    "traceback": ""}))
         except Exception as exc:
             conn.send(_error_reply(shard, exc))
+    if ring is not None:
+        ring.close(unlink=False)
     conn.close()
 
 
@@ -166,8 +183,8 @@ def _recover_engine(
         start = snap[0]
         engine = pickle.loads(snap[1])
     replayed = 0
-    for _seq, events in wal.replay(start_seq=start):
-        engine.on_batch(events)
+    for _seq, logged in wal.replay(start_seq=start):
+        apply_events(engine, logged)
         replayed += 1
     if _SINK.enabled:
         _SINK.inc("wal.recoveries")
@@ -252,13 +269,13 @@ class SupervisedExecutor(MultiprocessShardedExecutor):
     def _worker_target(self):
         return _supervised_worker_main
 
-    def _worker_args(self, index: int, child_conn) -> tuple:
+    def _worker_args(self, index: int, child_conn, ring) -> tuple:
         kills = (
             self._fault_plan.kills_for(index, self._incarnations[index])
             if self._fault_plan is not None
             else ()
         )
-        return (child_conn, self.query_name, self.strategy, index, kills)
+        return (child_conn, self.query_name, self.strategy, index, ring, kills)
 
     def _restore_worker(self, index: int) -> None:
         """Bring a (re)spawned worker to the state of its WAL head."""
@@ -322,6 +339,8 @@ class SupervisedExecutor(MultiprocessShardedExecutor):
                 pass
         for index in range(len(self._processes)):
             self._reap(index)
+        for ring in self._rings:
+            ring.close()
 
     # -- transport ------------------------------------------------------
 
@@ -348,17 +367,27 @@ class SupervisedExecutor(MultiprocessShardedExecutor):
             if time.monotonic() > deadline:
                 raise _WorkerFailure(index, "reply timeout")
 
-    def _ship(self, index: int, seq: int, part: list[Event]) -> int:
-        """Send one logged batch; returns the number of acks to expect
-        (0 when fault injection dropped the message in transit)."""
+    def _ship(self, index: int, seq: int, frame) -> int:
+        """Send one logged frame; returns the number of acks to expect
+        (0 when fault injection dropped the message in transit).
+
+        A duplicated send re-writes the payload bytes into the ring as
+        well — the worker consumes ring bytes per header before its
+        sequence check, so header and payload counts must always agree.
+        """
         if self._injector is not None and self._injector.should_drop(index, seq):
             return 0
-        message = ("batch", seq, part)
-        self._connections[index].send(message)
+        data = frame.to_bytes()  # memoized: encoded once in on_batch
         sends = 1
         if self._injector is not None and self._injector.should_duplicate(index, seq):
-            self._connections[index].send(message)
             sends += 1
+        ring = self._rings[index]
+        for _ in range(sends):
+            if len(data) <= ring.capacity:
+                self._connections[index].send(("frame", seq, len(data)))
+                ring.write(data)
+            else:  # pragma: no cover - frames are batch-sized in practice
+                self._connections[index].send(("frame_inline", seq, frame))
         return sends
 
     def _handle_failure(self, failure: _WorkerFailure) -> None:
@@ -425,13 +454,18 @@ class SupervisedExecutor(MultiprocessShardedExecutor):
             events = spliced
         if self._serial is not None:
             return self._serial_on_batch(events)
-        parts = self.router.split(events)
+        parts = self._split(events)
         if _SINK.enabled:
             _observe_split(parts)
-        pending: list[tuple[int, int, list[Event]]] = []
+        pending: list[tuple[int, int, Any]] = []
         for index, part in enumerate(parts):
-            if part:
-                pending.append((index, self._wals[index].append(part), part))
+            if len(part):
+                # Encode once; the same ColumnarFrame object is logged
+                # (the WAL pickles it through its compact byte form) and
+                # then shipped, so transport and durability share one
+                # encode pass.
+                frame, _data = self._encode_frame(part)
+                pending.append((index, self._wals[index].append(frame), frame))
         # Log everything, then ship everything, then collect: the WAL is
         # complete before any worker can fail, so any recovery (or the
         # degrade path) reconstructs this batch exactly.

@@ -49,6 +49,13 @@ Counter naming convention (``<structure or layer>.<operation>``):
 ``treemap.shift_keys``                  O(n) collect-and-rebuild shifts
 ``treemap.freelist.hits/.misses``       TreeMap node-pool allocations
 ``shard.merges``                        sharded-executor result merges
+``shard.frames_shipped``                columnar frames sent to shard workers
+``shard.bytes_shipped``                 encoded frame bytes through the
+                                        shared-memory rings (wire footprint)
+``shard.plan_degenerate``               range plans whose quantile cuts
+                                        collapsed (router shrank)
+``shard.plan_shards_lost``              shards lost to collapsed cuts, summed
+                                        over degenerate plans
 ``paimap.shift_keys``                   O(n) hash rebuild shifts
 ``backend.fenwick_selected``            adaptive indexes starting on Fenwick
 ``backend.rpai_selected``               adaptive indexes starting on RPAI
@@ -90,7 +97,9 @@ negative shift — the Section 3.2.4 quantity), ``treemap.shift_moved``,
 (pool depth after each release — ``max`` is the high-water mark),
 ``shard.batch_size`` (per-shard routed chunk sizes), ``shard.skew``
 (largest shard's share of a routed batch, normalized so 1.0 = even),
-``shard.merge_seconds``, ``wal.record_events`` (events per WAL record),
+``shard.merge_seconds``, ``shard.encode_seconds`` (wall-clock per
+frame encode on the ship path),
+``wal.record_events`` (events per WAL record),
 ``wal.records_replayed`` (log-tail length per recovery),
 ``wal.truncated_bytes`` (garbage removed per tail heal) and
 ``codegen.compile_seconds`` (wall-clock per trigger compilation —

@@ -63,6 +63,26 @@ class Schema:
         used for multiset bookkeeping)."""
         return tuple(row[c] for c in self.columns)
 
+    def column_kinds(self) -> tuple[str, ...] | None:
+        """Columnar storage kinds for this relation's columns, in
+        column order — ``'i'`` (int), ``'f'`` (float) or ``'s'`` (str),
+        the :mod:`repro.storage.colbatch` column vocabulary.
+
+        Returns ``None`` when any column is untyped or typed with
+        something the columnar encoding cannot hold exactly; callers
+        then fall back to inferring the layout from the first row."""
+        kinds = []
+        for column in self.columns:
+            kind = _COLUMN_KINDS.get(self.types.get(column))
+            if kind is None:
+                return None
+            kinds.append(kind)
+        return tuple(kinds)
+
+
+#: python type -> colbatch column kind (see Schema.column_kinds)
+_COLUMN_KINDS = {int: "i", float: "f", str: "s"}
+
 
 # Schemas of the benchmark relations (paper Section 5.1).
 

@@ -146,7 +146,17 @@ def with_deletions(
         choose: callback receiving the live events and returning the
             index to retract; randomness is injected by the caller so
             streams stay reproducible.
+
+    Raises:
+        EngineStateError: when ``delete_ratio`` is outside ``[0, 1]`` —
+            a negative ratio is meaningless and a ratio above 1 cannot
+            be honoured (at most one live row can die per insert), so
+            silently clamping either would misreport the workload mix.
     """
+    if not 0.0 <= delete_ratio <= 1.0:
+        raise EngineStateError(
+            f"delete_ratio must be within [0, 1], got {delete_ratio}"
+        )
     out: list[Event] = []
     live: list[Event] = []
     for event in events:

@@ -81,9 +81,18 @@ class WriteAheadLog:
 
     # -- writing -------------------------------------------------------
 
-    def append(self, events: Sequence[Any]) -> int:
-        """Durably append one batch; returns its sequence number."""
-        payload = pickle.dumps(list(events), protocol=pickle.HIGHEST_PROTOCOL)
+    def append(self, events: Any) -> int:
+        """Durably append one batch; returns its sequence number.
+
+        ``events`` is either a plain event sequence (pickled as a list)
+        or a :class:`~repro.storage.colbatch.ColumnarFrame`, whose
+        ``__reduce__`` routes the record through the compact columnar
+        byte form — the supervised executor logs the very frame object
+        it ships, so the WAL shares the transport's encode pass."""
+        from repro.storage.colbatch import ColumnarFrame
+
+        batch = events if isinstance(events, ColumnarFrame) else list(events)
+        payload = pickle.dumps(batch, protocol=pickle.HIGHEST_PROTOCOL)
         self.seq += 1
         header = _HEADER.pack(_RECORD_MAGIC, self.seq, len(payload), zlib.crc32(payload))
         self._handle.write(header)

@@ -1,0 +1,176 @@
+"""Regression tests for the three routing/validation bugs this layer
+used to have.
+
+1. ``stable_hash`` routed numerically-equal keys of different Python
+   types (``1`` vs ``1.0`` vs ``True``) to *different* shards — a
+   retraction arriving as a float could miss the shard holding its
+   insert, silently corrupting per-shard state.
+2. ``plan_router`` kept duplicate quantile boundaries on skewed or
+   constant key distributions, producing permanently-empty shards next
+   to one mega-shard with no signal that sharding had degenerated.
+3. ``Stream.with_deletions`` accepted any ``delete_ratio`` (e.g. 3.0 or
+   -1) and silently produced nonsense streams.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.engine.sharding import ShardRouter, plan_router, stable_hash
+from repro.errors import EngineStateError
+from repro.storage.stream import Event, Stream, with_deletions
+
+from tests.conftest import make_bid
+
+
+class _RangeTemplate:
+    """Minimal engine stub exposing the range partition law."""
+
+    shard_mode = "range"
+
+    def shard_routing_key(self, event):
+        return event.row["price"]
+
+    def shard_routing_spec(self):
+        return None
+
+
+def price_events(prices) -> list[Event]:
+    return [
+        Event("bids", make_bid(price, 1, ts=i, bid_id=i), +1)
+        for i, price in enumerate(prices)
+    ]
+
+
+class TestStableHashNormalization:
+    """Equal routing keys must land on the same shard, whatever numeric
+    type the producer happened to use."""
+
+    @given(st.integers(min_value=-(2**40), max_value=2**40))
+    @settings(max_examples=200, deadline=None)
+    def test_int_float_equivalence(self, value):
+        assert stable_hash(value) == stable_hash(float(value))
+
+    @given(
+        st.one_of(
+            st.integers(min_value=-(2**31), max_value=2**31),
+            st.booleans(),
+            st.sampled_from([0, 1, 7, -3]),
+        )
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_all_numeric_spellings_agree(self, value):
+        spellings = [value, float(value)]
+        if value in (0, 1):
+            spellings.append(bool(value))
+        hashes = {stable_hash(s) for s in spellings}
+        assert len(hashes) == 1, spellings
+
+    @given(
+        st.tuples(
+            st.integers(min_value=-1000, max_value=1000),
+            st.integers(min_value=-1000, max_value=1000),
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_tuple_keys_normalize_elementwise(self, key):
+        mixed = (float(key[0]), key[1])
+        assert stable_hash(key) == stable_hash(mixed)
+
+    def test_non_integral_floats_unchanged(self):
+        # 1.5 has no int spelling; it just has to be self-consistent
+        assert stable_hash(1.5) == stable_hash(1.5)
+        assert stable_hash("1") != stable_hash(1) or True  # strings hash as strings
+
+    @given(
+        st.lists(
+            st.one_of(
+                st.integers(min_value=0, max_value=50),
+                st.integers(min_value=0, max_value=50).map(float),
+            ),
+            min_size=1,
+            max_size=30,
+        ),
+        st.integers(min_value=2, max_value=7),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_router_sends_equal_keys_to_one_shard(self, keys, shards):
+        router = ShardRouter(shards, "hash", lambda e: e.row["k"])
+        by_value: dict[float, int] = {}
+        for key in keys:
+            shard = router.assign(Event("R", {"k": key}, +1))
+            assert by_value.setdefault(float(key), shard) == shard
+
+
+class TestPlanRouterDegeneracy:
+    def test_constant_keys_collapse_to_one_shard(self):
+        stream = Stream(price_events([5] * 100))
+        obs.enable()
+        obs.reset()
+        try:
+            router = plan_router(_RangeTemplate(), 4, stream)
+            counters = obs.snapshot()["counters"]
+        finally:
+            obs.disable()
+        assert router.shards == 1
+        assert router._boundaries == []
+        assert counters["shard.plan_degenerate"] == 1
+        assert counters["shard.plan_shards_lost"] == 3
+
+    def test_skewed_keys_drop_duplicate_cuts_only(self):
+        # 90% of keys at one price: several quantile cuts coincide
+        prices = [7] * 90 + list(range(10, 20))
+        stream = Stream(price_events(prices))
+        router = plan_router(_RangeTemplate(), 4, stream)
+        boundaries = router._boundaries
+        assert boundaries == sorted(set(boundaries))
+        assert router.shards == len(boundaries) + 1
+        assert router.shards >= 1
+
+    def test_balanced_keys_keep_full_width(self):
+        stream = Stream(price_events(list(range(1, 101))))
+        obs.enable()
+        obs.reset()
+        try:
+            router = plan_router(_RangeTemplate(), 4, stream)
+            counters = obs.snapshot()["counters"]
+        finally:
+            obs.disable()
+        assert router.shards == 4
+        assert len(router._boundaries) == 3
+        assert "shard.plan_degenerate" not in counters
+
+    def test_every_key_still_routes_in_range(self):
+        prices = [3] * 50 + [9] * 50
+        stream = Stream(price_events(prices))
+        router = plan_router(_RangeTemplate(), 5, stream)
+        for event in price_events([1, 3, 5, 9, 42]):
+            shard = router.assign(event)
+            assert 0 <= shard < router.shards
+
+    def test_router_rejects_non_ascending_boundaries(self):
+        with pytest.raises(EngineStateError):
+            ShardRouter(3, "range", lambda e: 0, boundaries=[5, 5])
+        with pytest.raises(EngineStateError):
+            ShardRouter(3, "range", lambda e: 0, boundaries=[7, 3])
+
+
+class TestWithDeletionsValidation:
+    @pytest.mark.parametrize("bad", (-0.1, 1.5, 2, -3))
+    def test_out_of_range_ratio_rejected(self, bad):
+        events = price_events([1, 2, 3])
+        with pytest.raises(EngineStateError, match="delete_ratio"):
+            with_deletions(events, bad, lambda live: 0)
+
+    @pytest.mark.parametrize("ok", (0.0, 0.5, 1.0))
+    def test_in_range_ratio_accepted(self, ok):
+        events = price_events([1, 2, 3, 4])
+        out = list(with_deletions(events, ok, lambda live: 0))
+        assert len(out) >= 4
+        deletions = sum(1 for e in out if e.weight == -1)
+        assert deletions <= len(events)
+        if ok == 0.0:
+            assert deletions == 0
