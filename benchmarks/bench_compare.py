@@ -133,8 +133,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--out",
         type=Path,
-        default=REPO_ROOT / "BENCH_batching.candidate.json",
-        help="where to write the fresh report",
+        default=REPO_ROOT / "benchmarks" / "results" / "BENCH_batching.candidate.json",
+        help="where to write the fresh report (candidates live under "
+        "benchmarks/results/, which is gitignored — only the committed "
+        "full-scale BENCH_*.json artifacts belong at the repo root)",
     )
     parser.add_argument(
         "--tolerance",
@@ -182,6 +184,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"[bench-compare] no baseline at {args.baseline}; nothing to gate")
         return 0
 
+    args.out.parent.mkdir(parents=True, exist_ok=True)
     bench_args = ["--out", str(args.out)]
     if not args.full:
         bench_args.append("--smoke")

@@ -127,27 +127,70 @@ def _apply_codegen_flag(args: argparse.Namespace) -> None:
         os.environ["REPRO_CODEGEN"] = "0"
 
 
+def _source_section(source: str, trigger: str) -> str | None:
+    """The top-level ``def <trigger>(`` block of a generated source, or
+    None when the emitter did not define that trigger."""
+    lines = source.splitlines()
+    start = None
+    for index, line in enumerate(lines):
+        if line.startswith(f"def {trigger}("):
+            start = index
+            break
+    if start is None:
+        return None
+    end = len(lines)
+    for index in range(start + 1, len(lines)):
+        if lines[index].startswith("def "):
+            end = index
+            break
+    return "\n".join(lines[start:end]).rstrip() + "\n"
+
+
 def cmd_codegen(args: argparse.Namespace) -> int:
     from repro.query import codegen
 
     codegen.set_codegen(True)
-    engine = build_engine(args.query, args.engine)
+    if args.query is None:
+        # Support table: one row per registry query under the chosen
+        # strategy — which class serves it and whether codegen covers it.
+        rows = []
+        for name in query_names():
+            engine = build_engine(name, args.engine)
+            key = getattr(engine, "_codegen_key", None)
+            if key is not None:
+                trigger, detail = "compiled", f"backend {key[-1]!r}"
+            else:
+                trigger = "n/a"
+                detail = "no specialized-trigger emitter for this engine class"
+            rows.append([name, type(engine).__name__, trigger, detail])
+        print(format_table(["query", "engine", "trigger", "detail"], rows))
+        return 0
+    name = args.query.upper()
+    if name not in query_names():
+        print(f"unknown query {args.query!r}; choose from {', '.join(query_names())}")
+        return 2
+    engine = build_engine(name, args.engine)
     source = codegen.generated_source(engine)
-    print(f"query    : {args.query.upper()}")
+    print(f"query    : {name}")
     print(f"engine   : {type(engine).__name__} ({engine.name})")
     key = getattr(engine, "_codegen_key", None)
     if source is None:
-        reason = getattr(
-            type(engine),
-            "codegen_unsupported_reason",
-            "no specialized-trigger emitter for this engine class",
-        )
         print("trigger  : interpreted")
-        print(f"reason   : {reason}")
+        print("reason   : no specialized-trigger emitter for this engine class")
         return 0
     print(f"trigger  : compiled (cache key backend {key[-1]!r})")
     print()
-    print(source)
+    if args.flavor == "all":
+        print(source)
+        return 0
+    section = _source_section(source, f"on_{args.flavor}")
+    if section is None:
+        print(
+            f"(no generated on_{args.flavor}: this engine inherits the "
+            f"base-class default, which dispatches to the compiled triggers)"
+        )
+        return 0
+    print(section)
     return 0
 
 
@@ -472,10 +515,18 @@ def main(argv: list[str] | None = None) -> int:
     p_classify.add_argument("sql", help="SQL text or path to a .sql file")
 
     p_codegen = sub.add_parser(
-        "codegen", help="print the generated trigger source for a query"
+        "codegen",
+        help="print the generated trigger source for a query, or the "
+        "per-query codegen support table when no query is given",
     )
-    p_codegen.add_argument("query", choices=[n for n in query_names()] + [n.lower() for n in query_names()])
+    p_codegen.add_argument("query", nargs="?", default=None)
     p_codegen.add_argument("--engine", default="rpai", choices=STRATEGIES)
+    p_codegen.add_argument(
+        "--flavor",
+        default="all",
+        choices=("event", "batch", "frame", "all"),
+        help="dump only the generated on_<flavor> trigger",
+    )
 
     p_run = sub.add_parser("run", help="run one engine over a synthetic stream")
     p_run.add_argument("query", choices=[n for n in query_names()] + [n.lower() for n in query_names()])

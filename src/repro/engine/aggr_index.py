@@ -41,7 +41,6 @@ from repro.core.rpai import RPAITree
 from repro.obs import SINK as _SINK
 from repro.engine.base import IncrementalEngine, Result
 from repro.engine.general import (
-    _compile_col_expr,
     _compile_row_expr,
     _peel_constant_scale,
 )
@@ -174,19 +173,9 @@ class _ResultAggregate:
         self.arg = (
             _compile_row_expr(call.arg, alias) if call.arg is not None else None
         )
-        self.arg_col = (
-            _compile_col_expr(call.arg, alias) if call.arg is not None else None
-        )
 
     def contribution(self, row: Row) -> float:
         return self.arg(row) if self.arg is not None else 1
-
-    def contributions(self, block: Any) -> list:
-        """Per-row result contributions of one column block — element
-        ``i`` equals ``contribution(row_i)`` exactly."""
-        if self.arg_col is None:
-            return [1] * len(block)
-        return self.arg_col(block)
 
 
 def _index_engine_state(engine) -> dict:
@@ -292,11 +281,6 @@ class PointIndexEngine(IncrementalEngine):
             if spec.inner_arg is not None
             else None
         )
-        self._inner_arg_col = (
-            _compile_col_expr(spec.inner_arg, inner_alias)
-            if spec.inner_arg is not None
-            else None
-        )
         # Group key columns: one per correlation equality (Section 4.3
         # allows "multiple conjunctive equality predicates").
         self._group_cols = tuple(
@@ -378,62 +362,11 @@ class PointIndexEngine(IncrementalEngine):
             self._apply_group(group, inner_delta, res_delta)
         return self.result()
 
-    def _net_block(self, block, net: dict) -> None:
-        """Accumulate one main-relation column block into the per-group
-        net dict straight off the typed columns — same values and same
-        accumulation order as the event loop in :meth:`on_batch`."""
-        if len(self._group_cols) == 1:
-            groups = block.column(self._group_cols[0])
-        else:
-            groups = list(zip(*(block.column(c) for c in self._group_cols)))
-        inners = (
-            self._inner_arg_col(block)
-            if self._inner_arg_col is not None
-            else None
-        )
-        results = self._result_agg.contributions(block)
-        weights = block.weights
-        for i, group in enumerate(groups):
-            x = weights[i]
-            inner_delta = (inners[i] if inners is not None else 1) * x
-            res_delta = results[i] * x
-            entry = net.get(group)
-            if entry is None:
-                net[group] = [inner_delta, res_delta]
-            else:
-                entry[0] += inner_delta
-                entry[1] += res_delta
-
-    def on_frame(self, frame) -> Result:
-        """Columnar trigger: coalesce net deltas per group with column
-        ops — no per-event row dicts are materialized.  Bit-identical
-        to ``on_batch(frame.events())``: a frame holds at most one
-        block per relation in first-seen order and only main-relation
-        events create net entries, so the net dict's insertion order
-        matches the event loop's; each fixed-side scalar folds its own
-        relation's rows in block order, which is exactly its per-event
-        update sequence."""
-        if frame.fallback or self._quarantine is not None:
-            return self.on_batch(frame.events())
-        net: dict[Any, list[float]] = {}
-        fixed_updates: list[tuple] = []
-        try:
-            for block in frame.blocks:
-                fixed_updates.extend(self._fixed.column_updates(block))
-                if block.relation == self.relation:
-                    self._net_block(block, net)
-        except (KeyError, TypeError):
-            # A block does not fit the compiled column shapes (missing
-            # column, incompatible value type).  Nothing has mutated
-            # yet, so the per-row event path governs.
-            return self.on_batch(frame.events())
-        for scalar, values, weights in fixed_updates:
-            scalar.apply_columns(values, weights)
-        for group, (inner_delta, res_delta) in net.items():
-            if inner_delta == 0 and res_delta == 0:
-                continue
-            self._apply_group(group, inner_delta, res_delta)
-        return self.result()
+    # The columnar netting fast path for frames is *generated*, not
+    # hand-written: repro.query.codegen emits an ``on_frame`` alongside
+    # the compiled event/batch triggers (same bail-before-mutate
+    # guards).  Interpreted engines fall back to the base class's
+    # decode-to-on_batch default.
 
     def warm_start(self, stream) -> Result:
         """Initial load via ``bulk_load``: aggregate the whole stream
@@ -559,11 +492,6 @@ class RangeIndexEngine(IncrementalEngine):
             if spec.inner_arg is not None
             else None
         )
-        self._inner_arg_col = (
-            _compile_col_expr(spec.inner_arg, inner_alias)
-            if spec.inner_arg is not None
-            else None
-        )
         self._key_col = spec.outer_col.column
 
         # Normalize the inner inequality to "ascending key" form: for
@@ -668,53 +596,8 @@ class RangeIndexEngine(IncrementalEngine):
             self._apply_outer(key, volume, res_delta)
         return self.result()
 
-    def _net_block(self, block, net: dict) -> None:
-        """Accumulate one main-relation column block into the per-key
-        net dict straight off the typed columns — same values and same
-        accumulation order as the event loop in :meth:`on_batch`."""
-        keys = block.column(self._key_col)
-        if self._key_sign != 1:
-            keys = [self._key_sign * key for key in keys]
-        volumes = (
-            self._inner_arg_col(block)
-            if self._inner_arg_col is not None
-            else None
-        )
-        results = self._result_agg.contributions(block)
-        weights = block.weights
-        for i, key in enumerate(keys):
-            x = weights[i]
-            volume = (volumes[i] if volumes is not None else 1) * x
-            res_delta = results[i] * x
-            entry = net.get(key)
-            if entry is None:
-                net[key] = [volume, res_delta]
-            else:
-                entry[0] += volume
-                entry[1] += res_delta
-
-    def on_frame(self, frame) -> Result:
-        """Columnar trigger — the range-engine twin of
-        :meth:`PointIndexEngine.on_frame`; see there for why this is
-        bit-identical to ``on_batch(frame.events())``."""
-        if frame.fallback or self._quarantine is not None:
-            return self.on_batch(frame.events())
-        net: dict[float, list[float]] = {}
-        fixed_updates: list[tuple] = []
-        try:
-            for block in frame.blocks:
-                fixed_updates.extend(self._fixed.column_updates(block))
-                if block.relation == self.relation:
-                    self._net_block(block, net)
-        except (KeyError, TypeError):
-            return self.on_batch(frame.events())
-        for scalar, values, weights in fixed_updates:
-            scalar.apply_columns(values, weights)
-        for key, (volume, res_delta) in net.items():
-            if volume == 0 and res_delta == 0:
-                continue
-            self._apply_outer(key, volume, res_delta)
-        return self.result()
+    # Columnar frames: the netting fast path is generated by
+    # repro.query.codegen (see the note on PointIndexEngine).
 
     def warm_start(self, stream) -> Result:
         """Initial load via ``bulk_load``: one offline pass aggregates
@@ -828,16 +711,6 @@ class GroupedRangeIndexEngine(IncrementalEngine):
     """
 
     name = "rpai"
-
-    #: Why :mod:`repro.query.codegen` has no emitter for this engine
-    #: (surfaced by ``repro codegen <query>``): every update fans out
-    #: over the live per-group indexes, so the trigger body is a loop
-    #: over runtime state, not a fixed sequence of index operations.
-    codegen_unsupported_reason = (
-        "grouped range plans fan every update out over the live "
-        "per-group indexes; the trigger body depends on runtime group "
-        "membership"
-    )
 
     def __init__(
         self, plan: QueryPlan, index_cls: Type = RPAITree, name: str | None = None

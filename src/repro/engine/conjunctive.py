@@ -118,17 +118,6 @@ class ConjunctiveIndexEngine(IncrementalEngine):
 
     name = "rpai"
 
-    #: Why :mod:`repro.query.codegen` has no emitter for this engine
-    #: (surfaced by ``repro codegen <query>``): the cross-relation term
-    #: decomposition re-evaluates every term against all per-relation
-    #: factor sums, so there is no single-relation trigger body to
-    #: monomorphize — the interpreted loop *is* the algorithm.
-    codegen_unsupported_reason = (
-        "multi-relation conjunctive plans re-combine per-relation factor "
-        "sums across all terms; no single-relation trigger body to "
-        "specialize"
-    )
-
     def __init__(self, plan: QueryPlan, index_cls: type = RPAITree) -> None:
         if plan.strategy is not Strategy.RPAI_CONJUNCTIVE:
             raise UnsupportedQueryError(
@@ -251,6 +240,11 @@ class ConjunctiveIndexEngine(IncrementalEngine):
             self._scalars[sub].aggregate = aggregate
         if "quarantine" in state:
             self._quarantine = state["quarantine"]
+        # Compiled triggers bind the side structures as globals, so
+        # re-specialize only after the restored sides are in place.
+        from repro.query import codegen
+
+        codegen.maybe_specialize(self)
 
     # -- trigger ------------------------------------------------------------------
 

@@ -144,6 +144,17 @@ class NQ1RpaiEngine(IncrementalEngine):
         floor_key = math.floor(lhs) * _M + (_M - 1)
         return self.aggr.total_sum() - self.aggr.get_sum(floor_key)
 
+    def __getstate__(self) -> dict:
+        from repro.query import codegen_runtime
+
+        return codegen_runtime.picklable_state(self)
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        from repro.query import codegen
+
+        codegen.maybe_specialize(self)
+
 
 class NQ2RpaiEngine(IncrementalEngine):
     """General algorithm at the outer level: O(n log n) per update."""
@@ -188,3 +199,14 @@ class NQ2RpaiEngine(IncrementalEngine):
 
     def result(self) -> Result:
         return self._result
+
+    def __getstate__(self) -> dict:
+        from repro.query import codegen_runtime
+
+        return codegen_runtime.picklable_state(self)
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        from repro.query import codegen
+
+        codegen.maybe_specialize(self)

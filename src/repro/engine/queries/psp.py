@@ -68,3 +68,14 @@ class PSPRpaiEngine(IncrementalEngine):
         bid_sum, bid_count = self.sides["bids"].qualifying()
         # SUM(a.price - b.price) over qualifying pairs.
         return bid_count * ask_sum - ask_count * bid_sum
+
+    def __getstate__(self) -> dict:
+        from repro.query import codegen_runtime
+
+        return codegen_runtime.picklable_state(self)
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        from repro.query import codegen
+
+        codegen.maybe_specialize(self)

@@ -123,6 +123,17 @@ class Q17RpaiEngine(IncrementalEngine):
     def result(self) -> Result:
         return self._total / 7.0
 
+    def __getstate__(self) -> dict:
+        from repro.query import codegen_runtime
+
+        return codegen_runtime.picklable_state(self)
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        from repro.query import codegen
+
+        codegen.maybe_specialize(self)
+
     # -- sharded execution: equality correlation on partkey --
     # Both relations carry partkey, so hash partitioning puts every
     # tuple of a part (and the part row itself) on one replica; each
@@ -225,6 +236,17 @@ class Q18RpaiEngine(IncrementalEngine):
 
     def result(self) -> Result:
         return dict(self._result)
+
+    def __getstate__(self) -> dict:
+        from repro.query import codegen_runtime
+
+        return codegen_runtime.picklable_state(self)
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        from repro.query import codegen
+
+        codegen.maybe_specialize(self)
 
     # -- sharded execution: hash on orderkey, broadcast customers --
     # Lineitems and orders join on orderkey, so partitioning both by

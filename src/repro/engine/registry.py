@@ -9,10 +9,13 @@ benchmark query can be run under three execution strategies —
 * ``"rpai"`` — our fully incremental engines (Sections 2.1.3/2.2.3, 4).
 
 For queries whose shape the generic compilers cover (EQ, VWAP via the
-planner; SQ1/SQ2 via the general algorithm) the ``rpai`` engine is
-*compiled from the AST*; the remaining queries (MST, PSP, NQ1, NQ2,
-Q17, Q18) use the specialized trigger implementations, exactly as the
-paper's prototype generates specialized triggers per query.
+planner; SQ1/SQ2 via the general algorithm; MST via the conjunctive
+decomposition) the ``rpai`` engine is *compiled from the AST*; the
+remaining queries (PSP, NQ1, NQ2, Q17, Q18) use the specialized
+trigger implementations, exactly as the paper's prototype generates
+specialized triggers per query.  In both cases the codegen stage then
+installs per-query compiled triggers, so no registry query runs
+interpreted.
 """
 
 from __future__ import annotations
@@ -20,6 +23,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.engine.aggr_index import build_single_index_engine
+from repro.engine.conjunctive import ConjunctiveIndexEngine
 from repro.engine.base import IncrementalEngine
 from repro.engine.dbtoaster.finance import (
     EQDbtEngine,
@@ -34,7 +38,6 @@ from repro.engine.dbtoaster.finance import (
 from repro.engine.dbtoaster.tpch import Q17DbtEngine, Q18DbtEngine
 from repro.engine.general import GeneralAlgorithmEngine
 from repro.engine.naive import NaiveEngine
-from repro.engine.queries.mst import MSTRpaiEngine
 from repro.engine.queries.nq import NQ1RpaiEngine, NQ2RpaiEngine
 from repro.engine.queries.psp import PSPRpaiEngine
 from repro.engine.queries.tpch import Q17RpaiEngine, Q18RpaiEngine
@@ -77,6 +80,15 @@ def _general_factory(name: str) -> EngineFactory:
     return build
 
 
+def _conjunctive_factory(name: str) -> EngineFactory:
+    def build() -> IncrementalEngine:
+        from repro.query.planner import classify
+
+        return ConjunctiveIndexEngine(classify(get_query(name).ast))
+
+    return build
+
+
 _DBT: dict[str, EngineFactory] = {
     "EQ": EQDbtEngine,
     "VWAP": VWAPDbtEngine,
@@ -96,8 +108,8 @@ _RPAI: dict[str, EngineFactory] = {
     "VWAP": _compiled_index_factory("VWAP"),
     "SQ1": _general_factory("SQ1"),
     "SQ2": _general_factory("SQ2"),
-    # Specialized triggers (multi-relation / multi-level nesting / TPC-H):
-    "MST": MSTRpaiEngine,
+    "MST": _conjunctive_factory("MST"),
+    # Specialized triggers (multi-level nesting / TPC-H):
     "PSP": PSPRpaiEngine,
     "NQ1": NQ1RpaiEngine,
     "NQ2": NQ2RpaiEngine,
@@ -127,10 +139,11 @@ def build_engine(query_name: str, strategy: str) -> IncrementalEngine:
             engine = _RPAI[name]()
         except KeyError:
             raise KeyError(f"no RPAI engine for {name!r}") from None
-        # Codegen stage of the pipeline: swap the generic engines'
-        # interpreted triggers for per-(query, backend) compiled ones.
-        # Hand-written engines have no emitter and stay interpreted
-        # (specialize is a counted no-op for them).
+        # Codegen stage of the pipeline: swap the interpreted triggers
+        # for per-(query, backend) compiled ones.  Every registry engine
+        # now has an emitter — the generic engines get loop-specialized
+        # triggers, the hand-written ones get their trigger bodies
+        # recompiled against bound globals.
         from repro.query import codegen
 
         codegen.maybe_specialize(engine)

@@ -18,6 +18,7 @@ __all__ = [
     "DEOPTED",
     "deopt",
     "uninstall",
+    "picklable_state",
 ]
 
 #: Trigger modes reported by ``IncrementalEngine.trigger_mode``.
@@ -25,7 +26,25 @@ INTERPRETED = "interpreted"
 COMPILED = "compiled"
 DEOPTED = "deopted"
 
-_TRIGGER_ATTRS = ("on_event", "on_batch")
+_TRIGGER_ATTRS = ("on_event", "on_batch", "on_frame")
+
+#: Instance attributes that must never enter a pickle: the compiled
+#: triggers (MethodTypes over exec-namespace functions) plus the
+#: codegen bookkeeping that only makes sense next to them.
+_STATE_SKIP = _TRIGGER_ATTRS + ("_codegen_key", "trigger_mode")
+
+
+def picklable_state(engine) -> dict:
+    """``__getstate__`` helper for engines whose state is simply their
+    instance ``__dict__``: everything minus the compiled-trigger
+    attributes.  The matching ``__setstate__`` should restore the dict
+    and call :func:`repro.query.codegen.maybe_specialize` to reinstall
+    the triggers against the restored state."""
+    return {
+        key: value
+        for key, value in engine.__dict__.items()
+        if key not in _STATE_SKIP
+    }
 
 
 def deopt(engine, reason: str) -> None:

@@ -124,7 +124,11 @@ class TestTriggerModes:
     """
 
     EVENTS = 300
-    QUERIES = ("EQ", "VWAP", "SQ1")
+    # EQ/VWAP/SQ1 cover the point, range and general-algorithm
+    # emitters; MST covers the conjunctive loop emitter (the grouped
+    # emitter has its own cell below — grouped queries are built
+    # directly, not through the registry).
+    QUERIES = ("EQ", "VWAP", "SQ1", "MST")
 
     @staticmethod
     def _stream(query):
@@ -157,6 +161,38 @@ class TestTriggerModes:
 
         def setup():
             return (self._engine(query, compiled),), {}
+
+        def run(engine):
+            for event in events:
+                engine.on_event(event)
+            return engine.result()
+
+        _bench(benchmark, run, setup=setup)
+
+    def test_grouped_on_event(self, benchmark, compiled):
+        """The grouped loop emitter's cell: a GROUP BY query has no
+        registry entry, so the engine is built straight from its SQL."""
+        from repro.engine.aggr_index import build_single_index_engine
+        from repro.query import codegen
+        from repro.query.parser import parse_query
+        from tests.conftest import random_bid_stream
+        from tests.engine.test_sharding import GROUPED_VWAP
+
+        events = list(
+            random_bid_stream(
+                count=self.EVENTS,
+                seed=SEED,
+                price_levels=25,
+                volume_max=9,
+                delete_probability=0.3,
+            )
+        )
+
+        def setup():
+            engine = build_single_index_engine(parse_query(GROUPED_VWAP))
+            if compiled:
+                assert codegen.specialize(engine)
+            return (engine,), {}
 
         def run(engine):
             for event in events:

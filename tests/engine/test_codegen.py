@@ -25,9 +25,10 @@ from repro.storage.stream import Event, Stream
 from tests.engine.test_differential import CASES
 from tests.engine.test_sharding import stream_for
 
-# Queries the emitters cover; everything else stays interpreted.
-COMPILED = ("EQ", "SQ1", "SQ2", "VWAP")
 ALL_QUERIES = sorted(CASES)
+# Every registry query has an emitter: the generic engines get
+# loop-specialized triggers, the hand-written ones recompiled bodies.
+COMPILED = tuple(ALL_QUERIES)
 
 
 @pytest.fixture(autouse=True)
@@ -57,8 +58,7 @@ class TestDifferential:
         stream = CASES[name]()
         reference = build(name, compiled=False).results_trace(stream)
         engine = build(name, compiled=True)
-        expected_mode = "compiled" if name in COMPILED else "interpreted"
-        assert engine.trigger_mode == expected_mode
+        assert engine.trigger_mode == "compiled"
         assert engine.results_trace(stream) == reference
 
     @pytest.mark.parametrize("name", ALL_QUERIES)
@@ -96,7 +96,18 @@ class TestDifferential:
         algorithmic work happens, only how fast Python executes it."""
         stream = CASES[name]()
 
+        def drain_node_pools():
+            # The tree node freelists are process-global: whatever the
+            # first pass leaves pooled would turn into hits for the
+            # second, skewing the freelist counters.  Equalize.
+            from repro.core import rpai
+            from repro.trees import treemap
+
+            treemap._POOL.clear()
+            rpai._POOL.clear()
+
         def counters(compiled: bool) -> dict:
+            drain_node_pools()
             obs.enable()
             obs.reset()
             try:
@@ -153,15 +164,37 @@ class TestCache:
             codegen.clear_cache()
 
     def test_engines_without_emitter_are_counted_not_crashed(self):
+        # Every *registry* rpai engine compiles now; classes outside the
+        # emitter table (e.g. the DBToaster baselines) are still counted
+        # as unsupported rather than crashing.
+        codegen.set_codegen(True)
+        engine = build_engine("MST", "dbtoaster")
         obs.enable()
         obs.reset()
         try:
-            engine = build("MST", compiled=True)
+            assert codegen.specialize(engine) is False
             counters = obs.snapshot()["counters"]
         finally:
             obs.disable()
         assert engine.trigger_mode == "interpreted"
         assert counters.get("codegen.unsupported") == 1
+
+    def test_no_registry_engine_reports_unsupported(self):
+        """`codegen_unsupported_reason` is gone: with codegen on, every
+        registry build compiles and never bumps the negative counter."""
+        codegen.clear_cache()
+        obs.enable()
+        obs.reset()
+        try:
+            for name in ALL_QUERIES:
+                engine = build(name, compiled=True)
+                assert engine.trigger_mode == "compiled", name
+                assert not hasattr(engine, "codegen_unsupported_reason"), name
+            counters = obs.snapshot()["counters"]
+        finally:
+            obs.disable()
+        assert counters.get("codegen.unsupported") is None
+        assert counters.get("codegen.installed") == len(ALL_QUERIES)
 
     def test_generated_source_roundtrip(self):
         engine = build("VWAP", compiled=True)
@@ -212,6 +245,100 @@ class TestDeopt:
         engine = build("EQ", compiled=True)
         assert engine.batched_results_trace(stream, 16) == reference
         assert engine.trigger_mode == "deopted"
+
+
+class TestGroupedCompiled:
+    """The grouped loop emitter: per-group dispatch, mid-stream backend
+    migration inside the group loop, generated frame netting, sharding."""
+
+    def _stream(self, count=160, seed=33):
+        from tests.conftest import random_bid_stream
+
+        return random_bid_stream(
+            count, price_levels=25, volume_max=9,
+            delete_probability=0.3, seed=seed,
+        )
+
+    def _build(self, index_cls=None):
+        from repro.engine.aggr_index import build_single_index_engine
+        from repro.query.parser import parse_query
+        from tests.engine.test_sharding import GROUPED_VWAP
+
+        return build_single_index_engine(
+            parse_query(GROUPED_VWAP), index_cls=index_cls
+        )
+
+    def test_compiled_trace_matches_interpreted(self):
+        stream = self._stream()
+        reference = self._build().results_trace(stream)
+        engine = self._build()
+        codegen.set_codegen(True)
+        assert codegen.specialize(engine)
+        assert engine.trigger_mode == "compiled"
+        assert engine.results_trace(stream) == reference
+
+    def test_backend_migration_in_group_loop_deopts(self):
+        """With AdaptiveIndex group indexes the first range shift
+        migrates a group's backend mid-loop: the compiled fenwick-flavor
+        trigger must finish the invocation correctly, deopt at its end,
+        and track the interpreted trace afterwards."""
+        from repro.core.adaptive import AdaptiveIndex
+
+        events = list(self._stream(count=120, seed=41))
+        reference = self._build(index_cls=AdaptiveIndex)
+        ref_trace = [reference.on_event(event) for event in events]
+
+        engine = self._build(index_cls=AdaptiveIndex)
+        codegen.set_codegen(True)
+        assert codegen.specialize(engine)
+        assert engine._codegen_key[-1] == "fenwick"
+        obs.enable()
+        obs.reset()
+        try:
+            trace = [engine.on_event(event) for event in events]
+            counters = obs.snapshot()["counters"]
+        finally:
+            obs.disable()
+        assert trace == ref_trace
+        assert engine.trigger_mode == "deopted"
+        assert counters.get("codegen.deopts") == 1
+        assert counters.get("codegen.deopt.backend_migrated") == 1
+
+    def test_generated_frame_path_matches_event_path(self):
+        from repro.storage.colbatch import ColumnarFrame
+
+        events = list(self._stream(count=192, seed=57))
+        reference = self._build()
+        engine = self._build()
+        codegen.set_codegen(True)
+        assert codegen.specialize(engine)
+        source = codegen.generated_source(engine)
+        assert "def on_frame(" in source
+        for start in range(0, len(events), 24):
+            chunk = events[start : start + 24]
+            expected = reference.on_batch(chunk)
+            assert engine.on_frame(ColumnarFrame.from_events(chunk)) == expected
+
+    @pytest.mark.parametrize("shards", (1, 2, 3))
+    def test_compiled_sharded_trace_identical(self, shards):
+        from repro.engine.sharding import ShardedExecutor, plan_router
+
+        stream = self._stream(count=260, seed=29)
+        reference = self._build().results_trace(stream)
+        template = self._build()
+        codegen.set_codegen(True)
+        router = plan_router(template, shards, stream)
+        if router is None:
+            engine = template
+            assert codegen.specialize(engine)
+        else:
+            replicas = []
+            for _ in range(router.shards):
+                replica = self._build()
+                assert codegen.specialize(replica)
+                replicas.append(replica)
+            engine = ShardedExecutor(template, replicas, router)
+        assert engine.results_trace(stream) == reference, shards
 
 
 class TestPickleAndSharding:
@@ -289,12 +416,31 @@ class TestCLI:
         assert "trigger  : compiled" in out
         assert "def on_event(" in out
 
-    def test_codegen_subcommand_unsupported_query(self, capsys):
+    def test_codegen_subcommand_conjunctive_query(self, capsys):
         from repro.__main__ import main
 
         assert main(["codegen", "MST"]) == 0
         out = capsys.readouterr().out
-        assert "trigger  : interpreted" in out
+        assert "trigger  : compiled" in out
+        assert "def on_event(" in out
+
+    def test_codegen_support_table(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["codegen"]) == 0
+        out = capsys.readouterr().out
+        for name in ALL_QUERIES:
+            assert name in out
+        assert "compiled" in out
+        assert "interpreted" not in out  # no registry query left behind
+
+    def test_codegen_flavor_dumps_frame_source(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["codegen", "VWAP", "--flavor", "frame"]) == 0
+        out = capsys.readouterr().out
+        assert "def on_frame(" in out
+        assert "def on_event(" not in out
 
     def test_run_reports_trigger_mode_and_no_codegen_flag(self, capsys):
         from repro.__main__ import main
