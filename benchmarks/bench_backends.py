@@ -1,0 +1,319 @@
+"""Cost-model backend selection — identity and throughput gate.
+
+Two sections, one report (``BENCH_backends.json``):
+
+* **Identity** — every registry query runs twice under the ``rpai``
+  strategy: once with the cost model choosing the aggregate-index
+  backend (the default) and once forced onto the reference RPAITree
+  (``backend="rpai"``).  The per-event results trace, the batched
+  results trace, and the ``engine.*`` obs counters must be
+  bit-identical: backend selection is a *constant-factor* decision and
+  must never change what the engine computes.  (Backend-internal
+  counters — ``rpai.*``, ``fenwick.*``, ... — differ by construction;
+  the ``engine.*`` family measures algorithmic work.)
+* **Throughput** — for the queries whose substrate is pluggable (EQ,
+  VWAP, MST) every candidate spec is measured on the same stream and
+  the model's pick is gated against the best measured candidate:
+  ``--gate`` fails when the pick is more than ``--tolerance`` (default
+  10%) slower than the best, or — at full scale — when no query beats
+  its pre-selection default spec by at least ``--win-floor`` (default
+  1.1x; the selection has to actually buy something).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_backends.py [--smoke] [--gate]
+        [--out PATH] [--repeats N] [--tolerance T]
+
+Writes ``BENCH_backends.json`` at the repo root (override with
+``--out``).  ``REPRO_BENCH_SCALE`` scales the workloads; ``--smoke``
+forces a tiny scale for CI (and drops the full-scale win requirement —
+micro-scale ratios are noise).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import obs  # noqa: E402
+from repro.__main__ import _default_stream  # noqa: E402
+from repro.bench.runner import run_timed  # noqa: E402
+from repro.engine.registry import build_engine  # noqa: E402
+from repro.workloads import query_names  # noqa: E402
+
+SEED = 42
+BATCHED_SIZE = 100
+
+#: Candidate backend specs per pluggable-substrate query.  Range roles
+#: (VWAP, MST) shift relative keys, which the positional backends can't
+#: do in O(log n) — only the relative-key trees compete there.
+CANDIDATES = {
+    "EQ": (
+        "paimap",
+        "adaptive:fenwick->rpai",
+        "adaptive:segment->rpai",
+        "rpai",
+        "rpai_btree",
+    ),
+    "VWAP": ("rpai", "rpai_btree"),
+    "MST": ("rpai", "rpai_btree"),
+}
+
+#: What each query ran on before cost-model selection existed — the
+#: bar the chosen backend has to beat for the selection to pay for
+#: itself (``--win-floor``).
+PRE_SELECTION_DEFAULTS = {
+    "EQ": "adaptive:fenwick->rpai",
+    "VWAP": "rpai",
+    "MST": "rpai",
+}
+
+
+def scaled(n: int, scale: float, minimum: int = 200) -> int:
+    return max(minimum, int(n * scale))
+
+
+def _chosen_spec(query: str) -> str | None:
+    """The cost model's spec for ``query``, or None for engines whose
+    substrates are hand-specialized."""
+    from repro.query.planner import choose_backend, classify
+    from repro.workloads.queries import get_query
+
+    try:
+        return choose_backend(classify(get_query(query).ast)).spec
+    except Exception:
+        return None
+
+
+def _engine_counters(query: str, stream, *, backend: str | None) -> tuple[str, dict]:
+    """One untimed per-event pass; returns (final result repr, the
+    ``engine.*`` counter family)."""
+    obs.enable()
+    obs.reset()
+    try:
+        engine = build_engine(query, "rpai", backend=backend)
+        run = run_timed(engine, stream, batch_size=1)
+        snap = obs.snapshot()
+    finally:
+        obs.disable()
+    counters = {
+        name: value
+        for name, value in snap.get("counters", {}).items()
+        if name.startswith("engine.")
+    }
+    return repr(run.final_result), counters
+
+
+def identity_check(query: str, events: int) -> dict:
+    """Model-chosen vs forced-rpai: traces and engine counters must
+    match bit for bit."""
+    stream = _default_stream(query, events, SEED)
+
+    model_trace = build_engine(query, "rpai").results_trace(stream)
+    forced_trace = build_engine(query, "rpai", backend="rpai").results_trace(stream)
+    per_event_ok = repr(model_trace) == repr(forced_trace)
+
+    model_batched = build_engine(query, "rpai").batched_results_trace(
+        stream, BATCHED_SIZE
+    )
+    forced_batched = build_engine(
+        query, "rpai", backend="rpai"
+    ).batched_results_trace(stream, BATCHED_SIZE)
+    batched_ok = repr(model_batched) == repr(forced_batched)
+
+    model_result, model_counters = _engine_counters(query, stream, backend=None)
+    forced_result, forced_counters = _engine_counters(query, stream, backend="rpai")
+    counter_mismatches = sorted(
+        name
+        for name in set(model_counters) | set(forced_counters)
+        if model_counters.get(name) != forced_counters.get(name)
+    )
+    return {
+        "events": len(stream),
+        "chosen": _chosen_spec(query),
+        "per_event_ok": per_event_ok,
+        "batched_ok": batched_ok,
+        "results_ok": model_result == forced_result,
+        "counters_ok": not counter_mismatches,
+        "counter_mismatches": counter_mismatches,
+        "identity_ok": per_event_ok
+        and batched_ok
+        and model_result == forced_result
+        and not counter_mismatches,
+    }
+
+
+def measure_backends(query: str, events: int, repeats: int) -> dict:
+    """Per-candidate per-event throughput plus the model-pick verdicts."""
+    stream = _default_stream(query, events, SEED)
+    chosen = _chosen_spec(query)
+
+    runs = []
+    rates: dict[str, float] = {}
+    for spec in CANDIDATES[query]:
+        best = 0.0
+        for _ in range(repeats):
+            engine = build_engine(query, "rpai", backend=spec)
+            best = max(
+                best, run_timed(engine, stream, batch_size=1).events_per_second
+            )
+        rates[spec] = best
+        runs.append(
+            {
+                "backend": spec,
+                "events_per_second": round(best, 1),
+                "chosen": spec == chosen,
+            }
+        )
+
+    best_spec = max(rates, key=rates.get)
+    default_spec = PRE_SELECTION_DEFAULTS[query]
+    model_rate = rates.get(chosen, 0.0)
+    return {
+        "events": len(stream),
+        "chosen": chosen,
+        "baseline_spec": default_spec,
+        "best_measured": best_spec,
+        "runs": runs,
+        "model_vs_best": round(model_rate / max(rates[best_spec], 1e-9), 3),
+        "speedup_vs_default": round(
+            model_rate / max(rates[default_spec], 1e-9), 3
+        ),
+    }
+
+
+def gate_report(
+    report: dict, *, tolerance: float, win_floor: float, require_win: bool
+) -> list[str]:
+    failures = []
+    for query, entry in report["identity"].items():
+        if not entry["identity_ok"]:
+            detail = entry["counter_mismatches"] or "results/trace diverged"
+            failures.append(f"{query}: model-chosen != forced-rpai ({detail})")
+    for query, entry in report["workloads"].items():
+        if entry["chosen"] not in CANDIDATES[query]:
+            failures.append(
+                f"{query}: model chose {entry['chosen']!r}, not a candidate"
+            )
+            continue
+        if entry["model_vs_best"] < 1.0 - tolerance:
+            failures.append(
+                f"{query}: model pick {entry['chosen']} at "
+                f"{entry['model_vs_best']:.3f}x of best measured "
+                f"({entry['best_measured']}); floor {1.0 - tolerance:.2f}"
+            )
+    if require_win:
+        best_win = max(
+            (entry["speedup_vs_default"] for entry in report["workloads"].values()),
+            default=0.0,
+        )
+        if best_win < win_floor:
+            failures.append(
+                f"no query beats its pre-selection default by {win_floor}x "
+                f"(best win {best_win:.3f}x) — the selection buys nothing"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny workloads for a CI smoke run"
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=REPO_ROOT / "BENCH_backends.json",
+        help="output JSON path",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=5, help="timed repeats per cell (best kept)"
+    )
+    parser.add_argument(
+        "--gate",
+        action="store_true",
+        help="exit non-zero on identity divergence or a bad model pick",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="allowed fraction below the best measured candidate",
+    )
+    parser.add_argument(
+        "--win-floor",
+        type=float,
+        default=1.1,
+        help="minimum speedup over the pre-selection default required on "
+        "at least one query (full scale only)",
+    )
+    args = parser.parse_args(argv)
+
+    scale = 0.1 if args.smoke else float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    repeats = max(1, args.repeats)
+    # Micro-scale throughput ratios are timer noise: the smoke gate
+    # keeps the identity checks and the "is the pick a candidate at
+    # all" check, drops the measured-placement requirements.
+    require_win = not args.smoke and scale >= 1.0
+    tolerance = 0.9 if args.smoke else args.tolerance
+
+    report = {
+        "scale": scale,
+        "smoke": args.smoke,
+        "seed": SEED,
+        "identity": {},
+        "workloads": {},
+    }
+    for query in query_names():
+        entry = identity_check(query, scaled(3000, scale))
+        report["identity"][query] = entry
+        print(
+            f"[backends] {query:<5} identity (chosen: {entry['chosen']}): "
+            f"{'OK' if entry['identity_ok'] else 'DIVERGED'}"
+        )
+    for query in CANDIDATES:
+        entry = measure_backends(query, scaled(6000, scale), repeats)
+        report["workloads"][query] = entry
+        cells = ", ".join(
+            f"{run['backend']}={run['events_per_second']:,.0f}"
+            + ("*" if run["chosen"] else "")
+            for run in entry["runs"]
+        )
+        print(
+            f"[backends] {query:<5} ev/s: {cells} | model at "
+            f"{entry['model_vs_best']}x of best, "
+            f"{entry['speedup_vs_default']}x vs default"
+        )
+
+    failures = gate_report(
+        report,
+        tolerance=tolerance,
+        win_floor=args.win_floor,
+        require_win=require_win,
+    )
+    report["gate"] = {
+        "tolerance": tolerance,
+        "win_floor": args.win_floor,
+        "require_win": require_win,
+        "failures": failures,
+        "ok": not failures,
+    }
+    args.out.write_text(json.dumps(report, indent=2, allow_nan=False) + "\n")
+    print(f"[backends] wrote {args.out}")
+    if failures:
+        for message in failures:
+            print(f"[backends] GATE FAIL: {message}")
+    if args.gate:
+        print(f"[backends] gate: {'PASS' if not failures else 'FAIL'}")
+        return 0 if not failures else 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

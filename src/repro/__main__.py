@@ -47,7 +47,14 @@ Commands:
     counters (tree rotations, shift_keys calls, fixTree violations, ...)
     plus the derived metrics — e.g. the Section 3.2.4 per-negative-shift
     violation bound.  ``--selfcheck`` additionally runs the structure
-    invariant checks after every mutation.
+    invariant checks after every mutation.  The header reports the
+    chosen aggregate-index backend (with its cost-model op-mix label
+    and migration count) and the auto-tuned batch size; ``--backend``
+    forces a substrate instead of the model's pick.
+``calibrate [--out PATH] [--smoke]``
+    Fit the per-backend per-op cost curves from the deterministic
+    calibration micro-benchmark and write the model JSON that
+    ``choose_backend`` ranks candidates with.
 ``bench-diff <baseline.json> <candidate.json> [--tolerance T] [--json]``
     Compare two ``bench_batching`` reports and exit non-zero on
     regression — the CI perf gate.  Scale-independent speedup ratios
@@ -60,6 +67,7 @@ from __future__ import annotations
 import argparse
 import json
 import math
+import os
 import sys
 import time
 from pathlib import Path
@@ -218,10 +226,43 @@ def cmd_classify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _apply_backend_flag(args: argparse.Namespace) -> None:
+    # The override travels through the environment so sharded executors
+    # (which rebuild engines inside worker processes) inherit it too.
+    backend = getattr(args, "backend", None)
+    if backend:
+        os.environ["REPRO_BACKEND"] = backend
+
+
+def _auto_batch(query: str, strategy: str, *, sharded: bool) -> tuple[int, str]:
+    """Default batch size when ``--batch-size`` is not given.
+
+    For the rpai engines the size is derived from the cost model (the
+    probe/update cost ratio of the chosen backend); other strategies
+    and unclassifiable queries keep the legacy defaults.
+    """
+    fallback = (500 if sharded else 1, "")
+    if strategy != "rpai":
+        return fallback
+    try:
+        from repro.core.costmodel import auto_batch_size
+        from repro.query.planner import choose_backend, classify, plan_profile
+        from repro.workloads.queries import get_query
+
+        plan = classify(get_query(query.upper()).ast)
+        choice = choose_backend(plan)
+        profile, _ = plan_profile(plan)
+        batch = auto_batch_size(profile, choice.backend, sharded=sharded)
+        return batch, " (auto)"
+    except Exception:
+        return fallback
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     from repro.engine.registry import build_sharded_engine
 
     _apply_codegen_flag(args)
+    _apply_backend_flag(args)
     stream = _default_stream(args.query, args.events, args.seed)
     workers = max(0, args.workers)
     shards = args.shards if args.shards is not None else (workers or 1)
@@ -248,10 +289,14 @@ def cmd_run(args: argparse.Namespace) -> int:
         engine = build_engine(args.query, args.engine)
     if args.batch_size is not None:
         batch_size = args.batch_size
+        batch_note = ""
     else:
         # Sharded runs ship per-shard chunks (amortizing one pipe round
-        # trip per chunk); the plain engine keeps the per-event trigger.
-        batch_size = 500 if (shards > 1 or workers) else 1
+        # trip per chunk); the cost model sizes the chunk from the
+        # chosen backend's probe/update cost ratio.
+        batch_size, batch_note = _auto_batch(
+            args.query, args.engine, sharded=bool(shards > 1 or workers)
+        )
     try:
         run = run_timed(engine, stream, batch_size=batch_size, workers=workers)
     finally:
@@ -263,6 +308,12 @@ def cmd_run(args: argparse.Namespace) -> int:
         # Plain engines report their trigger mode; executors/wrappers
         # hold many replicas (each with its own mode) and stay silent.
         print(f"trigger  : {engine.trigger_mode}")
+        from repro.engine.aggr_index import describe_backends
+
+        backend = describe_backends(engine)
+        if backend is not None:
+            print(f"backend  : {backend}")
+    print(f"batch    : {batch_size}{batch_note}")
     print(f"events   : {run.events}")
     print(f"time     : {run.seconds:.4f}s ({run.events_per_second:,.0f} events/s)")
     print(f"result   : {run.final_result}")
@@ -393,8 +444,16 @@ def cmd_bench_shard(args: argparse.Namespace) -> int:
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
+    from repro.engine.aggr_index import describe_backends
+
     _apply_codegen_flag(args)
+    _apply_backend_flag(args)
     stream = _default_stream(args.query, args.events, args.seed)
+    if args.batch_size is not None:
+        batch_size = args.batch_size
+        batch_note = ""
+    else:
+        batch_size, batch_note = _auto_batch(args.query, args.engine, sharded=False)
     obs.enable()
     obs.reset()
     if args.selfcheck:
@@ -403,7 +462,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
         # Build under the enabled sink: backend selection counters
         # (``backend.*``) fire at engine construction time.
         engine = build_engine(args.query, args.engine)
-        run = run_timed(engine, stream, batch_size=args.batch_size)
+        run = run_timed(engine, stream, batch_size=batch_size)
         snap = obs.snapshot()
     finally:
         obs.disable()
@@ -412,11 +471,17 @@ def cmd_stats(args: argparse.Namespace) -> int:
     # Read the mode after the run: a guarded deopt mid-stream moves a
     # compiled engine to "deopted".
     trigger_mode = engine.trigger_mode
+    # Read the backend after the run too: migrations and adaptive
+    # re-decisions happen mid-stream.
+    backend = describe_backends(engine)
     if args.json:
         payload = {
             "query": args.query.upper(),
             "engine": args.engine,
             "trigger_mode": trigger_mode,
+            "backend": backend,
+            "batch_size": batch_size,
+            "batch_auto": bool(batch_note),
             "events": run.events,
             "seconds": round(run.seconds, 6),
             "ops": snap,
@@ -427,7 +492,9 @@ def cmd_stats(args: argparse.Namespace) -> int:
     print(f"query    : {args.query.upper()}")
     print(f"engine   : {args.engine}")
     print(f"trigger  : {trigger_mode}")
-    print(f"events   : {run.events}  (batch_size={max(1, args.batch_size)})")
+    if backend is not None:
+        print(f"backend  : {backend}")
+    print(f"events   : {run.events}  (batch_size={max(1, batch_size)}{batch_note})")
     print(f"time     : {run.seconds:.4f}s")
     print(f"result   : {run.final_result}")
     print()
@@ -462,6 +529,29 @@ def cmd_stats(args: argparse.Namespace) -> int:
         if rotations is not None and run.events > 0:
             rows.append(["log2(events)", round(math.log2(max(run.events, 2)), 2)])
         print(format_table(["derived metric", "value"], rows))
+    return 0
+
+
+def cmd_calibrate(args: argparse.Namespace) -> int:
+    from repro.core.costmodel import calibrate, default_model_path
+
+    out = args.out if args.out is not None else default_model_path()
+    sizes = (256, 1024) if args.smoke else (256, 1024, 4096, 16384)
+    print(f"calibrating {len(sizes)} sizes per backend -> {out}")
+    model = calibrate(sizes=sizes, out=out)
+    rows = []
+    for backend in sorted(model.table["backends"]):
+        ops = model.table["backends"][backend]
+        for op in sorted(ops):
+            curve = ops[op]
+            rows.append([
+                backend,
+                op,
+                curve["shape"],
+                round(curve["c0"], 3),
+                round(curve["c1"], 4),
+            ])
+    print(format_table(["backend", "op", "shape", "c0 (us)", "c1 (us)"], rows))
     return 0
 
 
@@ -551,7 +641,14 @@ def main(argv: list[str] | None = None) -> int:
         "--batch-size",
         type=int,
         default=None,
-        help="events per trigger chunk (default: 1 unsharded, 500 sharded)",
+        help="events per trigger chunk (default: cost-model auto-tune "
+        "for rpai; 1 unsharded / 500 sharded otherwise)",
+    )
+    p_run.add_argument(
+        "--backend",
+        default=None,
+        help="force the aggregate-index backend spec (e.g. rpai, paimap, "
+        "adaptive:fenwick->rpai) instead of the cost model's pick",
     )
     p_run.add_argument(
         "--wal-dir",
@@ -620,7 +717,19 @@ def main(argv: list[str] | None = None) -> int:
     p_stats.add_argument("--engine", default="rpai", choices=STRATEGIES)
     p_stats.add_argument("--events", type=int, default=2000)
     p_stats.add_argument("--seed", type=int, default=42)
-    p_stats.add_argument("--batch-size", type=int, default=1)
+    p_stats.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help="events per trigger chunk (default: cost-model auto-tune "
+        "for rpai, 1 otherwise)",
+    )
+    p_stats.add_argument(
+        "--backend",
+        default=None,
+        help="force the aggregate-index backend spec (e.g. rpai, paimap, "
+        "adaptive:fenwick->rpai) instead of the cost model's pick",
+    )
     p_stats.add_argument(
         "--selfcheck",
         action="store_true",
@@ -631,6 +740,23 @@ def main(argv: list[str] | None = None) -> int:
         "--no-codegen",
         action="store_true",
         help="run the interpreted triggers instead of the compiled ones",
+    )
+
+    p_calibrate = sub.add_parser(
+        "calibrate",
+        help="fit the backend cost model from a calibration micro-benchmark",
+    )
+    p_calibrate.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="write the fitted model JSON here "
+        "(default: benchmarks/results/costmodel.json)",
+    )
+    p_calibrate.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fewer calibration sizes (fast, CI-friendly, noisier fit)",
     )
 
     p_diff = sub.add_parser(
@@ -689,6 +815,7 @@ def main(argv: list[str] | None = None) -> int:
         "recover": cmd_recover,
         "chaos": cmd_chaos,
         "stats": cmd_stats,
+        "calibrate": cmd_calibrate,
         "bench-diff": cmd_bench_diff,
         "bench-shard": cmd_bench_shard,
         "compare": cmd_compare,

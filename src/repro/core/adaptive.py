@@ -1,39 +1,64 @@
-"""Adaptive aggregate-index backend selection.
+"""Adaptive aggregate-index backend with N-way guarded migration.
 
-The engines pick an index *statically* from the query plan (PAI map for
-equality-θ, RPAI tree for inequality-θ), but within a role there is
-still a data-dependent choice: when every key that actually arrives is
-a small non-negative integer and the role never shifts keys, a flat
-Fenwick array (:class:`~repro.trees.fenwick.FenwickTree`) beats a
-pointer tree on every constant factor.  Whether that holds is a runtime
-property of the data, not the query — so :class:`AdaptiveIndex` starts
-on the Fenwick backend and **migrates** to an
-:class:`~repro.core.rpai.RPAITree` the first time the optimistic
-assumption breaks:
+The engines pick an index *statically* from the query plan (see
+:func:`repro.query.planner.choose_backend`), but within a role there is
+still a data-dependent choice: whether the keys that actually arrive
+are small non-negative integers (a flat positional array beats a
+pointer tree on every constant factor) and what the live op mix looks
+like (probe-heavy vs update-heavy vs shift-heavy).  Those are runtime
+properties of the data, not the query — so :class:`AdaptiveIndex`
+wraps one live backend out of the candidate set in
+:data:`BACKEND_CLASSES` and **migrates** between them:
 
-* a mutation arrives with a non-integer, negative, or
-  too-large (>= ``2**17``) key;
-* anything calls ``shift_keys`` (the one operation a BIT cannot do).
+* **Forced migrations** (correctness): while on a dense positional
+  backend (Fenwick or segment tree), a mutation with a non-integer,
+  negative, or too-large (>= ``2**17``) key, or any ``shift_keys``
+  call, migrates to the configured sparse backend immediately — the
+  same one-way guard the original Fenwick-first design had.
+* **Periodic re-decisions** (performance): every
+  ``DECISION_INTERVAL`` mutations the live op-window counters (adds,
+  point gets, prefix probes, shifts) are turned into a profile and all
+  currently-eligible backends are re-ranked against the fitted cost
+  model (:mod:`repro.core.costmodel`).  A migration only happens under
+  **hysteresis**: the challenger's predicted cost must beat the
+  incumbent's by the cost-gap factor ``HYSTERESIS`` *and* a full
+  decision interval must have elapsed since the last switch — two
+  rules that together bound migrations to O(total ops /
+  DECISION_INTERVAL) and stop ping-ponging on noisy mixes (the
+  no-flap hypothesis test drives adversarial phase shifts against
+  this).  Dense backends only re-enter the candidate set while every
+  key ever mutated has been dense and no shift has occurred
+  (``_dense_ok``).
 
-Migration is a single O(n) ``bulk_load`` of the live entries (Fenwick
-iterates them in key order already) and happens at most once per index.
-Reads with non-dense keys never migrate: a non-integral ``get`` probe
-cannot match a stored key (→ default) and a non-integral ``get_sum``
-bound floors (keys ``<= 3.7`` are exactly keys ``<= 3``) — this matters
-because equality-θ engines probe with fixed-side values like
-``0.5 * SUM(...)`` that are routinely fractional.
+Migration is a single O(n) ``bulk_load`` of the live entries (every
+backend iterates them in key order already).  Reads never migrate: a
+non-integral ``get`` probe cannot match a stored dense key (→ default)
+and a non-integral ``get_sum`` bound floors (keys ``<= 3.7`` are
+exactly keys ``<= 3``) — this matters because equality-θ engines probe
+with fixed-side values like ``0.5 * SUM(...)`` that are routinely
+fractional.
 
 Everything is observable through :mod:`repro.obs` counters:
-``backend.fenwick_selected`` / ``backend.rpai_selected`` at
-construction, ``backend.migrations`` plus a per-reason
-``backend.migration.<reason>`` when the fallback fires, and
-``backend.fenwick_grows`` when the dense universe doubles.
+``backend.<name>_selected`` at construction,
+``backend.migrations`` plus a per-reason ``backend.migration.<reason>``
+on every switch, ``backend.decision.checks`` / ``.hold`` / ``.migrate``
+for the periodic re-decisions, and ``backend.<name>_grows`` when a
+dense universe doubles.
 
-The Fenwick backend is only selected for ``prune_zeros`` roles: a BIT
-cannot distinguish an explicit zero entry from an absent key, and under
-prune-zeros semantics it never has to.  All engine aggregate indexes
-run pruned, so in practice only ad-hoc unpruned uses skip straight to
-the RPAI backend.
+Dense backends are only selected for ``prune_zeros`` roles: a
+positional array cannot distinguish an explicit zero entry from an
+absent key, and under prune-zeros semantics it never has to.  All
+engine aggregate indexes run pruned, so in practice only ad-hoc
+unpruned uses skip straight to the sparse backend.
+
+Interaction with compiled triggers (:mod:`repro.query.codegen`): dense
+flavors inline ``_backend.add`` and bypass this wrapper on the fast
+path, so the op window under-counts while a dense backend is compiled —
+harmless, because the dense backend is already the model's pick for
+dense traffic and the forced-migration guard (which deopts the
+compiled trigger) still runs on every slow-path call.  Sparse flavors
+emit plain ``wrapper.add(...)`` calls, so sparse↔sparse re-decisions
+are invisible to compiled code by construction.
 """
 
 from __future__ import annotations
@@ -41,11 +66,36 @@ from __future__ import annotations
 import math
 from typing import Any, Iterable, Iterator
 
+from repro.core.pai_map import PAIMap
 from repro.core.rpai import RPAITree
 from repro.obs import SINK as _SINK
 from repro.trees.fenwick import FenwickTree
+from repro.trees.rpai_btree import RPAIBTree
+from repro.trees.segment_tree import SegmentTree
 
-__all__ = ["AdaptiveIndex", "MAX_DENSE_KEY"]
+__all__ = [
+    "AdaptiveIndex",
+    "BACKEND_CLASSES",
+    "DENSE_BACKENDS",
+    "SPARSE_BACKENDS",
+    "MAX_DENSE_KEY",
+]
+
+#: Candidate substrate classes by model name.
+BACKEND_CLASSES: dict[str, type] = {
+    "paimap": PAIMap,
+    "fenwick": FenwickTree,
+    "segment": SegmentTree,
+    "rpai": RPAITree,
+    "rpai_btree": RPAIBTree,
+}
+
+#: Positional backends over a dense integer universe: need the dense-key
+#: guard and cannot survive arbitrary keys or out-of-universe shifts.
+DENSE_BACKENDS = frozenset({"fenwick", "segment"})
+
+#: Backends that accept any ordered key and support shift_keys natively.
+SPARSE_BACKENDS = frozenset({"paimap", "rpai", "rpai_btree"})
 
 #: Initial dense universe; grows by doubling up to the cap below.
 _INITIAL_CAPACITY = 1024
@@ -56,9 +106,19 @@ _MAX_UNIVERSE = 1 << 17
 
 #: Public alias of the dense-universe bound: the trigger code generator
 #: (:mod:`repro.query.codegen`) embeds this literal in its inlined
-#: Fenwick fast path, which must accept exactly the keys ``_as_dense``
+#: dense fast path, which must accept exactly the keys ``_as_dense``
 #: accepts for plain ints.
 MAX_DENSE_KEY = _MAX_UNIVERSE
+
+#: Mutations between re-decisions (and the minimum spacing between
+#: model-driven migrations — one interval's worth of ops).
+DECISION_INTERVAL = 4096
+#: Cost-gap threshold: a challenger must be predicted at least this
+#: much cheaper (fraction of the incumbent's cost) to trigger a switch.
+HYSTERESIS = 0.75
+#: Below this many live entries a re-decision is not worth an O(n)
+#: migration either way.
+_MIN_DECISION_SIZE = 64
 
 
 def _as_dense(key: Any) -> int | None:
@@ -74,30 +134,93 @@ def _as_dense(key: Any) -> int | None:
     return None
 
 
+def _build_backend(
+    name: str, items: list[tuple[float, float]], *, prune_zeros: bool
+) -> Any:
+    """Bulk-load ``items`` (key-sorted) into a fresh ``name`` backend."""
+    cls = BACKEND_CLASSES[name]
+    if name in DENSE_BACKENDS:
+        capacity = _INITIAL_CAPACITY
+        if items:
+            top = int(items[-1][0])
+            while capacity <= top:
+                capacity *= 2
+        return cls.bulk_load(
+            ((int(k), v) for k, v in items),
+            prune_zeros=prune_zeros,
+            capacity=capacity,
+        )
+    return cls.bulk_load(items, prune_zeros=prune_zeros)
+
+
 class AdaptiveIndex:
-    """Fenwick-first aggregate index with a one-way RPAI-tree fallback.
+    """Self-tuning aggregate index over the five-backend candidate set.
 
     Implements the full :class:`~repro.core.interfaces.AggregateIndex`
     protocol plus the order/search helpers, so it is a drop-in
     ``index_cls`` for the engines.  Which backend is live is an
-    implementation detail; results are identical either way (the
-    differential tests drive both paths).
+    implementation detail; results are identical on every backend (the
+    differential and conformance tests drive all of them).
+
+    Args:
+        prune_zeros: remove entries whose value becomes exactly 0.
+        dense: starting backend for prune-zeros roles (``"fenwick"`` or
+            ``"segment"``).
+        sparse: fallback/start backend for arbitrary keys (``"rpai"``,
+            ``"rpai_btree"`` or ``"paimap"``).
     """
 
-    __slots__ = ("_backend", "_dense", "prune_zeros")
+    __slots__ = (
+        "_backend",
+        "_dense",
+        "prune_zeros",
+        "_name",
+        "_dense_name",
+        "_sparse_name",
+        "_dense_ok",
+        "_migrations",
+        "_ops_since_decision",
+        "_win_add",
+        "_win_get",
+        "_win_probe",
+        "_win_shift",
+    )
 
-    def __init__(self, *, prune_zeros: bool = False) -> None:
+    def __init__(
+        self,
+        *,
+        prune_zeros: bool = False,
+        dense: str = "fenwick",
+        sparse: str = "rpai",
+    ) -> None:
+        if dense not in DENSE_BACKENDS:
+            raise ValueError(f"unknown dense backend {dense!r}")
+        if sparse not in SPARSE_BACKENDS:
+            raise ValueError(f"unknown sparse backend {sparse!r}")
         self.prune_zeros = prune_zeros
+        self._dense_name = dense
+        self._sparse_name = sparse
+        self._init_counters()
         if prune_zeros:
-            self._backend: Any = FenwickTree(_INITIAL_CAPACITY, prune_zeros=True)
+            cls = BACKEND_CLASSES[dense]
+            self._backend: Any = cls(_INITIAL_CAPACITY, prune_zeros=True)
             self._dense = True
-            if _SINK.enabled:
-                _SINK.inc("backend.fenwick_selected")
+            self._name = dense
         else:
-            self._backend = RPAITree(prune_zeros=False)
+            self._backend = BACKEND_CLASSES[sparse](prune_zeros=False)
             self._dense = False
-            if _SINK.enabled:
-                _SINK.inc("backend.rpai_selected")
+            self._name = sparse
+        if _SINK.enabled:
+            _SINK.inc(f"backend.{self._name}_selected")
+
+    def _init_counters(self) -> None:
+        self._dense_ok = True
+        self._migrations = 0
+        self._ops_since_decision = 0
+        self._win_add = 0
+        self._win_get = 0
+        self._win_probe = 0
+        self._win_shift = 0
 
     @classmethod
     def bulk_load(
@@ -105,52 +228,120 @@ class AdaptiveIndex:
         sorted_items: Iterable[tuple[float, float]],
         *,
         prune_zeros: bool = False,
+        dense: str = "fenwick",
+        sparse: str = "rpai",
     ) -> "AdaptiveIndex":
         """Build from key-sorted pairs in O(n), inspecting the keys to
-        pick the backend up front (all dense → Fenwick, else RPAI)."""
+        pick the backend up front (all dense → the dense backend, else
+        the sparse one)."""
         index = cls.__new__(cls)
         index.prune_zeros = prune_zeros
+        index._dense_name = dense
+        index._sparse_name = sparse
+        index._init_counters()
         items = list(sorted_items)
         if prune_zeros and all(_as_dense(k) is not None for k, _ in items):
-            capacity = _INITIAL_CAPACITY
-            if items:
-                top = int(items[-1][0])
-                while capacity <= top:
-                    capacity *= 2
-            index._backend = FenwickTree.bulk_load(
-                ((int(k), v) for k, v in items),
-                prune_zeros=True,
-                capacity=capacity,
-            )
+            index._backend = _build_backend(dense, items, prune_zeros=True)
             index._dense = True
-            if _SINK.enabled:
-                _SINK.inc("backend.fenwick_selected")
+            index._name = dense
         else:
-            index._backend = RPAITree.bulk_load(items, prune_zeros=prune_zeros)
+            index._backend = _build_backend(sparse, items, prune_zeros=prune_zeros)
             index._dense = False
-            if _SINK.enabled:
-                _SINK.inc("backend.rpai_selected")
+            index._name = sparse
+            index._dense_ok = False
+        if _SINK.enabled:
+            _SINK.inc(f"backend.{index._name}_selected")
         return index
 
     @property
     def backend_name(self) -> str:
-        """``"fenwick"`` or ``"rpai"`` — for tests and diagnostics."""
-        return "fenwick" if self._dense else "rpai"
+        """The live backend's model name — for tests and diagnostics."""
+        return self._name
 
-    def _migrate(self, reason: str) -> None:
-        """One-way Fenwick → RPAI migration: O(n) bulk load of the live
-        entries (already iterated in key order)."""
-        self._backend = RPAITree.bulk_load(
-            self._backend.items(), prune_zeros=self.prune_zeros
-        )
-        self._dense = False
+    @property
+    def migrations(self) -> int:
+        """Lifetime migration count for this instance (forced + model)."""
+        return self._migrations
+
+    # -- migration machinery ---------------------------------------------------
+
+    def _switch(self, name: str, reason: str) -> None:
+        """Migrate to backend ``name``: O(n) bulk load of the live
+        entries (every backend iterates them in key order already)."""
+        items = list(self._backend.items())
+        if name in DENSE_BACKENDS and any(_as_dense(k) is None for k, _ in items):
+            # A shift or float arithmetic produced non-dense keys since
+            # the window started; dense promotion would corrupt them.
+            self._dense_ok = False
+            return
+        self._backend = _build_backend(items=items, name=name, prune_zeros=self.prune_zeros)
+        self._dense = name in DENSE_BACKENDS
+        self._name = name
+        self._migrations += 1
         if _SINK.enabled:
             _SINK.inc("backend.migrations")
             _SINK.inc(f"backend.migration.{reason}")
 
+    def _migrate(self, reason: str) -> None:
+        """Forced dense → sparse migration (correctness guard)."""
+        self._dense_ok = False
+        self._switch(self._sparse_name, reason)
+
+    def _tick_mutation(self) -> None:
+        self._win_add += 1
+        self._ops_since_decision += 1
+        if self._ops_since_decision >= DECISION_INTERVAL:
+            self._redecide()
+
+    def _redecide(self) -> None:
+        """Periodic model-driven re-decision over the eligible backends.
+
+        Hysteresis: called at most once per DECISION_INTERVAL mutations,
+        and the winner must beat the incumbent's predicted cost by the
+        HYSTERESIS cost-gap to displace it.
+        """
+        self._ops_since_decision = 0
+        add_w = self._win_add
+        get_w = self._win_get
+        probe_w = self._win_probe
+        shift_w = self._win_shift
+        self._win_add = self._win_get = self._win_probe = self._win_shift = 0
+        n = len(self._backend)
+        if n < _MIN_DECISION_SIZE:
+            return
+        total = add_w + get_w + probe_w + shift_w
+        if not total:
+            return
+        from repro.core import costmodel
+
+        model = costmodel.get_model()
+        profile = {
+            "n": n,
+            "add": add_w / total,
+            "get": get_w / total,
+            "get_sum": probe_w / total,
+            "shift_keys": shift_w / total,
+        }
+        candidates = set(SPARSE_BACKENDS)
+        if self.prune_zeros and self._dense_ok and not shift_w:
+            candidates |= DENSE_BACKENDS
+        candidates.add(self._name)
+        ranking = model.rank(profile, candidates)
+        if _SINK.enabled:
+            _SINK.inc("backend.decision.checks")
+        best_cost, best = ranking[0]
+        current_cost = model.predict(self._name, profile)
+        if best != self._name and best_cost < HYSTERESIS * current_cost:
+            self._switch(best, "redecision")
+            if _SINK.enabled:
+                _SINK.inc("backend.decision.migrate")
+        elif _SINK.enabled:
+            _SINK.inc("backend.decision.hold")
+
     # -- basic map operations -------------------------------------------------
 
     def get(self, key: float, default: float = 0.0) -> float:
+        self._win_get += 1
         if self._dense:
             dense = _as_dense(key)
             if dense is None:
@@ -159,6 +350,7 @@ class AdaptiveIndex:
         return self._backend.get(key, default)
 
     def put(self, key: float, value: float) -> None:
+        self._tick_mutation()
         if self._dense:
             dense = _as_dense(key)
             if dense is not None:
@@ -171,6 +363,7 @@ class AdaptiveIndex:
         self._backend.put(key, value)
 
     def add(self, key: float, delta: float) -> None:
+        self._tick_mutation()
         if self._dense:
             dense = _as_dense(key)
             if dense is not None:
@@ -183,6 +376,7 @@ class AdaptiveIndex:
         self._backend.add(key, delta)
 
     def delete(self, key: float) -> float:
+        self._tick_mutation()
         if self._dense:
             dense = _as_dense(key)
             if dense is None:
@@ -200,11 +394,12 @@ class AdaptiveIndex:
         capacity inline first — this is off the hot path)."""
         self._backend.grow(dense + 1)
         if _SINK.enabled:
-            _SINK.inc("backend.fenwick_grows")
+            _SINK.inc(f"backend.{self._name}_grows")
 
     # -- aggregate operations -------------------------------------------------
 
     def get_sum(self, key: float, *, inclusive: bool = True) -> float:
+        self._win_probe += 1
         if self._dense:
             floor = math.floor(key)
             if floor != key:
@@ -220,6 +415,8 @@ class AdaptiveIndex:
         return self.total_sum() - self.get_sum(key, inclusive=not inclusive)
 
     def shift_keys(self, key: float, delta: float, *, inclusive: bool = False) -> None:
+        self._win_shift += 1
+        self._dense_ok = False
         if self._dense:
             self._migrate("shift_keys")
         self._backend.shift_keys(key, delta, inclusive=inclusive)

@@ -1,0 +1,99 @@
+"""Picklable backend factories for the engines' ``index_cls`` slot.
+
+The engines treat ``index_cls`` as a class-like object: they call it
+with ``index_cls(prune_zeros=True)``, warm-start through
+``index_cls.bulk_load(items, prune_zeros=True)``, and **pickle it**
+inside engine state (checkpoints, WAL snapshots, shard workers).  The
+backend selector needs to hand them *configured* choices — "an
+AdaptiveIndex that starts on the segment tree and falls back to the
+B-tree" — and a dynamically created class or a closure would break the
+pickle contract.  :class:`BackendFactory` is the module-level,
+spec-string-addressed stand-in: instances pickle by class + spec and
+compare equal by spec, so engine state round-trips across processes
+and restarts.
+
+Spec grammar::
+
+    "rpai"                          # a raw backend from BACKEND_CLASSES
+    "adaptive"                      # AdaptiveIndex with default pair
+    "adaptive:fenwick->rpai"        # AdaptiveIndex, dense->sparse pair
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.core.adaptive import (
+    BACKEND_CLASSES,
+    DENSE_BACKENDS,
+    SPARSE_BACKENDS,
+    AdaptiveIndex,
+)
+
+__all__ = ["BackendFactory", "parse_spec"]
+
+
+def parse_spec(spec: str) -> tuple[str, str | None, str | None]:
+    """Validate ``spec`` → ``(base, dense, sparse)``; raises ValueError."""
+    if spec == "adaptive":
+        return ("adaptive", "fenwick", "rpai")
+    if spec.startswith("adaptive:"):
+        pair = spec[len("adaptive:") :]
+        dense, sep, sparse = pair.partition("->")
+        if not sep or dense not in DENSE_BACKENDS or sparse not in SPARSE_BACKENDS:
+            raise ValueError(f"bad adaptive spec {spec!r}")
+        return ("adaptive", dense, sparse)
+    if spec in BACKEND_CLASSES:
+        return (spec, None, None)
+    raise ValueError(f"unknown backend spec {spec!r}")
+
+
+class BackendFactory:
+    """Class-like callable building the backend a spec string names."""
+
+    __slots__ = ("spec", "_base", "_dense", "_sparse")
+
+    def __init__(self, spec: str) -> None:
+        self.spec = spec
+        self._base, self._dense, self._sparse = parse_spec(spec)
+
+    def __call__(self, *, prune_zeros: bool = False) -> Any:
+        if self._base == "adaptive":
+            return AdaptiveIndex(
+                prune_zeros=prune_zeros, dense=self._dense, sparse=self._sparse
+            )
+        return BACKEND_CLASSES[self._base](prune_zeros=prune_zeros)
+
+    def bulk_load(
+        self,
+        sorted_items: Iterable[tuple[float, float]],
+        *,
+        prune_zeros: bool = False,
+    ) -> Any:
+        if self._base == "adaptive":
+            return AdaptiveIndex.bulk_load(
+                sorted_items,
+                prune_zeros=prune_zeros,
+                dense=self._dense,
+                sparse=self._sparse,
+            )
+        return BACKEND_CLASSES[self._base].bulk_load(
+            sorted_items, prune_zeros=prune_zeros
+        )
+
+    # Engine state pickles the factory; spec is the whole identity.
+    def __reduce__(self):
+        return (BackendFactory, (self.spec,))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BackendFactory) and other.spec == self.spec
+
+    def __hash__(self) -> int:
+        return hash((BackendFactory, self.spec))
+
+    @property
+    def __name__(self) -> str:  # engines log index_cls.__name__
+        return f"BackendFactory({self.spec})"
+
+    def __repr__(self) -> str:
+        return f"BackendFactory({self.spec!r})"

@@ -19,10 +19,17 @@ Section 2→3 progression and powers the ablation benchmark:
   ``shift_keys`` (the Section 3.1 intermediate);
 * :class:`~repro.core.rpai.RPAITree` — O(log n) everything (the full
   RPAI engine);
-* :class:`~repro.core.adaptive.AdaptiveIndex` — Fenwick-array fast path
-  for dense-integer-key equality-θ roles with a runtime RPAI-tree
-  fallback; the planner's :func:`~repro.query.planner.preferred_backend`
-  selects it for PAI_EQUALITY plans, where ``shift_keys`` never runs.
+* :class:`~repro.core.adaptive.AdaptiveIndex` — a self-tuning wrapper
+  over the five-substrate candidate set (dense positional fast paths
+  with guarded sparse fallback and periodic cost-model re-decisions).
+
+When no ``index_cls`` is forced, the backend is picked by
+:func:`~repro.query.planner.choose_backend`, which ranks the candidate
+substrates {PAIMap, Fenwick, RPAITree, RPAIBTree, SegmentTree} against
+the fitted cost model (:mod:`repro.core.costmodel`) for the plan's
+predicted op mix — e.g. a point-probe equality role gets the raw dict,
+a prefix-probe one the adaptive dense wrapper, range roles the
+relative-key tree that shifts in O(log n).
 
 Precondition inherited from the paper's setting: the inner aggregate's
 per-tuple contributions are strictly positive (volumes, quantities,
@@ -35,7 +42,6 @@ from __future__ import annotations
 
 from typing import Any, Callable, Mapping, Type
 
-from repro.core.adaptive import AdaptiveIndex
 from repro.core.pai_map import PAIMap
 from repro.core.rpai import RPAITree
 from repro.obs import SINK as _SINK
@@ -51,8 +57,8 @@ from repro.query.planner import (
     IndexSpec,
     QueryPlan,
     Strategy,
+    choose_backend,
     classify,
-    preferred_backend,
 )
 from repro.storage.stream import Event
 from repro.trees.treemap import TreeMap
@@ -62,6 +68,7 @@ __all__ = [
     "RangeIndexEngine",
     "GroupedRangeIndexEngine",
     "build_single_index_engine",
+    "describe_backends",
 ]
 
 Row = Mapping[str, Any]
@@ -925,16 +932,72 @@ def build_single_index_engine(
     plan = classify(query)
     if plan.strategy is Strategy.PAI_EQUALITY:
         if index_cls is None:
-            # Equality-θ plans never shift aggregate-index keys, so the
-            # adaptive (Fenwick-first) backend applies.
-            index_cls = (
-                AdaptiveIndex if preferred_backend(plan) == "adaptive" else PAIMap
-            )
+            # Rank the candidate substrates against the cost model for
+            # the plan's op mix (equality-θ plans never shift keys, so
+            # the whole candidate set is in play).
+            index_cls = choose_backend(plan).factory()
         return PointIndexEngine(plan, index_cls, name=name)
     if plan.strategy is Strategy.RPAI_INEQUALITY:
+        if index_cls is None:
+            index_cls = choose_backend(plan).factory()
         if query.group_by:
-            return GroupedRangeIndexEngine(plan, index_cls or RPAITree, name=name)
-        return RangeIndexEngine(plan, index_cls or RPAITree, name=name)
+            return GroupedRangeIndexEngine(plan, index_cls, name=name)
+        return RangeIndexEngine(plan, index_cls, name=name)
     raise UnsupportedQueryError(
         f"no single-index engine for strategy {plan.strategy}: {plan.reason}"
     )
+
+
+def _describe_index(index: Any) -> str:
+    """Human-readable backend identity of one live aggregate index."""
+    from repro.core.adaptive import BACKEND_CLASSES, AdaptiveIndex
+
+    if isinstance(index, AdaptiveIndex):
+        count = index.migrations
+        noun = "migration" if count == 1 else "migrations"
+        return f"adaptive/{index.backend_name} ({count} {noun})"
+    for name, cls in BACKEND_CLASSES.items():
+        if type(index) is cls:
+            return name
+    return type(index).__name__.lower()
+
+
+def describe_backends(engine: Any) -> str | None:
+    """One-line backend report for ``repro stats``.
+
+    Returns e.g. ``"paimap (model: point-heavy)"`` or
+    ``"adaptive/fenwick (1 migration) (model: prefix-heavy)"`` for the
+    single-index and conjunctive engines, ``None`` for engines whose
+    substrates are hand-specialized (their triggers hard-code them).
+    """
+    from repro.query.planner import plan_profile
+
+    plan = getattr(engine, "_plan", None)
+    label = None
+    if isinstance(plan, QueryPlan):
+        try:
+            label = plan_profile(plan)[1]
+        except Exception:
+            label = None
+
+    if hasattr(engine, "aggr_index"):
+        desc = _describe_index(engine.aggr_index)
+    elif hasattr(engine, "group_indexes"):
+        indexes = list(engine.group_indexes.values())
+        probe = indexes[0] if indexes else engine._index_cls(prune_zeros=True)
+        desc = f"{_describe_index(probe)} x{len(indexes)} groups"
+    elif hasattr(engine, "_sides"):  # ConjunctiveIndexEngine
+        sides = getattr(engine, "_sides", {})
+        descs = {
+            _describe_index(side.indexes[0])
+            for side in sides.values()
+            if getattr(side, "indexes", None)
+        }
+        if not descs:
+            return None
+        desc = ", ".join(sorted(descs))
+    else:
+        return None
+    if label:
+        return f"{desc} (model: {label})"
+    return desc

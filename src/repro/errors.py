@@ -20,6 +20,7 @@ __all__ = [
     "ShardWorkerError",
     "WalCorruptionError",
     "QuarantineOverflowError",
+    "KeyUniverseError",
 ]
 
 
@@ -104,6 +105,19 @@ class WalCorruptionError(ReproError):
     Only raised in *strict* recovery mode; the default recovery path
     self-heals (truncates the corrupt tail, skips corrupt snapshots)
     and reports through ``obs`` counters instead.
+    """
+
+
+class KeyUniverseError(ReproError, IndexError):
+    """A key fell outside a dense-universe backend's representable range.
+
+    Raised by the array-backed backends (Fenwick, segment tree) for keys
+    they cannot index — negative or non-integer keys, or shifts that
+    would move an entry below zero.  Keys *above* the current capacity
+    are not errors: those backends grow their universe by doubling.
+
+    Subclasses :class:`IndexError` so pre-existing callers that caught
+    the bare built-in keep working.
     """
 
 

@@ -57,12 +57,20 @@ Counter naming convention (``<structure or layer>.<operation>``):
 ``shard.plan_shards_lost``              shards lost to collapsed cuts, summed
                                         over degenerate plans
 ``paimap.shift_keys``                   O(n) hash rebuild shifts
-``backend.fenwick_selected``            adaptive indexes starting on Fenwick
-``backend.rpai_selected``               adaptive indexes starting on RPAI
-``backend.migrations``                  Fenwick → RPAI runtime migrations
-``backend.migration.<reason>``          migrations by cause (``non_dense_key``
-                                        or ``shift_keys``)
-``backend.fenwick_grows``               dense-universe doubling events
+``segment.grows``                       segment-tree universe doublings
+``segment.shift_rebuilds``              segment-tree collect-and-replay shifts
+``btree.shift_rebuilds``                RPAIBTree rightmost-path rebuild merges
+``backend.<name>_selected``             adaptive indexes starting on <name>
+                                        (``fenwick``, ``rpai``, ...)
+``backend.migrations``                  adaptive runtime backend migrations
+``backend.migration.<reason>``          migrations by cause (``non_dense_key``,
+                                        ``shift_keys`` or ``redecision``)
+``backend.decision.checks``             periodic cost-model re-decisions run
+``backend.decision.hold``               re-decisions that kept the backend
+                                        (hysteresis or already cheapest)
+``backend.decision.migrate``            re-decisions that switched backends
+``backend.<name>_grows``                dense-universe doubling events, by
+                                        live backend
 ``engine.events/.batches/.results``     trigger calls / batch calls / refreshes
 ``engine.quarantined``                  schema-violating events diverted by the
                                         validation boundary

@@ -21,7 +21,7 @@ this module does exactly that for **every registry engine**:
   end of the invocation (see :func:`repro.query.codegen_runtime.deopt`),
 * the grouped engine's per-group loop hoists the group-key extraction
   and shift prologue and monomorphizes the index dispatch per backend
-  flavor (the ``fenwick`` variant deopts if *any* group migrates),
+  flavor (the dense variants deopt if *any* group migrates),
 * the conjunctive engine's per-relation factor-sum recombination is
   unrolled across the decomposition's terms at compile time,
 * the hand-specialized engines (PSP, NQ1, NQ2, Q17, Q18) get their
@@ -253,10 +253,16 @@ def _probe_src(op: str, index: str, probe: str) -> str:
 
 
 # ---------------------------------------------------------------------------
-# Adaptive (Fenwick) fast path
+# Adaptive dense (Fenwick / segment) fast path
 # ---------------------------------------------------------------------------
 
-_FENWICK_PROLOGUE = ["_dense = _ai._dense", "_fw = _ai._backend"]
+# Flavors that monomorphize the AdaptiveIndex dense fast path.  Both
+# dense substrates share the contract the emitted code relies on:
+# ``.add(int_key, delta)`` on in-universe keys, ``.capacity``, and the
+# wrapper's ``_ensure_capacity`` growth hook.
+_DENSE_FLAVORS = frozenset({"fenwick", "segment"})
+
+_DENSE_PROLOGUE = ["_dense = _ai._dense", "_fw = _ai._backend"]
 
 
 def _emit_index_add(
@@ -264,15 +270,15 @@ def _emit_index_add(
 ) -> None:
     """One ``aggr_index.add(key, delta)``.
 
-    ``fenwick`` flavor resolves the AdaptiveIndex backend branch at
-    compile time: plain in-range ints hit the Fenwick array directly
+    The dense flavors resolve the AdaptiveIndex backend branch at
+    compile time: plain in-range ints hit the dense array directly
     (the common case for equality-correlation keys); anything else
     falls through to the full ``AdaptiveIndex.add`` — which handles
-    bools, int-valued floats and migration with identical counters —
-    and refreshes the hoisted backend locals.  ``key`` must be a local
-    name (it is evaluated more than once).
+    bools, int-valued floats, migration and re-decisions with
+    identical counters — and refreshes the hoisted backend locals.
+    ``key`` must be a local name (it is evaluated more than once).
     """
-    if flavor == "fenwick":
+    if flavor in _DENSE_FLAVORS:
         lines.append(
             f"{indent}if _dense and type({key}) is int "
             f"and 0 <= {key} < {MAX_DENSE_KEY}:"
@@ -289,14 +295,17 @@ def _emit_index_add(
 
 
 def _emit_deopt_check(lines: list[str], indent: str, flavor: str) -> None:
-    if flavor == "fenwick":
+    if flavor in _DENSE_FLAVORS:
         lines.append(f"{indent}if not _ai._dense:")
         lines.append(f"{indent}    _deopt(self, 'backend_migrated')")
 
 
 def _backend_flavor(index: Any) -> str:
     if isinstance(index, AdaptiveIndex):
-        return "fenwick" if index._dense else "adaptive-rpai"
+        # Monomorphize on the *live* backend: dense flavors get the
+        # inline fast path; a sparse adaptive compiles through the
+        # wrapper (re-decisions may swap sparse substrates behind it).
+        return index._name if index._dense else f"adaptive-{index._name}"
     return type(index).__name__.lower()
 
 
@@ -386,7 +395,7 @@ def _point_emit(engine: PointIndexEngine) -> str:
     alias = query.relations[0].alias
     relation = engine.relation
     flavor = _backend_flavor(engine.aggr_index)
-    fenwick = flavor == "fenwick"
+    fenwick = flavor in _DENSE_FLAVORS
     infos = _scalar_infos(engine._fixed._scalars)
 
     cols = engine._group_cols
@@ -442,7 +451,7 @@ def _point_emit(engine: PointIndexEngine) -> str:
     lines.append("        _bm = self.bound_map")
     lines.append("        _rm = self.res_map")
     if fenwick:
-        for stmt in _FENWICK_PROLOGUE:
+        for stmt in _DENSE_PROLOGUE:
             lines.append(f"        {stmt}")
     apply_body(lines, "        ")
     _emit_deopt_check(lines, "        ", flavor)
@@ -479,7 +488,7 @@ def _point_emit(engine: PointIndexEngine) -> str:
     lines.append("    _bm = self.bound_map")
     lines.append("    _rm = self.res_map")
     if fenwick:
-        for stmt in _FENWICK_PROLOGUE:
+        for stmt in _DENSE_PROLOGUE:
             lines.append(f"    {stmt}")
     lines.append("    for _group, (_ird, _res) in _net.items():")
     lines.append("        if _ird == 0 and _res == 0:")
@@ -518,7 +527,7 @@ def _point_emit(engine: PointIndexEngine) -> str:
     lines.append("    _bm = self.bound_map")
     lines.append("    _rm = self.res_map")
     if fenwick:
-        for stmt in _FENWICK_PROLOGUE:
+        for stmt in _DENSE_PROLOGUE:
             lines.append(f"    {stmt}")
     lines.append("    for _group, (_ird, _res) in _net.items():")
     lines.append("        if _ird == 0 and _res == 0:")
@@ -691,17 +700,23 @@ def _range_bind(engine: RangeIndexEngine) -> dict[str, Any]:
 # group-key extraction and the shift boundary are hoisted out of it
 # (computed once per coalesced key), the inclusive/strict inner-θ branch
 # and the key sign are resolved at compile time, and the per-group index
-# dispatch is monomorphized on the engine's index class — the fenwick
-# flavor inlines the dense add per group index, with an end-of-invocation
+# dispatch is monomorphized on the engine's index class — the dense
+# flavors inline the dense add per group index, with an end-of-invocation
 # guard that deopts when any group's index migrated mid-loop.
 
 
 def _grouped_flavor(engine: GroupedRangeIndexEngine) -> str:
-    if engine._index_cls is AdaptiveIndex:
-        if any(not index._dense for index in engine.group_indexes.values()):
-            return "adaptive-rpai"
-        return "fenwick"
-    return engine._index_cls.__name__.lower()
+    # The flavor is decided off a probe instance (group_indexes may be
+    # empty at specialize time): all groups share one factory, so one
+    # instance tells us the family and its dense/sparse split.
+    live = list(engine.group_indexes.values())
+    probe = live[0] if live else engine._index_cls(prune_zeros=True)
+    if isinstance(probe, AdaptiveIndex):
+        migrated = next((ix for ix in live if not ix._dense), None)
+        if migrated is not None:
+            return f"adaptive-{migrated._name}"
+        return probe._name if probe._dense else f"adaptive-{probe._name}"
+    return type(probe).__name__.lower()
 
 
 def _grouped_key(engine: GroupedRangeIndexEngine) -> tuple:
@@ -714,7 +729,7 @@ def _grouped_emit(engine: GroupedRangeIndexEngine) -> str:
     alias = query.relations[0].alias
     relation = engine.relation
     flavor = _grouped_flavor(engine)
-    fenwick = flavor == "fenwick"
+    fenwick = flavor in _DENSE_FLAVORS
     infos = _scalar_infos(engine._fixed._scalars)
 
     col = repr(engine._key_col)
@@ -768,7 +783,7 @@ def _grouped_emit(engine: GroupedRangeIndexEngine) -> str:
         lines.append(f"{indent}    _idx = _gi[{gkey}] = _mkindex(prune_zeros=True)")
         if fenwick:
             lines.append(f"{indent}_ai = _idx")
-            for stmt in _FENWICK_PROLOGUE:
+            for stmt in _DENSE_PROLOGUE:
                 lines.append(f"{indent}{stmt}")
             _emit_index_add(lines, indent, flavor, "_new", res)
         else:

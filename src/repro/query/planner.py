@@ -473,6 +473,112 @@ def preferred_backend(plan: QueryPlan) -> str:
     return "rpai"
 
 
+@dataclass(frozen=True)
+class BackendChoice:
+    """Result of :func:`choose_backend`.
+
+    Attributes:
+        spec: backend spec string for
+            :class:`~repro.core.backends.BackendFactory` — either a raw
+            backend name or ``"adaptive:<dense>-><sparse>"``.
+        backend: the model name of the backend the role *starts* on
+            (for adaptive specs, the dense member).
+        label: the op-mix label the ranking used (``"point-heavy"``,
+            ``"prefix-heavy"``, ``"shift-heavy"``, ``"mixed"``).
+        ranking: ``(predicted µs/event, name)`` cheapest-first over the
+            candidates considered.
+    """
+
+    spec: str
+    backend: str
+    label: str
+    ranking: tuple[tuple[float, str], ...]
+
+    def factory(self):
+        from repro.core.backends import BackendFactory
+
+        return BackendFactory(self.spec)
+
+
+def plan_profile(plan: QueryPlan) -> tuple[dict[str, float], str]:
+    """The plan's static per-event op mix ``(profile, label)``.
+
+    Weights are ops per event on the aggregate index: an equality-θ
+    point engine does two point moves (retract + re-insert of the
+    group's aggregate) and one result probe, whose kind depends on the
+    outer comparison (``=`` probes with a point get, an inequality with
+    a prefix sum).  Inequality-θ range engines do one ``shift_keys``,
+    one point add and one prefix probe per event.  ``n`` is a nominal
+    live-entry count for the curves; rankings are insensitive to it
+    within an order of magnitude (the runtime re-decision uses the
+    real one).
+    """
+    if plan.strategy is Strategy.PAI_EQUALITY:
+        spec = plan.index_specs[0] if plan.index_specs else None
+        if spec is not None and spec.outer_op in _EQ_OPS:
+            return {"n": 512, "add": 2.0, "get": 1.0}, "point-heavy"
+        return {"n": 512, "add": 2.0, "get_sum": 1.0}, "prefix-heavy"
+    if plan.strategy in (
+        Strategy.RPAI_INEQUALITY,
+        Strategy.RPAI_CONJUNCTIVE,
+        Strategy.RPAI_GROUPED,
+    ):
+        return {"n": 512, "add": 1.0, "shift_keys": 1.0, "get_sum": 1.0}, "shift-heavy"
+    return {"n": 512, "add": 1.0, "get_sum": 1.0}, "mixed"
+
+
+def choose_backend(plan: QueryPlan, profile: dict[str, float] | None = None, *, model=None) -> BackendChoice:
+    """Rank the candidate backends for ``plan``'s op mix and pick one.
+
+    The successor of :func:`preferred_backend`: instead of the
+    hard-coded two-way rule, every aggregate-index role is priced
+    against the fitted cost model (:mod:`repro.core.costmodel`).
+
+    Candidate sets per role shape:
+
+    * **Point roles** (equality-θ — never shift): all five substrates.
+      If a dense positional backend (Fenwick/segment) wins, it is
+      wrapped in :class:`~repro.core.adaptive.AdaptiveIndex` with the
+      best sparse backend as its guard fallback, because point-role
+      keys are *aggregate values* and may turn out fractional or
+      huge; a sparse winner (e.g. the dict for point-probe roles) is
+      used raw — it handles every key, so no guard is needed.
+    * **Range roles** (inequality-θ and conjunctive — ``shift_keys``
+      on the hot path): only the relative-key trees
+      {``rpai``, ``rpai_btree``}.  The positional backends shift in
+      O(U) over a *bounded* universe that RPAI's unbounded relative
+      keys escape immediately, and the dict shifts in O(n) — not
+      priced out by the model but structurally unable to keep the
+      engine's O(log n) per-update bound, so they are excluded a
+      priori.
+    * Every other strategy manages its own structures → ``"rpai"``.
+    """
+    from repro.core import costmodel
+
+    model = model or costmodel.get_model()
+    default_profile, label = plan_profile(plan)
+    if profile is None:
+        profile = default_profile
+    if plan.strategy is Strategy.PAI_EQUALITY:
+        ranking = tuple(model.rank(profile, costmodel.CANDIDATE_BACKENDS))
+        winner = ranking[0][1]
+        sparse_rank = [name for _, name in ranking if name in ("rpai", "rpai_btree", "paimap")]
+        if winner in ("fenwick", "segment"):
+            spec = f"adaptive:{winner}->{sparse_rank[0]}"
+        else:
+            spec = winner
+        return BackendChoice(spec=spec, backend=winner, label=label, ranking=ranking)
+    if plan.strategy in (
+        Strategy.RPAI_INEQUALITY,
+        Strategy.RPAI_CONJUNCTIVE,
+        Strategy.RPAI_GROUPED,
+    ):
+        ranking = tuple(model.rank(profile, ("rpai", "rpai_btree")))
+        winner = ranking[0][1]
+        return BackendChoice(spec=winner, backend=winner, label=label, ranking=ranking)
+    return BackendChoice(spec="rpai", backend="rpai", label=label, ranking=())
+
+
 def codegen_key(plan: QueryPlan, backend: str) -> tuple:
     """Cache key of a specialized trigger for ``plan`` on ``backend``.
 

@@ -28,7 +28,10 @@ the wide-node ablation.
 from __future__ import annotations
 
 import bisect
-from typing import Iterator
+from typing import Iterable, Iterator
+
+from repro.obs import SELFCHECK as _SELF
+from repro.obs import SINK as _SINK
 
 __all__ = ["RPAIBTree"]
 
@@ -84,6 +87,37 @@ class RPAIBTree:
         self._root = _BNode()
         self._root.refresh()
 
+    @classmethod
+    def bulk_load(
+        cls,
+        sorted_items: Iterable[tuple[float, float]],
+        *,
+        prune_zeros: bool = False,
+        min_degree: int = 16,
+    ) -> "RPAIBTree":
+        """Build from key-sorted ``(key, value)`` pairs.
+
+        Sequential insertion of ascending keys only ever touches the
+        rightmost path, so this runs in O(n log_t n) with small
+        constants — adequate for the warm-start path; this backend has
+        no O(n) linear build the way the array-backed ones do.
+
+        Raises:
+            ValueError: when keys are not strictly increasing.
+        """
+        tree = cls(min_degree=min_degree, prune_zeros=prune_zeros)
+        last: float | None = None
+        for key, value in sorted_items:
+            if last is not None and key <= last:
+                raise ValueError("bulk_load requires strictly increasing keys")
+            last = key
+            if prune_zeros and value == 0:
+                continue
+            tree._insert(key, value, replace=True)
+        if _SELF.enabled:
+            tree.check_invariants()
+        return tree
+
     # -- basic map operations -------------------------------------------------
 
     def get(self, key: float, default: float = 0.0) -> float:
@@ -109,6 +143,8 @@ class RPAIBTree:
                 self.delete(key)
             return
         self._insert(key, value, replace=True)
+        if _SELF.enabled:
+            self.check_invariants()
 
     def add(self, key: float, delta: float) -> None:
         if self.prune_zeros:
@@ -120,6 +156,8 @@ class RPAIBTree:
                 self.delete(key)
                 return
         self._insert(key, delta, replace=False)
+        if _SELF.enabled:
+            self.check_invariants()
 
     def delete(self, key: float) -> float:
         value = self._delete(self._root, key)
@@ -133,6 +171,8 @@ class RPAIBTree:
             offset = root.offsets[0]
             _rebase(child, offset)
             self._root = child
+        if _SELF.enabled:
+            self.check_invariants()
         return value
 
     def pop(self, key: float, default: float | None = None) -> float | None:
@@ -178,6 +218,8 @@ class RPAIBTree:
         violated = self._shift(self._root, key, delta, inclusive)
         if violated:
             self._rebuild_merging()
+        if _SELF.enabled:
+            self.check_invariants()
 
     # -- order / search helpers ------------------------------------------------
 
@@ -191,6 +233,74 @@ class RPAIBTree:
             raise KeyError("empty index")
         return self._root.max_rel
 
+    def successor(self, key: float) -> float | None:
+        """Smallest key strictly greater than ``key``; O(t log_t n)."""
+        node = self._root
+        if node.size == 0:
+            return None
+        remaining = key
+        best: float | None = None
+        while True:
+            index = bisect.bisect_right(node.keys, remaining)
+            if index < len(node.keys):
+                best = (key - remaining) + node.keys[index]
+            if node.leaf:
+                return best
+            assert node.children is not None and node.offsets is not None
+            remaining -= node.offsets[index]
+            node = node.children[index]
+
+    def predecessor(self, key: float) -> float | None:
+        """Largest key strictly smaller than ``key``; O(t log_t n)."""
+        node = self._root
+        if node.size == 0:
+            return None
+        remaining = key
+        best: float | None = None
+        while True:
+            index = bisect.bisect_left(node.keys, remaining)
+            if index > 0:
+                best = (key - remaining) + node.keys[index - 1]
+            if node.leaf:
+                return best
+            assert node.children is not None and node.offsets is not None
+            remaining -= node.offsets[index]
+            node = node.children[index]
+
+    def first_key_with_prefix_above(self, threshold: float) -> float | None:
+        """Smallest key ``k`` with ``get_sum(k) > threshold``, descending
+        through the cached subtree sums in O(t log_t n).  Like the other
+        backends, assumes all values are non-negative."""
+        node = self._root
+        if node.size == 0 or node.sum <= threshold:
+            # Empty first: with threshold < 0 the descent below would
+            # otherwise "find" a key in an empty index.
+            return None
+        base: float = 0
+        remaining = threshold
+        while True:
+            if node.leaf:
+                for key, value in zip(node.keys, node.values):
+                    if value > remaining:
+                        return base + key
+                    remaining -= value
+                return None  # unreachable while values are non-negative
+            assert node.children is not None and node.offsets is not None
+            descended = False
+            for index, child in enumerate(node.children):
+                if child.sum > remaining:
+                    base += node.offsets[index]
+                    node = child
+                    descended = True
+                    break
+                remaining -= child.sum
+                if index < len(node.keys):
+                    if node.values[index] > remaining:
+                        return base + node.keys[index]
+                    remaining -= node.values[index]
+            if not descended:
+                return None  # unreachable while values are non-negative
+
     def items(self) -> Iterator[tuple[float, float]]:
         yield from self._items(self._root, 0)
 
@@ -201,6 +311,10 @@ class RPAIBTree:
     def values(self) -> Iterator[float]:
         for _, value in self.items():
             yield value
+
+    def clear(self) -> None:
+        self._root = _BNode()
+        self._root.refresh()
 
     def __len__(self) -> int:
         return self._root.size
@@ -445,6 +559,7 @@ class RPAIBTree:
     def _rebuild_merging(self) -> None:
         """O(n) fallback: collect items (merging equal keys by addition)
         and bulk-reload."""
+        _SINK.inc("btree.shift_rebuilds")
         merged: dict[float, float] = {}
         for key, value in self.items():
             merged[key] = merged.get(key, 0) + value

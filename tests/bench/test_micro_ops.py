@@ -15,6 +15,8 @@ import pytest
 from repro.core.adaptive import AdaptiveIndex
 from repro.core.rpai import RPAITree
 from repro.trees.fenwick import FenwickTree
+from repro.trees.rpai_btree import RPAIBTree
+from repro.trees.segment_tree import SegmentTree
 from repro.trees.treemap import TreeMap
 
 pytest.importorskip("pytest_benchmark")
@@ -31,8 +33,12 @@ SHIFT_PIVOTS = [_RNG.randrange(0, 2_048) for _ in range(100)]
 
 BACKENDS = {
     "rpai": lambda: RPAITree(prune_zeros=True),
+    "rpai_btree": lambda: RPAIBTree(prune_zeros=True),
     "treemap": lambda: TreeMap(prune_zeros=True),
     "fenwick": lambda: FenwickTree(4_096, prune_zeros=True),
+    # Headroom over max(KEYS) + shift amplitude so the dense universe
+    # never doubles mid-measurement.
+    "segment": lambda: SegmentTree(4_096, prune_zeros=True),
     "adaptive": lambda: AdaptiveIndex(prune_zeros=True),
 }
 

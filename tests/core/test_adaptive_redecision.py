@@ -1,0 +1,179 @@
+"""Model-driven re-decision tests for the N-way AdaptiveIndex.
+
+The forced dense→sparse guard migrations are covered in
+``test_adaptive.py``; this file pins the *periodic* path — every
+``DECISION_INTERVAL`` mutations the index re-ranks the eligible
+backends against the cost model and migrates only when the winner
+clears the ``HYSTERESIS`` cost-gap.  All rankings here come from
+hand-built :class:`CostModel` tables via :func:`set_model`, so the
+tests are deterministic on any machine.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro import obs
+from repro.core.adaptive import (
+    DECISION_INTERVAL,
+    HYSTERESIS,
+    AdaptiveIndex,
+)
+from repro.core.costmodel import CANDIDATE_BACKENDS, OPS, CostModel, set_model
+from repro.core.reference_index import ReferenceIndex
+
+
+@pytest.fixture
+def counters():
+    obs.enable()
+    obs.reset()
+    yield obs.SINK.counters
+    obs.disable()
+    obs.reset()
+
+
+@pytest.fixture(autouse=True)
+def _reset_model():
+    set_model(None)
+    yield
+    set_model(None)
+
+
+def op_table(costs: dict[str, dict[str, float]]) -> CostModel:
+    """A const-shaped model: ``costs[backend][op]`` µs, default 1.0.
+
+    Backends absent from ``costs`` get flat 1.0 across every op.
+    """
+    backends = {}
+    for name in CANDIDATE_BACKENDS:
+        per_op = costs.get(name, {})
+        backends[name] = {
+            op: {"shape": "const", "c0": per_op.get(op, 1.0), "c1": 0.0}
+            for op in OPS
+        } | {"memory": {"shape": "linear", "c0": 0.0, "c1": 1.0}}
+    return CostModel({"source": "test", "backends": backends})
+
+
+def drive_interval(index, *, base: int = 0) -> None:
+    """Exactly DECISION_INTERVAL mutations over >=64 live dense keys,
+    which is what arms one re-decision check."""
+    for i in range(DECISION_INTERVAL):
+        index.add(base + (i % 128), 1)
+
+
+class TestRedecision:
+    def test_migrates_to_clear_model_winner(self, counters):
+        # paimap is 10x cheaper everywhere: the first re-decision must
+        # move off the starting fenwick backend.
+        set_model(op_table({"paimap": {op: 0.1 for op in OPS}}))
+        index = AdaptiveIndex(prune_zeros=True)
+        assert index.backend_name == "fenwick"
+        drive_interval(index)
+        assert index.backend_name == "paimap"
+        assert index.migrations == 1
+        assert counters["backend.decision.checks"] == 1
+        assert counters["backend.decision.migrate"] == 1
+        assert counters["backend.migration.redecision"] == 1
+
+    def test_hysteresis_holds_marginal_winner(self, counters):
+        # 0.9x cheaper is inside the HYSTERESIS band (0.75): hold.
+        marginal = HYSTERESIS + 0.15
+        assert marginal < 1.0
+        set_model(op_table({"paimap": {op: marginal for op in OPS}}))
+        index = AdaptiveIndex(prune_zeros=True)
+        drive_interval(index)
+        assert index.backend_name == "fenwick"
+        assert index.migrations == 0
+        assert counters["backend.decision.checks"] == 1
+        assert counters["backend.decision.hold"] == 1
+        assert "backend.decision.migrate" not in counters
+
+    def test_small_indexes_never_redecide(self, counters):
+        set_model(op_table({"paimap": {op: 0.01 for op in OPS}}))
+        index = AdaptiveIndex(prune_zeros=True)
+        # Plenty of mutations but only 8 live keys: below the size
+        # floor an O(n) migration cannot pay for itself.
+        for i in range(DECISION_INTERVAL + 8):
+            index.add(i % 8, 1)
+        assert index.backend_name == "fenwick"
+        assert "backend.decision.checks" not in counters
+
+    def test_no_flap_under_oscillating_workload(self, counters):
+        # Each phase's winner is only marginally cheaper on that
+        # phase's op mix — inside the hysteresis band, so alternating
+        # phases must NOT ping-pong the backend.
+        edge = HYSTERESIS + 0.05
+        set_model(
+            op_table(
+                {
+                    "fenwick": {"add": edge, "get_sum": 1.0},
+                    "paimap": {"add": 1.0, "get_sum": edge},
+                }
+            )
+        )
+        index = AdaptiveIndex(prune_zeros=True)
+        for phase in range(6):
+            if phase % 2:
+                for i in range(DECISION_INTERVAL):
+                    index.add(i % 128, 1)
+                    index.get_sum(i % 128)
+            else:
+                drive_interval(index)
+        assert index.migrations == 0
+        assert counters["backend.decision.checks"] == 6
+        assert counters["backend.decision.hold"] == 6
+
+    def test_decisive_shift_migrates_once_then_settles(self, counters):
+        # A decisive (beyond-hysteresis) winner migrates exactly once;
+        # repeated intervals on the same workload then hold steady.
+        set_model(op_table({"rpai_btree": {op: 0.2 for op in OPS}}))
+        index = AdaptiveIndex(prune_zeros=True)
+        for _ in range(4):
+            drive_interval(index)
+        assert index.backend_name == "rpai_btree"
+        assert index.migrations == 1
+        assert counters["backend.decision.migrate"] == 1
+        assert counters["backend.decision.hold"] == 3
+
+    def test_shift_heavy_window_excludes_dense_candidates(self):
+        # Dense backends can't win a window that saw shift_keys even if
+        # the model prices them at ~0: they'd migrate right back out.
+        set_model(op_table({"fenwick": {op: 0.01 for op in OPS}}))
+        index = AdaptiveIndex(prune_zeros=True)
+        for i in range(200):
+            index.add(200 + i, 1)
+        index.shift_keys(0, 5)  # forced guard migration off fenwick
+        assert index.backend_name == "rpai"
+        drive_interval(index, base=300)
+        index.shift_keys(0, -5)
+        drive_interval(index, base=600)
+        assert index.backend_name not in ("fenwick", "segment")
+
+    def test_results_identical_across_redecision(self):
+        set_model(op_table({"paimap": {op: 0.1 for op in OPS}}))
+        index = AdaptiveIndex(prune_zeros=True)
+        oracle = ReferenceIndex(prune_zeros=True)
+        for i in range(DECISION_INTERVAL + 500):
+            key = (i * 7) % 257
+            index.add(key, (i % 5) - 2 or 1)
+            oracle.add(key, (i % 5) - 2 or 1)
+        assert index.migrations == 1
+        assert sorted(index.items()) == sorted(oracle.items())
+        assert index.total_sum() == oracle.total_sum()
+        for probe in range(0, 257, 13):
+            assert index.get_sum(probe) == oracle.get_sum(probe)
+
+    def test_pickle_preserves_migrated_backend(self):
+        set_model(op_table({"paimap": {op: 0.1 for op in OPS}}))
+        index = AdaptiveIndex(prune_zeros=True, dense="segment", sparse="rpai_btree")
+        drive_interval(index)
+        assert index.backend_name == "paimap"
+        restored = pickle.loads(pickle.dumps(index))
+        assert restored.backend_name == "paimap"
+        assert restored.migrations == index.migrations
+        assert sorted(restored.items()) == sorted(index.items())
+        # The configured pair survives too: a later forced migration on
+        # the restored copy must still target the configured sparse.
+        assert restored._sparse_name == "rpai_btree"

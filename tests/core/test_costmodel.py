@@ -1,0 +1,210 @@
+"""Cost-model unit tests: curve evaluation, ranking, the loading
+fallback chain, batch-size auto-tuning, and a smoke calibration run.
+
+The model's *numbers* are machine-dependent (the committed
+``benchmarks/results/costmodel.json`` refits on ``repro calibrate``),
+so these tests pin the mechanics — shapes evaluate correctly, rankings
+follow the curves, loading falls back cleanly — and use
+:func:`set_model` with hand-built tables wherever determinism matters.
+The measured end (model pick vs best measured backend) is gated by
+``benchmarks/bench_backends.py`` in CI, not here.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.core.costmodel import (
+    CANDIDATE_BACKENDS,
+    OPS,
+    CostModel,
+    auto_batch_size,
+    calibrate,
+    default_model_path,
+    get_model,
+    set_model,
+)
+from repro.query.planner import choose_backend, classify, plan_profile
+from repro.workloads.queries import get_query, query_names
+
+
+@pytest.fixture(autouse=True)
+def _reset_model():
+    """Every test starts and ends on the lazily-loaded default model."""
+    set_model(None)
+    yield
+    set_model(None)
+
+
+def flat_table(costs: dict[str, float]) -> CostModel:
+    """A model where every op on ``backend`` costs ``costs[backend]``."""
+    return CostModel(
+        {
+            "source": "test",
+            "backends": {
+                name: {op: {"shape": "const", "c0": us, "c1": 0.0} for op in OPS}
+                | {"memory": {"shape": "linear", "c0": 0.0, "c1": 1.0}}
+                for name, us in costs.items()
+            },
+        }
+    )
+
+
+class TestCurves:
+    def test_shapes_evaluate(self):
+        model = CostModel(
+            {
+                "backends": {
+                    "x": {
+                        "add": {"shape": "const", "c0": 2.0, "c1": 9.0},
+                        "get": {"shape": "log", "c0": 1.0, "c1": 0.5},
+                        "get_sum": {"shape": "linear", "c0": 0.0, "c1": 0.25},
+                    }
+                }
+            }
+        )
+        # const's basis is 1.0, so the cost is c0 + c1 at every n.
+        assert model.op_cost("x", "add", 10_000) == pytest.approx(11.0)
+        assert model.op_cost("x", "add", 4) == pytest.approx(11.0)
+        assert model.op_cost("x", "get", 1024) == pytest.approx(
+            1.0 + 0.5 * math.log2(1024)
+        )
+        assert model.op_cost("x", "get_sum", 100) == pytest.approx(25.0)
+
+    def test_predict_is_weighted_sum(self):
+        model = flat_table({"a": 2.0})
+        profile = {"add": 1.0, "get_sum": 0.5, "n": 512}
+        assert model.predict("a", profile) == pytest.approx(2.0 + 1.0)
+
+    def test_rank_orders_cheapest_first(self):
+        model = flat_table({"slow": 5.0, "fast": 1.0, "mid": 3.0})
+        ranking = model.rank({"add": 1.0}, ("slow", "fast", "mid"))
+        assert [name for _, name in ranking] == ["fast", "mid", "slow"]
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(KeyError):
+            flat_table({"a": 1.0}).predict("nope", {"add": 1.0})
+
+
+class TestLoading:
+    def test_builtin_covers_all_candidates_and_ops(self):
+        model = get_model()
+        for name in CANDIDATE_BACKENDS:
+            for op in OPS:
+                assert model.op_cost(name, op, 4096) > 0.0, (name, op)
+
+    def test_env_override_and_unreadable_fallback(self, tmp_path, monkeypatch):
+        # A valid override wins ...
+        override = tmp_path / "model.json"
+        table = flat_table({name: 1.0 for name in CANDIDATE_BACKENDS}).table
+        override.write_text(json.dumps(table))
+        monkeypatch.setenv("REPRO_COSTMODEL", str(override))
+        set_model(None)
+        assert default_model_path() == override
+        assert get_model().source == "test"
+        # ... an unreadable one falls back to the builtin table.
+        override.write_text("{not json")
+        set_model(None)
+        assert get_model().source != "test"
+
+    def test_set_model_pins_and_resets(self):
+        pinned = flat_table({"rpai": 1.0})
+        set_model(pinned)
+        assert get_model() is pinned
+        set_model(None)
+        assert get_model() is not pinned
+
+
+class TestChooseBackend:
+    @staticmethod
+    def _plan(query: str):
+        return classify(get_query(query).ast)
+
+    def test_point_role_follows_the_model(self):
+        plan = self._plan("EQ")
+        cheap_sparse = flat_table(
+            {name: (0.5 if name == "paimap" else 5.0) for name in CANDIDATE_BACKENDS}
+        )
+        choice = choose_backend(plan, model=cheap_sparse)
+        assert choice.spec == "paimap"
+        assert choice.backend == "paimap"
+        assert [name for _, name in choice.ranking][0] == "paimap"
+
+    def test_dense_point_winner_is_guarded(self):
+        plan = self._plan("EQ")
+        cheap_dense = flat_table(
+            {name: (0.5 if name == "fenwick" else 5.0) for name in CANDIDATE_BACKENDS}
+        )
+        choice = choose_backend(plan, model=cheap_dense)
+        # A dense positional winner must ship inside AdaptiveIndex: the
+        # point role can still see out-of-universe keys at runtime.
+        assert choice.spec.startswith("adaptive:fenwick->")
+        assert choice.backend == "fenwick"
+
+    def test_range_role_only_considers_shift_capable(self):
+        plan = self._plan("VWAP")
+        cheap_dense = flat_table(
+            {name: (0.1 if name == "fenwick" else 5.0) for name in CANDIDATE_BACKENDS}
+        )
+        choice = choose_backend(plan, model=cheap_dense)
+        ranked = {name for _, name in choice.ranking}
+        assert ranked <= {"rpai", "rpai_btree"}
+        assert choice.spec in ("rpai", "rpai_btree")
+
+    def test_profiles_exist_for_every_registry_query(self):
+        for query in query_names():
+            plan = classify(get_query(query).ast)
+            profile, label = plan_profile(plan)
+            assert label
+            if profile:
+                assert sum(profile.get(op, 0.0) for op in OPS) > 0.0, query
+
+
+class TestAutoBatch:
+    def test_probe_heavy_profile_batches_up(self):
+        model = flat_table({"rpai": 1.0})
+        # Expensive probe, cheap update: batching pays.
+        profile = {"add": 0.01, "get_sum": 4.0, "n": 1024}
+        batch = auto_batch_size(profile, "rpai", model=model)
+        assert batch == 512
+
+    def test_update_heavy_profile_stays_small(self):
+        model = flat_table({"rpai": 1.0})
+        profile = {"add": 8.0, "shift_keys": 8.0, "get": 0.1, "n": 1024}
+        batch = auto_batch_size(profile, "rpai", model=model)
+        assert 1 <= batch <= 4
+
+    def test_bounds_and_power_of_two(self):
+        model = flat_table({"rpai": 1.0})
+        for profile in (
+            {"add": 1.0, "get": 1.0},
+            {"get_sum": 9.0},
+            {"add": 100.0},
+            {},
+        ):
+            batch = auto_batch_size(profile, "rpai", model=model)
+            assert 1 <= batch <= 512
+            assert batch & (batch - 1) == 0, batch
+
+    def test_sharded_floor(self):
+        model = flat_table({"rpai": 1.0})
+        profile = {"add": 8.0, "get": 0.1, "n": 1024}
+        assert auto_batch_size(profile, "rpai", model=model, sharded=True) >= 256
+
+
+class TestCalibrateSmoke:
+    def test_calibrate_writes_loadable_model(self, tmp_path):
+        out = tmp_path / "fit.json"
+        model = calibrate(sizes=(64, 256), out=out)
+        assert out.is_file()
+        table = json.loads(out.read_text())
+        assert table["source"] == "calibrated"
+        assert set(table["backends"]) == set(CANDIDATE_BACKENDS)
+        for name in CANDIDATE_BACKENDS:
+            for op in OPS:
+                assert model.op_cost(name, op, 1024) >= 0.0, (name, op)
+        # calibrate() installs itself process-wide (reset by fixture).
+        assert get_model() is model

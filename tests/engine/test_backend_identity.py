@@ -1,0 +1,131 @@
+"""Backend-identity contract: the cost model's chosen substrate is a
+constant-factor change, never an algorithmic one.
+
+For every registry query, the engine built with the model-chosen
+backend (the default) must be bit-identical — per-event results,
+batch-boundary results, and the ``engine.*`` obs counter family — to
+the same engine forced onto the reference :class:`RPAITree` substrate
+via ``build_engine(..., backend="rpai")``.  Backend-*internal* counters
+(``fenwick.*``, ``paimap.*``, ``backend.*`` …) legitimately differ
+between substrates and are excluded.
+
+The restore half: engines carrying the newer backend flavors
+(raw PAIMap, segment-guarded adaptive, B-tree fallback) must survive a
+pickle round-trip and a WAL crash-recovery with compiled triggers
+re-specializing to the *same* flavor, continuing bit-identically.
+
+``benchmarks/bench_backends.py`` runs the same identity check at CI
+scale with throughput gating; this is the fast tier-1 version.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro import obs
+from repro.engine.registry import build_engine
+from repro.query import codegen
+
+from tests.engine.test_differential import CASES
+from tests.engine.test_sharding import stream_for
+
+ALL_QUERIES = sorted(CASES)
+
+# Forced flavors for the restore tests: one per new substrate path
+# (raw sparse map, dense segment tree under guard, B-tree fallback).
+FLAVORS = ("paimap", "adaptive:segment->rpai", "adaptive:fenwick->rpai_btree")
+
+
+def counters_trace(name: str, stream, *, backend: str | None, batch: int = 0):
+    """(results, engine.* counters) for one pass over ``stream``."""
+    obs.enable()
+    obs.reset()
+    try:
+        engine = build_engine(name, "rpai", backend=backend)
+        if batch:
+            results = engine.batched_results_trace(stream, batch)
+        else:
+            results = engine.results_trace(stream)
+        engine_counters = {
+            key: value
+            for key, value in obs.SINK.counters.items()
+            if key.startswith("engine.")
+        }
+        return results, engine_counters
+    finally:
+        obs.disable()
+        obs.reset()
+
+
+class TestModelChosenIdentity:
+    @pytest.mark.parametrize("name", ALL_QUERIES)
+    def test_per_event_results_and_counters(self, name):
+        stream = CASES[name]()
+        expected = counters_trace(name, stream, backend="rpai")
+        actual = counters_trace(name, stream, backend=None)
+        assert actual[0] == expected[0], name
+        assert actual[1] == expected[1], name
+
+    @pytest.mark.parametrize("name", ALL_QUERIES)
+    def test_batched_results_and_counters(self, name):
+        stream = CASES[name]()
+        expected = counters_trace(name, stream, backend="rpai", batch=32)
+        actual = counters_trace(name, stream, backend=None, batch=32)
+        assert actual[0] == expected[0], name
+        assert actual[1] == expected[1], name
+
+
+class TestFlavorRestore:
+    @pytest.fixture(autouse=True)
+    def _restore_codegen_state(self):
+        prior = codegen.codegen_enabled()
+        yield
+        codegen.set_codegen(prior)
+
+    @pytest.mark.parametrize("flavor", FLAVORS)
+    def test_pickle_respecializes_compiled_trigger(self, flavor):
+        events = list(CASES["EQ"]())
+        half = len(events) // 2
+        codegen.set_codegen(True)
+        reference = build_engine("EQ", "rpai", backend=flavor)
+        engine = build_engine("EQ", "rpai", backend=flavor)
+        assert engine.trigger_mode == "compiled"
+        for event in events[:half]:
+            engine.on_event(event)
+            reference.on_event(event)
+        restored = pickle.loads(pickle.dumps(engine))
+        assert restored.trigger_mode == "compiled"
+        for event in events[half:]:
+            assert restored.on_event(event) == reference.on_event(event)
+
+    @pytest.mark.parametrize("flavor", FLAVORS)
+    def test_wal_crash_recovery_keeps_flavor_identical(self, flavor, tmp_path):
+        from repro.engine.supervision import DurableEngine
+
+        events = list(stream_for("EQ", seed=23, count=200))
+        half = len(events) // 2
+        codegen.set_codegen(True)
+        reference = build_engine("EQ", "rpai", backend=flavor)
+        for event in events:
+            reference.on_event(event)
+
+        durable = DurableEngine(
+            build_engine("EQ", "rpai", backend=flavor),
+            tmp_path / "wal",
+            snapshot_every=32,
+        )
+        for event in events[:half]:
+            durable.on_event(event)
+        durable.wal.close()  # crash: no clean shutdown snapshot
+
+        recovered = DurableEngine.recover(
+            lambda: build_engine("EQ", "rpai", backend=flavor),
+            tmp_path / "wal",
+            snapshot_every=32,
+        )
+        assert recovered.engine.trigger_mode == "compiled"
+        for event in events[half:]:
+            result = recovered.on_event(event)
+        assert result == reference.result()

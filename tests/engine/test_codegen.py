@@ -45,9 +45,9 @@ def _restore_codegen_state():
         os.environ["REPRO_CODEGEN"] = prior_env
 
 
-def build(name: str, *, compiled: bool):
+def build(name: str, *, compiled: bool, backend: str | None = None):
     codegen.set_codegen(compiled)
-    return build_engine(name, "rpai")
+    return build_engine(name, "rpai", backend=backend)
 
 
 class TestDifferential:
@@ -206,9 +206,12 @@ class TestCache:
 
 class TestDeopt:
     # EQ's aggregate index is keyed by the per-group RHS sums (SUM(B)
-    # per A), which start dense (Fenwick).  An unmatched delete drives
-    # one group's sum negative — a key the dense universe cannot hold —
-    # migrating the backend to RPAI mid-stream.
+    # per A).  Forced onto the adaptive fenwick->rpai pair, it starts
+    # dense; an unmatched delete drives one group's sum negative — a
+    # key the dense universe cannot hold — migrating the backend to
+    # RPAI mid-stream.  (The cost model's default pick for EQ is the
+    # plain PAIMap, which never migrates, so the pair is forced here.)
+    ADAPTIVE = "adaptive:fenwick->rpai"
     MIGRATOR = Event("R", {"A": 77, "B": 5}, -1)
 
     def test_backend_migration_deopts_and_stays_correct(self):
@@ -221,8 +224,10 @@ class TestDeopt:
                   Event("R", {"A": 77, "B": 5}, +1)]
         events = prefix + [self.MIGRATOR] + prefix[: len(prefix) // 2] + suffix
 
-        reference = build("EQ", compiled=False).results_trace(Stream(events))
-        engine = build("EQ", compiled=True)
+        reference = build(
+            "EQ", compiled=False, backend=self.ADAPTIVE
+        ).results_trace(Stream(events))
+        engine = build("EQ", compiled=True, backend=self.ADAPTIVE)
         assert engine.trigger_mode == "compiled"
         obs.enable()
         obs.reset()
@@ -241,8 +246,10 @@ class TestDeopt:
         events = list(CASES["EQ"]())
         events.insert(len(events) // 2, self.MIGRATOR)
         stream = Stream(events)
-        reference = build("EQ", compiled=False).batched_results_trace(stream, 16)
-        engine = build("EQ", compiled=True)
+        reference = build(
+            "EQ", compiled=False, backend=self.ADAPTIVE
+        ).batched_results_trace(stream, 16)
+        engine = build("EQ", compiled=True, backend=self.ADAPTIVE)
         assert engine.batched_results_trace(stream, 16) == reference
         assert engine.trigger_mode == "deopted"
 

@@ -261,9 +261,15 @@ class TestStatsCli:
         assert not obs.enabled()  # CLI must restore the disabled state
 
     def test_stats_json(self, capsys):
-        assert main(["stats", "VWAP", "--events", "150", "--json"]) == 0
+        # Pin batch size 1: without the flag stats auto-tunes the batch
+        # (tests/test_cli.py covers that), and the batched trigger
+        # counts engine.batches rather than per-event engine.events.
+        assert main(
+            ["stats", "VWAP", "--events", "150", "--batch-size", "1", "--json"]
+        ) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["events"] == 150
+        assert payload["batch_auto"] is False
         assert payload["ops"]["counters"]["engine.events"] == 150
         assert "derived" in payload
 

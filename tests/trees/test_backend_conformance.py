@@ -1,0 +1,167 @@
+"""Conformance suite: every selectable backend against the oracle.
+
+The cost-model planner (:func:`repro.query.planner.choose_backend`) may
+hand any of the five :data:`~repro.core.adaptive.BACKEND_CLASSES` to an
+engine, so every one of them must expose identical observable behavior
+on the :class:`~repro.core.interfaces.AggregateIndex` protocol — same
+items, same prefix sums, same order helpers, same pickle round-trip.
+This is the differential contract the per-structure suites assume; the
+per-structure suites then cover each backend's own edge cases (growth
+boundaries, rotation paths, node splits).
+
+Two op-stream families:
+
+* a *universal* stream (non-negative int keys, upward shifts) that every
+  backend — including the dense positional ones — must replay
+  identically, and
+* a *sparse-only* stream (negative/float keys, downward shifts) for the
+  backends that accept an arbitrary ordered universe.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.adaptive import BACKEND_CLASSES, SPARSE_BACKENDS
+from repro.core.reference_index import ReferenceIndex
+
+# Universal stream: keys any backend accepts.  Shifts move keys up only
+# (a downward shift may push a key below zero, out of the dense
+# positional universe — that case is covered per-structure as the
+# KeyUniverseError / migration path, not here).
+U_KEYS = st.integers(min_value=0, max_value=40)
+U_VALUES = st.integers(min_value=-9, max_value=9)
+U_SHIFTS = st.integers(min_value=1, max_value=7)
+
+UNIVERSAL_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), U_KEYS, U_VALUES),
+        st.tuples(st.just("add"), U_KEYS, U_VALUES),
+        st.tuples(st.just("delete"), U_KEYS, st.just(0)),
+        st.tuples(st.just("shift"), U_KEYS, U_SHIFTS),
+    ),
+    min_size=1,
+    max_size=50,
+)
+
+# Sparse-only stream: negative keys and downward shifts too.
+S_KEYS = st.integers(min_value=-30, max_value=30)
+S_SHIFTS = st.integers(min_value=-12, max_value=12)
+
+SPARSE_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), S_KEYS, U_VALUES),
+        st.tuples(st.just("add"), S_KEYS, U_VALUES),
+        st.tuples(st.just("delete"), S_KEYS, st.just(0)),
+        st.tuples(st.just("shift"), S_KEYS, S_SHIFTS),
+        st.tuples(st.just("shift_inclusive"), S_KEYS, S_SHIFTS),
+    ),
+    min_size=1,
+    max_size=50,
+)
+
+
+def apply_op(index, op: tuple) -> None:
+    kind, key, value = op
+    if kind == "put":
+        index.put(key, value)
+    elif kind == "add":
+        index.add(key, value)
+    elif kind == "delete":
+        if key in index:
+            index.delete(key)
+    elif kind == "shift":
+        index.shift_keys(key, value)
+    elif kind == "shift_inclusive":
+        index.shift_keys(key, value, inclusive=True)
+
+
+def assert_same_observable_state(index, oracle, probe) -> None:
+    assert sorted(index.items()) == sorted(oracle.items())
+    assert len(index) == len(oracle)
+    assert index.total_sum() == oracle.total_sum()
+    assert index.get_sum(probe) == oracle.get_sum(probe)
+    assert index.get_sum(probe, inclusive=False) == oracle.get_sum(
+        probe, inclusive=False
+    )
+    assert index.get(probe, None) == oracle.get(probe, None)
+    assert index.successor(probe) == oracle.successor(probe)
+    assert index.predecessor(probe) == oracle.predecessor(probe)
+    assert (probe in index) == (probe in oracle)
+
+
+# Plain parametrize, not a fixture: hypothesis re-runs the test body per
+# example without resetting function-scoped fixtures, and a string param
+# carries no state to reset anyway.
+ALL_BACKENDS = pytest.mark.parametrize("backend", sorted(BACKEND_CLASSES))
+
+
+@ALL_BACKENDS
+class TestUniversalConformance:
+    """All five backends on the dense-safe stream."""
+
+    # Always prune_zeros=True: that is how every engine builds its
+    # index, and it is the only mode the dense positional backends can
+    # honor exactly (a flat array has no presence set, so an explicit
+    # zero-valued entry is indistinguishable from an absent key).
+    @given(ops=UNIVERSAL_OPS, probe=U_KEYS)
+    @settings(max_examples=150, deadline=None)
+    def test_matches_oracle(self, backend, ops, probe):
+        index = BACKEND_CLASSES[backend](prune_zeros=True)
+        oracle = ReferenceIndex(prune_zeros=True)
+        for op in ops:
+            apply_op(index, op)
+            apply_op(oracle, op)
+        assert_same_observable_state(index, oracle, probe)
+
+    @given(ops=UNIVERSAL_OPS, probe=U_KEYS)
+    @settings(max_examples=100, deadline=None)
+    def test_pickle_roundtrip_preserves_state(self, backend, ops, probe):
+        index = BACKEND_CLASSES[backend](prune_zeros=True)
+        oracle = ReferenceIndex(prune_zeros=True)
+        for op in ops:
+            apply_op(index, op)
+            apply_op(oracle, op)
+        restored = pickle.loads(pickle.dumps(index))
+        assert type(restored) is type(index)
+        assert_same_observable_state(restored, oracle, probe)
+        # The restored copy must stay live, not just readable.
+        restored.add(probe, 3)
+        oracle.add(probe, 3)
+        assert_same_observable_state(restored, oracle, probe)
+
+    @given(
+        entries=st.dictionaries(
+            U_KEYS, st.integers(min_value=-9, max_value=9), max_size=30
+        ),
+        probe=U_KEYS,
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_bulk_load_matches_incremental(self, backend, entries, probe):
+        items = sorted(entries.items())
+        loaded = BACKEND_CLASSES[backend].bulk_load(items, prune_zeros=True)
+        oracle = ReferenceIndex(prune_zeros=True)
+        for key, value in items:
+            oracle.put(key, value)
+        assert_same_observable_state(loaded, oracle, probe)
+
+
+@ALL_BACKENDS
+class TestSparseConformance:
+    """The arbitrary-universe backends on the full stream."""
+
+    @given(ops=SPARSE_OPS, probe=S_KEYS)
+    @settings(max_examples=150, deadline=None)
+    def test_matches_oracle(self, backend, ops, probe):
+        if backend not in SPARSE_BACKENDS:
+            pytest.skip("dense positional universe")
+        index = BACKEND_CLASSES[backend](prune_zeros=True)
+        oracle = ReferenceIndex(prune_zeros=True)
+        for op in ops:
+            apply_op(index, op)
+            apply_op(oracle, op)
+        assert_same_observable_state(index, oracle, probe)

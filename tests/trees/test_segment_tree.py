@@ -4,6 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.errors import KeyUniverseError
 from repro.trees.segment_tree import SegmentTree
 
 
@@ -25,9 +26,33 @@ class TestBasics:
         assert seg.get(4) == 2
 
     def test_out_of_universe(self):
+        # Keys above capacity grow the universe by doubling; only keys the
+        # dense layout can never represent raise, and the typed error still
+        # is-an IndexError for pre-existing callers.
         seg = SegmentTree(4)
+        seg.add(4, 1)
+        assert seg.capacity == 8
+        assert seg.get(4) == 1
+        with pytest.raises(KeyUniverseError):
+            seg.add(-1, 1)
         with pytest.raises(IndexError):
-            seg.add(4, 1)
+            seg.add(2.5, 1)
+
+    def test_grow_boundary_keys(self):
+        # Boundary regression: the first key at exactly `capacity` must
+        # land in the grown tree without disturbing existing prefix sums.
+        seg = SegmentTree(4)
+        for key in range(4):
+            seg.add(key, key + 1)
+        before = [seg.get_sum(k) for k in range(4)]
+        seg.add(4, 100)
+        assert seg.capacity == 8
+        assert [seg.get_sum(k) for k in range(4)] == before
+        assert seg.get_sum(4) == sum(range(1, 5)) + 100
+        # Growing far past one doubling picks the next power of two.
+        seg.add(33, 1)
+        assert seg.capacity == 64
+        assert seg.total_sum() == sum(range(1, 5)) + 101
 
     def test_non_power_of_two_capacity(self):
         seg = SegmentTree(5)
