@@ -40,13 +40,22 @@ event than the retired pickled-event-list pipe transport.  Byte counts
 are deterministic, so this gate applies even when ``scaling_valid`` is
 false.  Skip with ``--skip-transport-gate``.
 
+When a committed ``BENCH_serving.json`` exists, the run also executes
+the serving gate: ``benchmarks/bench_serving.py`` against a live
+in-process subscription server, diffed with the serving rules in
+:mod:`repro.bench.diffing` — a ``differential_ok`` flip, an overload
+run that deadlocks, or overload shed/evicted counters dropping to zero
+fail at any scale; p99 delta latency gates only when the scales match.
+Skip with ``--skip-serving-gate``.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_compare.py [--full]
         [--baseline PATH] [--out PATH] [--tolerance T] [--rescue R]
         [--wal-gate-factor F] [--skip-wal-gate] [--skip-codegen-gate]
         [--skip-backends-gate] [--sharding-baseline PATH]
-        [--skip-transport-gate]
+        [--skip-transport-gate] [--serving-baseline PATH]
+        [--skip-serving-gate]
 """
 
 from __future__ import annotations
@@ -192,6 +201,17 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="skip the columnar-frame serialization-share gate",
     )
+    parser.add_argument(
+        "--serving-baseline",
+        type=Path,
+        default=REPO_ROOT / "BENCH_serving.json",
+        help="committed serving report to gate against",
+    )
+    parser.add_argument(
+        "--skip-serving-gate",
+        action="store_true",
+        help="skip the subscription-server latency/overload gate",
+    )
     args = parser.parse_args(argv)
 
     if not args.baseline.exists():
@@ -304,8 +324,38 @@ def main(argv: list[str] | None = None) -> int:
             )
             transport_ok &= entry["gate_met"]
 
+    serving_ok = True
+    if not args.skip_serving_gate and args.serving_baseline.exists():
+        from bench_serving import main as run_serving
+
+        serving_out = args.out.with_name("BENCH_serving.candidate.json")
+        serving_args = ["--out", str(serving_out)]
+        if not args.full:
+            serving_args.append("--smoke")
+        print()
+        print("[bench-compare] serving gate (delta latency, overload, differential):")
+        serving_ok = run_serving(serving_args) == 0
+        if serving_ok:
+            serving_report = compare_reports(
+                load_report(args.serving_baseline),
+                load_report(serving_out),
+                tolerance=args.tolerance,
+                rescue=args.rescue,
+            )
+            print(
+                f"[bench-compare] {args.serving_baseline.name} (baseline) vs "
+                f"{serving_out.name}:"
+            )
+            print(format_diff(serving_report))
+            serving_ok = serving_report.ok
+
     return 0 if (
-        report.ok and codegen_ok and backends_ok and wal_ok and transport_ok
+        report.ok
+        and codegen_ok
+        and backends_ok
+        and wal_ok
+        and transport_ok
+        and serving_ok
     ) else 1
 
 

@@ -1,0 +1,272 @@
+"""Streaming subscription server benchmark: delta latency and fan-out.
+
+Two phases against a real in-process :class:`SubscriptionServer` over
+TCP loopback:
+
+* **Latency / fan-out** — N clients all subscribe to M registry
+  queries on one tenant and take turns ingesting batches (settled, so
+  the measured ingest→delta time is the apply + fan-out path, not
+  queueing).  Every client's folded snapshot ⊕ deltas is then checked
+  **bit-identical** against a clean single-engine run of the same
+  batches — the report's ``differential_ok`` verdict.
+* **Overload** — a burst far past a tiny bounded ingest queue under
+  the ``shed-newest`` policy, plus a subscriber that never ACKs.  The
+  run must complete (no deadlock) with batches shed and the laggard
+  evicted, and the surviving subscriber's folded view must still match
+  the server's state exactly: shedding loses events, never
+  consistency.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py [--smoke] [--out PATH]
+
+Writes ``BENCH_serving.json`` at the repo root (override with
+``--out``).  ``--smoke`` shrinks the workload for CI; the diff gate
+(``repro bench-diff``) skips absolute latency when scales differ but
+always fails on a ``differential_ok`` flip or on overload runs that no
+longer shed/evict.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import obs  # noqa: E402
+from repro.engine.registry import build_engine  # noqa: E402
+from repro.serving.client import SubscriptionClient  # noqa: E402
+from repro.serving.protocol import Message, MsgType, encode  # noqa: E402
+from repro.serving.server import ServingConfig, SubscriptionServer  # noqa: E402
+from repro.workloads import (  # noqa: E402
+    OrderBookConfig,
+    TPCHConfig,
+    generate_order_book,
+    generate_tpch,
+)
+
+QUERIES = ("VWAP", "PSP", "Q18")
+
+
+def build_events(events: int, seed: int) -> list:
+    """Order-book plus TPC-H interleave: every benchmark query's
+    relations are fed; engines ignore the rest."""
+    book = list(
+        generate_order_book(
+            OrderBookConfig(
+                events=events,
+                price_levels=max(20, events // 5),
+                volume_max=100,
+                seed=seed,
+                delete_ratio=0.1,
+            )
+        )
+    )
+    tpch = list(generate_tpch(TPCHConfig(scale_factor=events / 120_000, seed=seed)))
+    out = []
+    while book or tpch:
+        if book:
+            out.extend(book[:3])
+            del book[:3]
+        if tpch:
+            out.extend(tpch[:2])
+            del tpch[:2]
+    return out
+
+
+def percentile(values: list[float], q: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    return ordered[min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))]
+
+
+def assert_bit_identical(left, right, context: str) -> bool:
+    if type(left) is not type(right):
+        print(f"MISMATCH ({context}): type {type(left)} != {type(right)}")
+        return False
+    if isinstance(left, dict):
+        if left.keys() != right.keys():
+            print(f"MISMATCH ({context}): key sets differ")
+            return False
+        return all(
+            assert_bit_identical(left[k], right[k], f"{context}[{k!r}]") for k in left
+        )
+    if left != right:
+        print(f"MISMATCH ({context}): {left!r} != {right!r}")
+        return False
+    return True
+
+
+async def latency_phase(clients_n: int, batches: list[list]) -> dict:
+    server = SubscriptionServer(ServingConfig(queue_policy="block"))
+    await server.start()
+    clients = [
+        SubscriptionClient(
+            "127.0.0.1", server.port, tenant="bench", session=f"bench-{i}"
+        )
+        for i in range(clients_n)
+    ]
+    for client in clients:
+        await client.connect()
+        for query in QUERIES:
+            await client.subscribe(query)
+        await client.wait_for(lambda c: set(QUERIES) <= set(c.results), 60)
+
+    loop = asyncio.get_running_loop()
+    started = loop.time()
+    for index, batch in enumerate(batches):
+        client = clients[index % clients_n]
+        await client.ingest(batch)
+        await client.settle(120)
+    tenant = server.tenants["bench"]
+    for client in clients:
+        await client.wait_for(
+            lambda c: all(c.acked.get(q, 0) >= tenant.delta_seq[q] for q in QUERIES),
+            60,
+        )
+    seconds = loop.time() - started
+
+    # differential check: every subscriber vs a clean single engine
+    differential_ok = True
+    for query in QUERIES:
+        engine = build_engine(query, "rpai")
+        expected = engine.result()
+        for batch in batches:
+            expected = engine.on_batch(batch)
+        for client in clients:
+            differential_ok &= assert_bit_identical(
+                client.results[query], expected, f"{query}/{client.session}"
+            )
+
+    per_query: dict[str, dict] = {}
+    for query in QUERIES:
+        samples = [
+            seconds_
+            for client in clients
+            for (q, _seq, seconds_) in client.delta_latencies
+            if q == query
+        ]
+        per_query[query] = {
+            "samples": len(samples),
+            "delta_latency_p50_ms": round(1e3 * percentile(samples, 0.50), 3),
+            "delta_latency_p99_ms": round(1e3 * percentile(samples, 0.99), 3),
+        }
+    deltas_sent = sum(client.deltas_seen for client in clients)
+    events = sum(len(batch) for batch in batches)
+    await server.stop()
+    for client in clients:
+        await client.close()
+    return {
+        "per_query": per_query,
+        "events": events,
+        "seconds": round(seconds, 4),
+        "events_per_second": round(events / max(seconds, 1e-9), 1),
+        "deltas_folded": deltas_sent,
+        "deltas_per_second": round(deltas_sent / max(seconds, 1e-9), 1),
+        "differential_ok": differential_ok,
+    }
+
+
+async def overload_phase(batches: list[list]) -> dict:
+    obs.enable()
+    obs.reset()
+    server = SubscriptionServer(
+        ServingConfig(queue_limit=2, queue_policy="shed-newest", subscriber_buffer=4)
+    )
+    await server.start()
+    client = SubscriptionClient("127.0.0.1", server.port, tenant="bench", session="w")
+    await client.connect()
+    await client.subscribe("VWAP")
+    await client.wait_for(lambda c: "VWAP" in c.results, 30)
+    _, stalled = await asyncio.open_connection("127.0.0.1", server.port)
+    stalled.write(encode(Message(MsgType.HELLO, 0, {"tenant": "bench", "session": "stall"})))
+    stalled.write(encode(Message(MsgType.SUBSCRIBE, 0, {"query": "VWAP"})))
+    await stalled.drain()
+    # burst, then a settled tail so the laggard's ACK lag must grow
+    for batch in batches[:-12]:
+        await client.ingest(batch)
+    await client.settle(120)
+    for batch in batches[-12:]:
+        await client.ingest(batch)
+        await client.settle(120)
+    tenant = server.tenants["bench"]
+    await client.wait_for(
+        lambda c: "VWAP" in c.evicted
+        or c.acked.get("VWAP", 0) >= tenant.delta_seq["VWAP"],
+        60,
+    )
+    consistent = assert_bit_identical(
+        client.results["VWAP"], tenant.results["VWAP"], "overload/VWAP"
+    )
+    await server.stop()
+    await client.close()
+    stalled.close()
+    counters = obs.snapshot()["counters"]
+    obs.disable()
+    return {
+        "completed": True,
+        "shed": counters.get("serve.shed", 0),
+        "evicted": counters.get("serve.evicted", 0),
+        "consistent_after_shedding": consistent,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="tiny CI-scale run")
+    parser.add_argument("--out", type=Path, default=None)
+    parser.add_argument("--clients", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args(argv)
+
+    scale = "smoke" if args.smoke else "full"
+    events = 600 if args.smoke else 4000
+    clients_n = args.clients if args.clients is not None else (2 if args.smoke else 4)
+    batch_size = 25 if args.smoke else 50
+
+    all_events = build_events(events, args.seed)
+    batches = [
+        all_events[i : i + batch_size] for i in range(0, len(all_events), batch_size)
+    ]
+    print(
+        f"serving bench ({scale}): {clients_n} clients x {len(QUERIES)} queries, "
+        f"{len(all_events)} events in {len(batches)} batches"
+    )
+
+    latency = asyncio.run(latency_phase(clients_n, batches))
+    overload = asyncio.run(overload_phase(batches))
+
+    report = {
+        "benchmark": "serving",
+        "scale": scale,
+        "clients": clients_n,
+        "queries": list(QUERIES),
+        "events": latency.pop("events"),
+        "seconds": latency.pop("seconds"),
+        "events_per_second": latency.pop("events_per_second"),
+        "deltas_per_second": latency.pop("deltas_per_second"),
+        "deltas_folded": latency.pop("deltas_folded"),
+        "serving": latency.pop("per_query"),
+        "overload": overload,
+        "differential_ok": latency.pop("differential_ok"),
+    }
+    out = args.out if args.out is not None else REPO_ROOT / "BENCH_serving.json"
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"wrote {out}")
+    ok = report["differential_ok"] and overload["consistent_after_shedding"]
+    ok = ok and overload["shed"] > 0 and overload["evicted"] > 0
+    if not ok:
+        print("FAIL: differential or overload invariants violated")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -59,7 +59,18 @@ Commands:
     Compare two ``bench_batching`` reports and exit non-zero on
     regression — the CI perf gate.  Scale-independent speedup ratios
     are always compared; absolute events/second only when both reports
-    were produced at the same scale.
+    were produced at the same scale.  Also understands
+    ``BENCH_serving.json`` reports (delta-latency gate).
+``serve [--port P] [--engine E] [--queue-policy P] [--wal-root D] ...``
+    Run the streaming subscription server: clients ingest events over
+    TCP and subscribe to queries (snapshot, then incremental result
+    deltas).  ``--wal-root`` makes every tenant durable; the queue
+    policy picks what happens when a tenant's bounded ingest queue is
+    full (``block`` | ``shed-newest`` | ``disconnect``).
+``client <query...> [--port P] [--tenant T] [--events N] [--seed S]``
+    Connect to a running ``repro serve``, subscribe to the given
+    queries, ingest a synthetic workload, and report the folded
+    results plus delta-latency percentiles.
 """
 
 from __future__ import annotations
@@ -570,6 +581,118 @@ def cmd_bench_diff(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serving.server import ServingConfig, run_server
+
+    config = ServingConfig(
+        host=args.host,
+        port=args.port,
+        strategy=args.engine,
+        queue_limit=args.queue_limit,
+        queue_policy=args.queue_policy,
+        subscriber_buffer=args.subscriber_buffer,
+        heartbeat_interval=args.heartbeat,
+        idle_timeout=args.idle_timeout,
+        wal_root=args.wal_root,
+        fsync=args.fsync,
+        snapshot_every=args.snapshot_every,
+    )
+    durability = f"durable ({args.wal_root})" if args.wal_root else "in-memory"
+    try:
+        asyncio.run(
+            run_server(
+                config,
+                ready=lambda port: print(
+                    f"serving on {args.host}:{port} "
+                    f"({args.engine}, {args.queue_policy} queue, {durability})",
+                    flush=True,
+                ),
+            )
+        )
+    except KeyboardInterrupt:
+        # run_server normally absorbs SIGINT via its loop signal
+        # handler; this only fires where that could not be installed
+        pass
+    print("drained and stopped")
+    return 0
+
+
+def _percentile(values: list[float], q: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    return ordered[min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))]
+
+
+def cmd_client(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serving.client import SubscriptionClient
+
+    queries = [q.upper() for q in args.queries]
+    unknown = [q for q in queries if q not in query_names()]
+    if unknown:
+        print(f"unknown queries {unknown}; choose from {', '.join(query_names())}")
+        return 2
+    # One workload stream per distinct family, concatenated: engines
+    # ignore relations their query does not reference.
+    events = []
+    families_done = set()
+    for query in queries:
+        family = "tpch" if query in ("Q17", "Q18") else "eq" if query == "EQ" else "book"
+        if family not in families_done:
+            families_done.add(family)
+            events.extend(_default_stream(query, args.events, args.seed))
+
+    async def run() -> int:
+        client = SubscriptionClient(
+            args.host, args.port, tenant=args.tenant, session=args.session
+        )
+        await client.connect()
+        for query in queries:
+            await client.subscribe(query)
+        await client.wait_for(lambda c: set(queries) <= set(c.results), 30)
+        started = time.perf_counter()
+        for index in range(0, len(events), args.batch_size):
+            await client.ingest(events[index : index + args.batch_size])
+        await client.settle(120)
+        # quiesce: no new deltas for a few beats
+        stable = client.deltas_seen
+        for _ in range(100):
+            await asyncio.sleep(0.02)
+            if client.deltas_seen == stable:
+                break
+            stable = client.deltas_seen
+        elapsed = time.perf_counter() - started
+        print(f"tenant   : {args.tenant} (session {client.session})")
+        print(f"events   : {len(events)} in {elapsed:.3f}s "
+              f"({len(events) / max(elapsed, 1e-9):,.0f} events/s)")
+        print(f"deltas   : {client.deltas_seen} folded, "
+              f"{client.reconnects} reconnects, {len(client.shed_seqs)} shed")
+        latencies = [seconds for _, _, seconds in client.delta_latencies]
+        if latencies:
+            print(
+                f"latency  : p50 {1e3 * _percentile(latencies, 0.50):.2f}ms  "
+                f"p99 {1e3 * _percentile(latencies, 0.99):.2f}ms  "
+                f"({len(latencies)} samples)"
+            )
+        for query in queries:
+            rendered = repr(client.results.get(query))
+            if len(rendered) > 70:
+                rendered = rendered[:67] + "..."
+            print(f"  {query:<5}: {rendered}")
+        await client.close()
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except ConnectionRefusedError:
+        print(f"no server at {args.host}:{args.port} — start one with `repro serve`")
+        return 1
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
     stream = _default_stream(args.query, args.events, args.seed)
     rows = []
@@ -795,6 +918,62 @@ def main(argv: list[str] | None = None) -> int:
         help="run the interpreted triggers instead of the compiled ones",
     )
 
+    p_serve = sub.add_parser(
+        "serve", help="run the streaming subscription server"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=7878, help="TCP port (0 = ephemeral)"
+    )
+    p_serve.add_argument("--engine", default="rpai", choices=STRATEGIES)
+    p_serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        help="ingest batches buffered per tenant before the policy applies",
+    )
+    p_serve.add_argument(
+        "--queue-policy",
+        default="block",
+        choices=("block", "shed-newest", "disconnect"),
+        help="what to do with ingest when a tenant's queue is full",
+    )
+    p_serve.add_argument(
+        "--subscriber-buffer",
+        type=int,
+        default=128,
+        help="unacked deltas a subscription may lag before eviction",
+    )
+    p_serve.add_argument("--heartbeat", type=float, default=5.0)
+    p_serve.add_argument("--idle-timeout", type=float, default=30.0)
+    p_serve.add_argument(
+        "--wal-root",
+        type=Path,
+        default=None,
+        help="per-tenant WAL root (durable tenants; recover on restart)",
+    )
+    p_serve.add_argument("--fsync", action="store_true")
+    p_serve.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=64,
+        help="checkpoint cadence in WAL records per tenant engine",
+    )
+
+    p_client = sub.add_parser(
+        "client", help="subscribe to queries on a running server and ingest"
+    )
+    p_client.add_argument(
+        "queries", nargs="+", help="registry queries to subscribe to (e.g. VWAP Q18)"
+    )
+    p_client.add_argument("--host", default="127.0.0.1")
+    p_client.add_argument("--port", type=int, default=7878)
+    p_client.add_argument("--tenant", default="default")
+    p_client.add_argument("--session", default=None)
+    p_client.add_argument("--events", type=int, default=2000)
+    p_client.add_argument("--seed", type=int, default=42)
+    p_client.add_argument("--batch-size", type=int, default=100)
+
     p_compare = sub.add_parser("compare", help="run all engines on one stream")
     p_compare.add_argument("query", choices=[n for n in query_names()] + [n.lower() for n in query_names()])
     p_compare.add_argument("--events", type=int, default=1000)
@@ -818,6 +997,8 @@ def main(argv: list[str] | None = None) -> int:
         "calibrate": cmd_calibrate,
         "bench-diff": cmd_bench_diff,
         "bench-shard": cmd_bench_shard,
+        "serve": cmd_serve,
+        "client": cmd_client,
         "compare": cmd_compare,
     }[args.command]
     return handler(args)

@@ -57,6 +57,19 @@ at least that many times fewer bytes).  Byte counts are deterministic —
 no cores, no clock — so the transport gate applies even when
 ``scaling_valid`` is false; a candidate whose reduction drops below the
 gate fails on any host.
+
+**Serving reports** (``BENCH_serving.json``: top-level ``benchmark:
+"serving"``) gate the subscription server.  Per-query delta latency is
+wall-clock, so the p99 cells (lower is better: candidate must stay
+within ``tolerance`` *above* the baseline) compare only on equal
+scales.  Three things are scale-independent and fail on any host: the
+``differential_ok`` flag (every subscriber's folded snapshot ⊕ deltas
+bit-identical to a clean engine run) flipping from true to false, the
+overload run no longer completing, and the overload counters going to
+zero — a baseline that shed batches and evicted the non-ACKing
+subscriber against a candidate that did neither means the bounded
+queue or the slow-consumer bound stopped working, which is how an
+unbounded-buffer regression would present.
 """
 
 from __future__ import annotations
@@ -310,6 +323,108 @@ def _sharding_entry_checks(
             )
 
 
+def _is_serving_report(report: dict) -> bool:
+    """Serving-shape report (``BENCH_serving.json``)."""
+    return report.get("benchmark") == "serving" or "serving" in report
+
+
+def _serving_checks(report: DiffReport, baseline: dict, candidate: dict) -> None:
+    """Diff two serving reports (see the module docstring)."""
+    cand_queries = candidate.get("serving", {})
+    for query, base_entry in baseline.get("serving", {}).items():
+        cand_entry = cand_queries.get(query)
+        if cand_entry is None:
+            report.checks.append(
+                Check(query, "serving", True, False, "fail", "query missing")
+            )
+            continue
+        base_p99 = base_entry.get("delta_latency_p99_ms")
+        cand_p99 = cand_entry.get("delta_latency_p99_ms")
+        if not report.scales_match:
+            report.checks.append(
+                Check(
+                    query,
+                    "delta_latency_p99_ms",
+                    base_p99,
+                    cand_p99,
+                    "skip",
+                    "scale mismatch — absolute latency not comparable",
+                )
+            )
+            continue
+        # latency is lower-is-better: the tolerance band sits above
+        ceiling = base_p99 * (1.0 + report.tolerance)
+        report.checks.append(
+            Check(
+                query,
+                "delta_latency_p99_ms",
+                base_p99,
+                cand_p99,
+                "pass" if cand_p99 <= ceiling else "fail",
+                "" if cand_p99 <= ceiling else f"needs <= {ceiling:.3f} ms",
+            )
+        )
+
+    base_over = baseline.get("overload", {})
+    cand_over = candidate.get("overload", {})
+    if base_over:
+        completed = bool(cand_over.get("completed"))
+        report.checks.append(
+            Check(
+                "overload",
+                "completed",
+                bool(base_over.get("completed")),
+                completed,
+                "pass" if completed else "fail",
+                "" if completed else "overload run no longer completes (deadlock?)",
+            )
+        )
+        for metric, what in (
+            ("shed", "bounded ingest queue no longer sheds under overload"),
+            ("evicted", "non-ACKing subscriber no longer evicted"),
+        ):
+            base_count = base_over.get(metric, 0)
+            cand_count = cand_over.get(metric, 0)
+            if base_count > 0:
+                report.checks.append(
+                    Check(
+                        "overload",
+                        metric,
+                        base_count,
+                        cand_count,
+                        "pass" if cand_count > 0 else "fail",
+                        "" if cand_count > 0 else what,
+                    )
+                )
+        if base_over.get("consistent_after_shedding", False):
+            held = bool(cand_over.get("consistent_after_shedding"))
+            report.checks.append(
+                Check(
+                    "overload",
+                    "consistent_after_shedding",
+                    True,
+                    held,
+                    "pass" if held else "fail",
+                    "" if held else "shedding now loses consistency, not just events",
+                )
+            )
+
+    if baseline.get("differential_ok", False):
+        held = bool(candidate.get("differential_ok"))
+        report.checks.append(
+            Check(
+                "serving",
+                "differential_ok",
+                True,
+                held,
+                "pass" if held else "fail",
+                ""
+                if held
+                else "folded subscriber state no longer matches the clean engine run",
+            )
+        )
+
+
 def _ratio_check(
     report: DiffReport, workload: str, metric: str, base: float, cand: float
 ) -> None:
@@ -359,6 +474,10 @@ def compare_reports(
     """
     scales_match = baseline.get("scale") == candidate.get("scale")
     report = DiffReport(tolerance=tolerance, rescue=rescue, scales_match=scales_match)
+
+    if _is_serving_report(baseline) or _is_serving_report(candidate):
+        _serving_checks(report, baseline, candidate)
+        return report
 
     cand_workloads = candidate.get("workloads", {})
     for name, base_entry in baseline.get("workloads", {}).items():

@@ -39,7 +39,7 @@ import struct
 import time
 from multiprocessing import shared_memory
 
-__all__ = ["ShmRing", "RingTimeoutError", "DEFAULT_CAPACITY"]
+__all__ = ["ShmRing", "RingClosedError", "RingTimeoutError", "DEFAULT_CAPACITY"]
 
 #: default data capacity per ring; frames larger than the capacity take
 #: the executors' inline-pipe fallback, so this bounds memory, not size
@@ -55,6 +55,14 @@ _NAP = 50e-6
 
 class RingTimeoutError(OSError):
     """The peer did not produce/consume in time (dead or wedged)."""
+
+
+class RingClosedError(OSError):
+    """I/O attempted on a ring after :meth:`ShmRing.close`.
+
+    An ``OSError`` subclass so the executors' dead-worker handling
+    treats a closed ring exactly like a broken pipe, instead of the
+    ``TypeError`` a released memoryview used to surface."""
 
 
 class ShmRing:
@@ -105,6 +113,8 @@ class ShmRing:
                 fit; callers use their inline fallback instead).
             RingTimeoutError: the consumer freed no space in time.
         """
+        if self._closed:
+            raise RingClosedError(f"shared-memory ring {self.name} is closed")
         size = len(payload)
         if size > self.capacity:
             raise ValueError(
@@ -130,6 +140,8 @@ class ShmRing:
             RingTimeoutError: the producer delivered too few bytes in
                 time (it died between header and payload, or never sent).
         """
+        if self._closed:
+            raise RingClosedError(f"shared-memory ring {self.name} is closed")
         if size > self.capacity:
             raise ValueError(
                 f"read of {size} bytes exceeds ring capacity {self.capacity}"

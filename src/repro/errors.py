@@ -21,6 +21,10 @@ __all__ = [
     "WalCorruptionError",
     "QuarantineOverflowError",
     "KeyUniverseError",
+    "ServingError",
+    "WireFormatError",
+    "SubscriberEvictedError",
+    "TenantFailedError",
 ]
 
 
@@ -127,3 +131,30 @@ class QuarantineOverflowError(EngineStateError):
     A handful of malformed events is tolerable telemetry; an unbounded
     stream of them means the producer is broken, and silently discarding
     the whole input would masquerade as a successful run."""
+
+
+class ServingError(ReproError):
+    """Base class for the streaming subscription server's errors."""
+
+
+class WireFormatError(ServingError):
+    """A wire frame failed its integrity checks (bad magic, implausible
+    length, CRC mismatch, truncated payload, or an undecodable body).
+
+    The serving protocol treats this as a connection-fatal condition:
+    once framing is lost there is no way to resynchronise a TCP byte
+    stream, so the peer is told (best-effort) and the connection is
+    closed.  Engines and other connections are unaffected."""
+
+
+class SubscriberEvictedError(ServingError):
+    """The server evicted this subscription: the client stopped draining
+    deltas and its bounded buffer filled.  Clients recover by
+    re-subscribing, which yields a fresh snapshot."""
+
+
+class TenantFailedError(ServingError):
+    """The tenant's engine runtime is down (crashed or killed); ingest
+    and subscriptions are refused until the tenant is restarted from its
+    WAL.  Other tenants are unaffected — that is the isolation
+    contract."""

@@ -25,6 +25,15 @@ than monkey-patched around it:
 
 Every injected fault increments a ``faults.<kind>`` counter so chaos
 runs leave an auditable trail in the ``obs`` snapshot.
+
+The serving layer gets the same treatment at the network boundary:
+a :class:`NetFaultPlan` schedules client-side disconnects mid-delta
+stream, stalled readers (a subscriber that stops draining its socket),
+malformed or truncated wire frames, and whole-tenant kill-and-restart
+cycles.  :class:`NetFaultInjector` is its runtime; the serving chaos
+suite (``tests/serving/test_serving_chaos.py``) threads it through the
+client/server harness and asserts the surviving subscribers still fold
+to the clean batch result bit-identically.
 """
 
 from __future__ import annotations
@@ -45,6 +54,12 @@ __all__ = [
     "BadEventSpec",
     "FaultPlan",
     "FaultInjector",
+    "DisconnectSpec",
+    "StallSpec",
+    "BadFrameSpec",
+    "TenantRestartSpec",
+    "NetFaultPlan",
+    "NetFaultInjector",
 ]
 
 
@@ -129,6 +144,7 @@ class FaultPlan:
         corrupt_snapshots: int = 1,
         bad_events: int = 2,
         relations: Sequence[str] = (),
+        incarnations: int = 1,
     ) -> "FaultPlan":
         """Deterministic plan from a seed.
 
@@ -139,6 +155,14 @@ class FaultPlan:
         Bad events alternate between outright-unknown relations and
         known relations with a missing/extra column, exercising both
         quarantine paths.
+
+        ``incarnations`` repeats every drawn kill across worker lives
+        ``0..incarnations-1`` (same shard, fresh threshold per life).
+        The default of 1 keeps the classic chaos-suite behaviour —
+        workers die once and their respawn survives; a value above the
+        supervisor's respawn budget guarantees the budget is exhausted
+        and the mp→serial degradation ladder engages (the end-to-end
+        ladder test uses exactly this).
         """
         rng = random.Random(seed)
         lo, hi = max(1, events // 8), max(2, (7 * events) // 8)
@@ -147,13 +171,24 @@ class FaultPlan:
         # would outlive the run and the kill never fire.
         kill_lo = max(1, events // (6 * shards))
         kill_hi = max(kill_lo + 1, events // (2 * shards))
-        kill_specs = tuple(
-            KillSpec(
-                shard=rng.randrange(shards),
-                after_events=rng.randint(kill_lo, kill_hi),
-            )
-            for _ in range(kills)
-        )
+        # Restore replay does not count toward a kill threshold (each
+        # incarnation counts only freshly applied frames), so per-life
+        # thresholds shrink with the number of lives or later lives
+        # would outlive the stream and never fire.
+        life_lo = max(1, kill_lo // incarnations)
+        life_hi = max(life_lo + 1, kill_hi // incarnations)
+        kill_specs = []
+        for _ in range(kills):
+            shard = rng.randrange(shards)
+            for life in range(incarnations):
+                kill_specs.append(
+                    KillSpec(
+                        shard=shard,
+                        after_events=rng.randint(life_lo, life_hi),
+                        incarnation=life,
+                    )
+                )
+        kill_specs = tuple(kill_specs)
         drop_specs = tuple(
             DropSpec(shard=rng.randrange(shards), seq=rng.randint(1, 3))
             for _ in range(drops)
@@ -274,3 +309,170 @@ class FaultInjector:
             if _SINK.enabled:
                 _SINK.inc("faults.bad_events")
         return out
+
+
+# -- network-layer faults (serving) ------------------------------------
+
+
+@dataclass(frozen=True)
+class DisconnectSpec:
+    """Drop ``client``'s TCP connection after it has received
+    ``after_deltas`` delta messages — mid-stream, without a goodbye.
+    The client harness must reconnect (capped exponential backoff) and
+    resume from its last acked delta sequence."""
+
+    client: int
+    after_deltas: int
+
+
+@dataclass(frozen=True)
+class StallSpec:
+    """``client`` stops draining its socket for ``seconds`` after its
+    ``after_messages``-th received message — the slow-consumer case the
+    server must bound with per-subscriber buffers and eviction."""
+
+    client: int
+    after_messages: int
+    seconds: float = 0.5
+
+
+@dataclass(frozen=True)
+class BadFrameSpec:
+    """``client`` sends garbage instead of its ``at_message``-th
+    outbound message: ``mode='garble'`` flips payload bytes under an
+    intact-looking header, ``mode='truncate'`` sends a torn prefix and
+    closes.  The server must reject the frame (``serve.bad_frames``)
+    without poisoning the tenant's engines or other connections."""
+
+    client: int
+    at_message: int
+    mode: str = "garble"  # or "truncate"
+
+
+@dataclass(frozen=True)
+class TenantRestartSpec:
+    """Hard-kill tenant ``tenant``'s runtime after it has ingested
+    ``after_events`` events, then restart it: recovery must rebuild the
+    engines from the tenant's WAL dir and resume serving subscribers."""
+
+    tenant: str
+    after_events: int
+
+
+@dataclass(frozen=True)
+class NetFaultPlan:
+    """Declarative network fault schedule for one serving chaos run."""
+
+    disconnects: tuple[DisconnectSpec, ...] = ()
+    stalls: tuple[StallSpec, ...] = ()
+    bad_frames: tuple[BadFrameSpec, ...] = ()
+    tenant_restarts: tuple[TenantRestartSpec, ...] = ()
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        *,
+        clients: int,
+        events: int,
+        tenants: Sequence[str] = (),
+        disconnects: int = 1,
+        stalls: int = 1,
+        bad_frames: int = 1,
+        tenant_restarts: int = 1,
+    ) -> "NetFaultPlan":
+        """Deterministic network fault schedule from a seed.
+
+        Disconnects land after a handful of deltas (early enough that
+        the reconnect path replays real backlog), stalls and bad frames
+        in the early message stream, and tenant restarts mid-run."""
+        rng = random.Random(seed)
+        disconnect_specs = tuple(
+            DisconnectSpec(
+                client=rng.randrange(clients),
+                after_deltas=rng.randint(1, 4),
+            )
+            for _ in range(disconnects)
+        )
+        stall_specs = tuple(
+            StallSpec(
+                client=rng.randrange(clients),
+                after_messages=rng.randint(1, 5),
+                seconds=rng.uniform(0.05, 0.2),
+            )
+            for _ in range(stalls)
+        )
+        frame_specs = tuple(
+            BadFrameSpec(
+                client=rng.randrange(clients),
+                at_message=rng.randint(1, 4),
+                mode=rng.choice(("garble", "truncate")),
+            )
+            for _ in range(bad_frames)
+        )
+        restart_specs = tuple(
+            TenantRestartSpec(
+                tenant=rng.choice(list(tenants)) if tenants else "default",
+                after_events=rng.randint(max(1, events // 4), max(2, (3 * events) // 4)),
+            )
+            for _ in range(tenant_restarts)
+        )
+        return cls(
+            disconnects=disconnect_specs,
+            stalls=stall_specs,
+            bad_frames=frame_specs,
+            tenant_restarts=restart_specs,
+        )
+
+
+@dataclass
+class NetFaultInjector:
+    """Client/server-side runtime for a :class:`NetFaultPlan`.
+
+    Each spec fires at most once.  The client harness polls
+    :meth:`should_disconnect` / :meth:`stall_for` / :meth:`bad_frame`
+    against its own message counters; the server's tenant pool polls
+    :meth:`tenant_restart_due` against per-tenant ingest counts."""
+
+    plan: NetFaultPlan
+    _spent: set = field(default_factory=set)
+
+    def _fire(self, key, counter: str) -> bool:
+        if key in self._spent:
+            return False
+        self._spent.add(key)
+        if _SINK.enabled:
+            _SINK.inc(counter)
+        return True
+
+    def should_disconnect(self, client: int, deltas_seen: int) -> bool:
+        for spec in self.plan.disconnects:
+            if spec.client == client and deltas_seen >= spec.after_deltas:
+                if self._fire(("disc", spec), "faults.net_disconnects"):
+                    return True
+        return False
+
+    def stall_for(self, client: int, messages_seen: int) -> float:
+        """Seconds this client should stop reading for right now (0.0
+        when no stall is due)."""
+        for spec in self.plan.stalls:
+            if spec.client == client and messages_seen >= spec.after_messages:
+                if self._fire(("stall", spec), "faults.net_stalls"):
+                    return spec.seconds
+        return 0.0
+
+    def bad_frame(self, client: int, messages_sent: int) -> str | None:
+        """``'garble'``/``'truncate'`` when this outbound message should
+        be corrupted, else ``None``."""
+        for spec in self.plan.bad_frames:
+            if spec.client == client and messages_sent == spec.at_message:
+                if self._fire(("frame", spec), "faults.net_bad_frames"):
+                    return spec.mode
+        return None
+
+    def tenant_restart_due(self, tenant: str, ingested: int) -> bool:
+        for spec in self.plan.tenant_restarts:
+            if spec.tenant == tenant and ingested >= spec.after_events:
+                if self._fire(("restart", spec), "faults.net_tenant_restarts"):
+                    return True
+        return False

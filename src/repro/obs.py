@@ -86,6 +86,32 @@ Counter naming convention (``<structure or layer>.<operation>``):
 ``faults.drops/.duplicates``            injected message losses / duplications
 ``faults.snapshot_corruptions``         injected snapshot-file corruptions
 ``faults.bad_events``                   injected schema-violating events
+``faults.net_disconnects``              injected mid-stream client aborts
+``faults.net_stalls``                   injected reader stalls (slow consumer)
+``faults.net_bad_frames``               injected garbled/truncated wire frames
+``faults.net_tenant_restarts``          injected tenant kill + WAL restarts
+``serve.connections``                   client connections accepted
+``serve.ingested``                      ingest batches applied to a tenant
+``serve.shed``                          ingest batches dropped by the
+                                        ``shed-newest`` queue policy
+``serve.backpressure_waits``            ingests that blocked on a full queue
+                                        (``block`` policy)
+``serve.disconnects``                   connections dropped by the
+                                        ``disconnect`` overflow policy
+``serve.evicted``                       subscriptions evicted for ACK lag
+                                        past ``subscriber_buffer``
+``serve.deltas_sent/.snapshots_sent``   result deltas / full snapshots fanned
+                                        out to subscribers
+``serve.resumes``                       re-subscriptions served by contiguous
+                                        delta-log replay (vs fresh snapshot)
+``serve.dedup_skips``                   duplicate ``(session, seq)`` ingests
+                                        acknowledged without re-applying
+``serve.bad_frames``                    malformed frames that closed their
+                                        connection
+``serve.idle_closed``                   connections reaped by the heartbeat
+                                        idle timeout
+``serve.tenant_failures``               tenants isolated after an engine crash
+``serve.tenant_restarts``               tenants recovered from their WAL
 ``selfcheck.validations``               invariant walks performed
 ``codegen.cache_hits/.cache_misses``    specialized-trigger source served from
                                         / compiled past the (query, backend)
@@ -109,9 +135,11 @@ negative shift — the Section 3.2.4 quantity), ``treemap.shift_moved``,
 frame encode on the ship path),
 ``wal.record_events`` (events per WAL record),
 ``wal.records_replayed`` (log-tail length per recovery),
-``wal.truncated_bytes`` (garbage removed per tail heal) and
+``wal.truncated_bytes`` (garbage removed per tail heal),
 ``codegen.compile_seconds`` (wall-clock per trigger compilation —
-cache hits pay none of it).
+cache hits pay none of it), ``serve.fanout`` (subscribers reached per
+delta broadcast) and ``serve.queue_depth`` (tenant ingest-queue depth
+sampled at each enqueue).
 """
 
 from __future__ import annotations

@@ -1,0 +1,43 @@
+"""Streaming subscription serving layer.
+
+The network front-end over the incremental engines: clients connect
+over TCP, ingest live events (as :class:`~repro.storage.colbatch.ColumnarFrame`
+wire bytes) and register **query subscriptions** — an initial result
+snapshot followed by incremental result deltas as events arrive.  This
+is the "frequently fresh views" shape IVM exists for: one engine update
+fanned out to every subscriber.
+
+Modules:
+
+* :mod:`repro.serving.protocol` — the length-prefixed, CRC-framed wire
+  protocol (same framing discipline as the WAL);
+* :mod:`repro.serving.deltas` — the result delta algebra: compute a
+  compact delta between consecutive results and fold it back
+  bit-identically (mergeable-law payloads on the wire);
+* :mod:`repro.serving.server` — the asyncio server: multi-tenant
+  engine pool, bounded ingest queues with backpressure/shedding,
+  slow-consumer eviction, heartbeats, drain-on-shutdown;
+* :mod:`repro.serving.client` — the asyncio client: subscribe/ingest,
+  snapshot⊕delta folding, reconnect with capped exponential backoff
+  resuming from the last acked delta.
+"""
+
+from repro.serving.client import SubscriptionClient
+from repro.serving.deltas import REMOVE, compute_delta, fold
+from repro.serving.protocol import Message, MsgType, encode, read_message, write_message
+from repro.serving.server import ServingConfig, SubscriptionServer, TenantRuntime
+
+__all__ = [
+    "Message",
+    "MsgType",
+    "REMOVE",
+    "ServingConfig",
+    "SubscriptionClient",
+    "SubscriptionServer",
+    "TenantRuntime",
+    "compute_delta",
+    "encode",
+    "fold",
+    "read_message",
+    "write_message",
+]

@@ -108,16 +108,33 @@ class WriteAheadLog:
     def snapshot(self, payload: bytes, *, seq: int | None = None) -> Path:
         """Write a snapshot covering every record up to ``seq``
         (default: the current head).  ``payload`` is the opaque pickled
-        engine state; the file is CRC-framed like a log record."""
+        engine state; the file is CRC-framed like a log record.
+
+        The write is atomic: bytes go to a ``.tmp`` sibling (whose name
+        does not match :data:`SNAPSHOT_GLOB`, so recovery never sees it)
+        and the final name appears only via ``os.replace``.  A crash
+        mid-snapshot therefore leaves at most a stray temp file, never a
+        torn ``.ckpt`` — the CRC framing remains as defense in depth
+        against bit rot, not as the torn-write story."""
         covered = self.seq if seq is None else seq
         path = self.directory / f"snapshot-{covered:012d}.ckpt"
+        tmp = path.with_name(path.name + ".tmp")
         header = _HEADER.pack(_SNAPSHOT_MAGIC, covered, len(payload), zlib.crc32(payload))
-        with open(path, "wb") as handle:
+        with open(tmp, "wb") as handle:
             handle.write(header)
             handle.write(payload)
             handle.flush()
             if self.fsync:
                 os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        if self.fsync:
+            # The rename itself must survive a crash: fsync the
+            # directory so the new name is on stable storage too.
+            fd = os.open(self.directory, os.O_RDONLY)
+            try:
+                os.fsync(fd)
+            finally:
+                os.close(fd)
         if _SINK.enabled:
             _SINK.inc("wal.snapshots")
         return path

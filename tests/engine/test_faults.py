@@ -226,6 +226,58 @@ class TestSupervision:
         assert recovered == expected
         assert stats["shards"] == 2
 
+    def test_seeded_plan_exhausts_budget_and_degrades(self, tmp_path):
+        """End-to-end degradation ladder under a *seeded* plan: with
+        more kill incarnations than the respawn budget, every respawned
+        worker dies again, the budget runs out, and the executor falls
+        back mp→serial — bit-identical result, full supervisor.* trail,
+        and the WAL still supports offline recovery afterwards."""
+        expected = clean_result("EQ", stream_for("EQ"))
+        stream = stream_for("EQ")
+        plan = FaultPlan.seeded(
+            31337,
+            shards=2,
+            events=len(stream),
+            kills=1,
+            drops=0,
+            duplicates=0,
+            corrupt_snapshots=0,
+            bad_events=0,
+            incarnations=6,
+        )
+        # the seed expands one kill into one spec per incarnation
+        assert len(plan.kills) == 6
+        assert {k.incarnation for k in plan.kills} == set(range(6))
+        assert len({k.shard for k in plan.kills}) == 1
+        obs.enable()
+        obs.reset()
+        try:
+            engine = build_sharded_engine(
+                "EQ", "rpai", shards=2, workers=2, plan_stream=stream,
+                wal_dir=tmp_path / "wal", snapshot_every=4,
+                max_respawns=2, fault_plan=plan, validate=False,
+            )
+            try:
+                for batch in stream.batches(32):
+                    result = engine.on_batch(batch)
+                assert engine.degraded
+            finally:
+                engine.close()
+            counters = obs.snapshot()["counters"]
+        finally:
+            obs.disable()
+        assert result == expected
+        assert counters["supervisor.degraded"] == 1
+        # budget 2: initial death + 2 respawned deaths = 3 failures,
+        # exactly 2 successful respawns before the ladder gives up
+        assert counters["supervisor.worker_failures"] >= 3
+        assert counters["supervisor.respawns"] == 2
+        assert counters["wal.recoveries"] >= counters["supervisor.respawns"]
+        # degraded runs keep logging: offline recovery matches too
+        recovered, stats = recover_result("EQ", "rpai", tmp_path / "wal")
+        assert recovered == expected
+        assert stats["shards"] == 2
+
     def test_repeated_kills_consume_budget_then_degrade(self, tmp_path):
         """A worker that dies in every incarnation exhausts the respawn
         budget; the run must still finish exactly via the serial path."""

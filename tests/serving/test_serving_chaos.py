@@ -1,0 +1,275 @@
+"""Serving chaos suite: network faults end-to-end.
+
+The serving counterpart of the engine chaos differential tests
+(``tests/engine/test_faults.py``): one server, one durable tenant, all
+ten registry queries subscribed, and a **seeded**
+:class:`~repro.faults.NetFaultPlan` driving mid-stream client
+disconnects, reader stalls, garbled/truncated frames, and a hard
+tenant kill + WAL restart — while the ingest stream itself carries
+schema junk for the quarantine.  The invariant is the same one the
+engine suite pins: every surviving subscriber's folded snapshot ⊕
+deltas is **bit-identical** to a clean batch run of the same events on
+an unguarded engine.
+
+The overload test is the liveness half: a burst far past the bounded
+ingest queue plus a subscriber that never ACKs must finish (no
+deadlock) with ``serve.shed`` and ``serve.evicted`` both firing, and
+shedding must lose *events*, never consistency.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+from repro import obs
+from repro.faults import NetFaultInjector, NetFaultPlan
+from repro.serving.client import SubscriptionClient
+from repro.serving.protocol import Message, MsgType, encode
+from repro.serving.server import ServingConfig, SubscriptionServer
+from repro.storage.stream import Event
+from repro.workloads import TPCHConfig, generate_tpch
+
+from tests.conftest import random_bid_stream
+from tests.engine.test_faults import ALL_QUERIES, clean_result, eq_stream
+from tests.serving.test_protocol import assert_bit_identical
+
+# Chosen so the seeded plan covers every fault kind against a party
+# that can experience it: a mid-delta-stream disconnect of subscriber
+# client 1, reader stalls on both subscribers, a garbled SUBSCRIBE
+# from client 1, a garbled INGEST from the ingester (client 0, so the
+# reconnect-resend + dedup path runs), and a tenant kill/restart
+# mid-run.
+SEED = 20260812
+
+
+def combined_stream(seed: int) -> list[Event]:
+    """One interleaved stream touching every registry query's
+    relations; per-source order is preserved."""
+    pools = [
+        list(eq_stream(150, seed)),
+        list(
+            random_bid_stream(
+                150, price_levels=30, volume_max=9, delete_probability=0.3, seed=seed + 1
+            )
+        ),
+        list(generate_tpch(TPCHConfig(scale_factor=0.004, seed=seed))),
+    ]
+    rng = random.Random(seed + 2)
+    out: list[Event] = []
+    while any(pools):
+        pool = rng.choice([p for p in pools if p])
+        out.append(pool.pop(0))
+    return out
+
+
+def batched(events: list[Event], size: int) -> list[list[Event]]:
+    return [events[i : i + size] for i in range(0, len(events), size)]
+
+
+class TestServingChaos:
+    def test_seeded_network_chaos_is_bit_identical(self, tmp_path):
+        events = combined_stream(SEED)
+        batches = batched(events, 25)
+        junk_every = 7
+
+        async def run():
+            obs.enable()
+            obs.reset()
+            plan = NetFaultPlan.seeded(
+                SEED,
+                clients=3,
+                events=len(events),
+                tenants=("acme",),
+                disconnects=2,
+                stalls=2,
+                bad_frames=2,
+                tenant_restarts=1,
+            )
+            injector = NetFaultInjector(plan)
+            config = ServingConfig(
+                wal_root=tmp_path / "wal",
+                snapshot_every=16,
+                delta_retain=4096,
+                queue_limit=64,
+                queue_policy="block",
+                drain_timeout=30.0,
+            )
+            server = SubscriptionServer(config, injector=injector)
+            await server.start()
+            clients = [
+                SubscriptionClient(
+                    "127.0.0.1",
+                    server.port,
+                    tenant="acme",
+                    session=f"c{i}",
+                    injector=injector,
+                    client_index=i,
+                )
+                for i in range(3)
+            ]
+            for client in clients:
+                await client.connect()
+            # client 0 ingests; client 1 watches everything, client 2 half
+            for query in ALL_QUERIES:
+                await clients[1].subscribe(query)
+            for query in ALL_QUERIES[::2]:
+                await clients[2].subscribe(query)
+            for client in clients[1:]:
+                await client.wait_for(
+                    lambda c: c.subscribed <= set(c.results), 60
+                )
+            for index, batch in enumerate(batches):
+                payload = list(batch)
+                if index % junk_every == 0:
+                    payload = [
+                        Event("__junk__", {"z": index * 3 + j}, +1) for j in range(3)
+                    ] + payload
+                await clients[0].ingest(payload)
+                if index % 5 == 4:
+                    await clients[0].settle(60)
+            await clients[0].settle(60)
+            tenant = server.tenants["acme"]
+            for client in clients[1:]:
+                await client.wait_for(
+                    lambda c: all(
+                        c.acked.get(q, 0) >= tenant.delta_seq[q] for q in c.subscribed
+                    ),
+                    60,
+                )
+            # capture BEFORE stop(): the DRAIN snapshot overwrites the
+            # folded state and would mask a folding bug
+            folded = [
+                {query: client.results[query] for query in client.subscribed}
+                for client in clients[1:]
+            ]
+            reconnects = [client.reconnects for client in clients]
+            await server.stop()
+            for client in clients:
+                await client.close()
+            counters = obs.snapshot()["counters"]
+            obs.disable()
+            return folded, reconnects, counters
+
+        folded, reconnects, counters = asyncio.run(run())
+
+        # every fault kind actually fired
+        assert counters["faults.net_disconnects"] >= 1
+        assert counters["faults.net_stalls"] >= 1
+        assert counters["faults.net_bad_frames"] >= 1
+        assert counters["serve.bad_frames"] >= 1
+        assert counters["faults.net_tenant_restarts"] == 1
+        assert counters["serve.tenant_restarts"] == 1
+        assert counters["wal.recoveries"] >= 1
+        assert counters["engine.quarantined"] > 0  # junk was diverted
+        assert counters.get("serve.shed", 0) == 0  # block policy: lossless
+        assert sum(reconnects) >= 1
+        assert counters["serve.deltas_sent"] > 0
+
+        # the invariant: surviving subscribers are bit-identical to a
+        # clean, junk-free batch run — after disconnects, stalls,
+        # garbage frames, and a tenant restart
+        expected = {
+            query: clean_result_from_batches(query, batches) for query in ALL_QUERIES
+        }
+        for client_folded in folded:
+            assert client_folded, "subscriber lost all its subscriptions"
+            for query, result in client_folded.items():
+                assert_bit_identical(result, expected[query])
+
+    def test_overload_completes_with_shed_and_eviction(self):
+        # dense bid stream: nearly every applied batch moves VWAP, so
+        # the stalled subscriber's ACK lag grows batch by batch
+        events = list(
+            random_bid_stream(
+                600, price_levels=30, volume_max=9, delete_probability=0.3, seed=SEED + 1
+            )
+        )
+        batches = batched(events, 8)
+
+        async def run():
+            obs.enable()
+            obs.reset()
+            server = SubscriptionServer(
+                ServingConfig(
+                    queue_limit=2,
+                    queue_policy="shed-newest",
+                    subscriber_buffer=4,
+                    delta_retain=4096,
+                )
+            )
+            await server.start()
+            client = SubscriptionClient(
+                "127.0.0.1", server.port, tenant="t", session="w"
+            )
+            await client.connect()
+            await client.subscribe("VWAP")
+            await client.subscribe("PSP")
+            await client.wait_for(lambda c: c.subscribed <= set(c.results), 30)
+
+            # a subscriber that never ACKs: the slow-consumer bound
+            # must evict it rather than buffer forever
+            _, stalled_writer = await asyncio.open_connection("127.0.0.1", server.port)
+            stalled_writer.write(
+                encode(Message(MsgType.HELLO, 0, {"tenant": "t", "session": "stall"}))
+            )
+            stalled_writer.write(
+                encode(Message(MsgType.SUBSCRIBE, 0, {"query": "VWAP"}))
+            )
+            await stalled_writer.drain()
+
+            # burst most of the stream with no settling: the bounded
+            # queue overflows and the shed-newest policy drops batches
+            for batch in batches[:-12]:
+                await client.ingest(batch)
+            await client.settle(60)
+            # then a settled tail: every batch applies, so the stalled
+            # subscriber's ACK lag must cross the eviction bound
+            for batch in batches[-12:]:
+                await client.ingest(batch)
+                await client.settle(60)
+            tenant = server.tenants["t"]
+            await client.wait_for(
+                lambda c: all(
+                    c.acked.get(q, 0) >= tenant.delta_seq[q]
+                    for q in ("VWAP", "PSP")
+                    if q not in c.evicted
+                ),
+                60,
+            )
+            folded = {
+                q: client.results[q] for q in ("VWAP", "PSP") if q not in client.evicted
+            }
+            server_state = {q: tenant.results[q] for q in folded}
+            shed = list(client.shed_seqs)
+            await server.stop()
+            await client.close()
+            stalled_writer.close()
+            counters = obs.snapshot()["counters"]
+            obs.disable()
+            return folded, server_state, shed, counters
+
+        folded, server_state, shed, counters = asyncio.run(run())
+        assert shed and counters["serve.shed"] == len(shed)
+        assert counters["serve.evicted"] >= 1
+        assert folded, "the healthy subscriber lost everything"
+        # shedding loses events, never consistency: the folded view
+        # still matches the server's state exactly
+        for query, result in folded.items():
+            assert_bit_identical(result, server_state[query])
+
+
+def clean_result_from_batches(query: str, batches: list[list[Event]]):
+    """Clean unguarded engine over the same (junk-free) batches."""
+
+    class _Batches:
+        def __init__(self, chunks):
+            self._chunks = chunks
+
+        def batches(self, _size):
+            return iter(self._chunks)
+
+        def __len__(self):
+            return sum(len(c) for c in self._chunks)
+
+    return clean_result(query, _Batches(batches))

@@ -27,7 +27,7 @@ import pytest
 
 from repro.engine.aggr_index import build_single_index_engine
 from repro.engine.sharding import ShardRouter, plan_router
-from repro.engine.shmring import RingTimeoutError, ShmRing
+from repro.engine.shmring import RingClosedError, RingTimeoutError, ShmRing
 from repro.query.parser import parse_query
 from repro.storage.colbatch import ColumnarFrame, apply_events
 from repro.storage.schema import BIDS, WORKLOAD_SCHEMAS, Schema
@@ -304,6 +304,20 @@ class TestShmRing:
             assert issubclass(RingTimeoutError, OSError)
         finally:
             ring.close()
+
+    def test_use_after_close_raises_typed_error(self):
+        """I/O on a closed ring must fail with RingClosedError — an
+        OSError so supervision treats it like a broken pipe — instead
+        of dereferencing the released memoryview (TypeError)."""
+        ring = ShmRing(64)
+        ring.write(b"pending")
+        ring.close()
+        with pytest.raises(RingClosedError):
+            ring.write(b"late")
+        with pytest.raises(RingClosedError):
+            ring.read(7)
+        assert issubclass(RingClosedError, OSError)
+        ring.close()  # close stays idempotent
 
     def test_cross_process_transport(self):
         context = multiprocessing.get_context("fork")

@@ -175,3 +175,52 @@ class TestSnapshots:
             wal.snapshot(b"early", seq=2)
             assert wal.load_latest_snapshot() == (2, b"early")
             assert list(wal.replay(start_seq=2)) != []
+
+
+class TestAtomicSnapshots:
+    """A crash mid-snapshot must never leave a torn .ckpt visible: the
+    write goes to a .tmp sibling and the final name appears only via
+    os.replace."""
+
+    def test_crash_before_replace_leaves_no_partial(self, tmp_path, monkeypatch):
+        """Kill the process between the payload write and the rename:
+        the fully-written temp file must stay invisible to recovery."""
+        with WriteAheadLog(tmp_path) as wal:
+            wal.append(_batches(1)[0])
+            wal.snapshot(b"good")
+            wal.append(_batches(1)[0])
+
+            def killed(_src, _dst):
+                raise OSError("simulated crash mid-snapshot")
+
+            monkeypatch.setattr("repro.storage.wal.os.replace", killed)
+            with pytest.raises(OSError):
+                wal.snapshot(b"never-published")
+        monkeypatch.undo()
+        # the aborted snapshot left only a .tmp sibling...
+        assert list(tmp_path.glob("*.tmp"))
+        assert len(list(tmp_path.glob("snapshot-*.ckpt"))) == 1
+        # ...and recovery still sees exactly the old snapshot
+        with WriteAheadLog(tmp_path) as wal:
+            assert wal.load_latest_snapshot() == (1, b"good")
+
+    def test_torn_tmp_never_matches_recovery_glob(self, tmp_path):
+        """A partial .tmp left by a crash mid-write is not even a
+        candidate during recovery (its name misses SNAPSHOT_GLOB)."""
+        with WriteAheadLog(tmp_path) as wal:
+            wal.append(_batches(1)[0])
+            wal.snapshot(b"good")
+            (tmp_path / "snapshot-000000000099.ckpt.tmp").write_bytes(b"\x00 torn")
+            assert wal.load_latest_snapshot() == (1, b"good")
+            # strict mode doesn't trip over it either: it is invisible
+            assert wal.load_latest_snapshot(strict=True) == (1, b"good")
+
+    def test_completed_snapshot_leaves_no_tmp(self, tmp_path):
+        for fsync in (False, True):
+            directory = tmp_path / f"fsync-{fsync}"
+            with WriteAheadLog(directory, fsync=fsync) as wal:
+                wal.append(_batches(1)[0])
+                path = wal.snapshot(b"durable")
+                assert path.exists()
+                assert wal.load_latest_snapshot() == (1, b"durable")
+                assert not list(directory.glob("*.tmp"))
